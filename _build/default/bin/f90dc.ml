@@ -1,0 +1,114 @@
+(* f90dc — the Fortran 90D/HPF compiler driver.
+
+   Compiles a Fortran 90D/HPF source file, optionally emits the generated
+   Fortran 77+MP node program, and/or executes it on the simulated
+   distributed-memory machine. *)
+
+open Cmdliner
+
+let read_source = function
+  | "-" -> In_channel.input_all stdin
+  | path -> In_channel.with_open_text path In_channel.input_all
+
+let demo_source name nprocs =
+  match String.lowercase_ascii name with
+  | "gauss" -> F90d.Programs.gauss ~n:64
+  | "jacobi" -> F90d.Programs.jacobi ~n:64 ~iters:10
+  | "jacobi2d" ->
+      let rec split p q = if p <= q then (p, q) else split (p / 2) (q * 2) in
+      let p, q = split nprocs 1 in
+      F90d.Programs.jacobi2d ~n:30 ~iters:5 ~p ~q
+  | "irregular" -> F90d.Programs.irregular ~n:64
+  | "fft" -> F90d.Programs.fft_butterfly ~n:64
+  | other -> raise (Invalid_argument ("unknown demo program: " ^ other))
+
+let model_of_name = function
+  | "ipsc860" -> F90d_machine.Model.ipsc860
+  | "ncube2" -> F90d_machine.Model.ncube2
+  | "ideal" -> F90d_machine.Model.ideal
+  | other -> raise (Invalid_argument ("unknown machine model: " ^ other))
+
+let run_cmd source demo nprocs machine emit no_opt show_finals trace =
+  try
+    if trace then begin
+      Logs.set_reporter (Logs.format_reporter ());
+      Logs.Src.set_level F90d_exec.Interp.log_src (Some Logs.Debug)
+    end;
+    let nprocs = max 1 nprocs in
+    let src =
+      match (demo, source) with
+      | Some d, _ -> demo_source d nprocs
+      | None, Some path -> read_source path
+      | None, None -> read_source "-"
+    in
+    let flags = if no_opt then F90d_opt.Passes.all_off else F90d_opt.Passes.all_on in
+    let compiled = F90d.Driver.compile ~flags src in
+    if emit then print_string (F90d_ir.Emit_f77.emit_program compiled.F90d.Driver.c_ir)
+    else begin
+      let model = model_of_name machine in
+      let topology =
+        if F90d_base.Util.is_pow2 nprocs then F90d_machine.Topology.Hypercube
+        else F90d_machine.Topology.Full
+      in
+      let result =
+        F90d.Driver.run ~collect_finals:show_finals ~model ~topology ~nprocs compiled
+      in
+      print_string result.F90d.Driver.outcome.F90d_exec.Interp.output;
+      Printf.printf "--- %d processors on %s ---\n" nprocs model.F90d_machine.Model.name;
+      Printf.printf "simulated time : %.6f s\n" result.F90d.Driver.elapsed;
+      Printf.printf "messages       : %d (%d bytes)\n"
+        result.F90d.Driver.stats.F90d_machine.Stats.messages
+        result.F90d.Driver.stats.F90d_machine.Stats.bytes;
+      if show_finals then
+        List.iter
+          (fun (name, arr) ->
+            Format.printf "%s = %a@." name F90d_base.Ndarray.pp arr)
+          result.F90d.Driver.outcome.F90d_exec.Interp.finals
+    end;
+    `Ok ()
+  with
+  | F90d_base.Diag.Error (loc, msg) ->
+      `Error (false, Format.asprintf "%a: %s" F90d_base.Loc.pp loc msg)
+  | Invalid_argument msg -> `Error (false, msg)
+
+let source =
+  let doc = "Fortran 90D/HPF source file ('-' for stdin)." in
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+
+let demo =
+  let doc = "Compile a built-in demo program: gauss, jacobi, jacobi2d, irregular, fft." in
+  Arg.(value & opt (some string) None & info [ "demo" ] ~docv:"NAME" ~doc)
+
+let nprocs =
+  let doc = "Number of simulated processors." in
+  Arg.(value & opt int 4 & info [ "p"; "nprocs" ] ~docv:"P" ~doc)
+
+let machine =
+  let doc = "Machine model: ipsc860, ncube2 or ideal." in
+  Arg.(value & opt string "ipsc860" & info [ "machine" ] ~docv:"MODEL" ~doc)
+
+let emit =
+  let doc = "Emit the generated Fortran 77+MP node program instead of running." in
+  Arg.(value & flag & info [ "emit-f77" ] ~doc)
+
+let no_opt =
+  let doc = "Disable the communication optimizations of the paper's section 7." in
+  Arg.(value & flag & info [ "no-opt" ] ~doc)
+
+let show_finals =
+  let doc = "Print the final contents of every array of the main program." in
+  Arg.(value & flag & info [ "show-arrays" ] ~doc)
+
+let trace =
+  let doc = "Trace every communication primitive as the node programs execute." in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
+let cmd =
+  let doc = "Fortran 90D/HPF compiler for (simulated) distributed-memory MIMD computers" in
+  let info = Cmd.info "f90dc" ~version:"1.0" ~doc in
+  Cmd.v info
+    Term.(
+      ret
+        (const run_cmd $ source $ demo $ nprocs $ machine $ emit $ no_opt $ show_finals $ trace))
+
+let () = exit (Cmd.eval cmd)

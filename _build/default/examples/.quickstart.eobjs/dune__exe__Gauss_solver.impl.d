@@ -1,0 +1,1 @@
+examples/gauss_solver.ml: Array F90d F90d_base F90d_machine Float List Model Printf Topology

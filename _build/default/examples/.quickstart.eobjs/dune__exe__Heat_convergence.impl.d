@@ -1,0 +1,1 @@
+examples/heat_convergence.ml: F90d F90d_base F90d_exec F90d_machine Float Model Printf Stats Topology

@@ -1,0 +1,1 @@
+examples/irregular_parti.ml: F90d F90d_base F90d_machine F90d_opt F90d_runtime Format Printf Schedule

@@ -1,0 +1,1 @@
+examples/jacobi_stencil.ml: Array F90d F90d_base F90d_machine Float List Model Printf Stats Topology

@@ -1,0 +1,1 @@
+examples/quickstart.ml: F90d F90d_base F90d_exec F90d_ir F90d_machine Format List Printf String

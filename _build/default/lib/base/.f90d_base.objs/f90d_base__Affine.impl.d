@@ -1,0 +1,1 @@
+lib/base/affine.ml: Format

@@ -1,0 +1,1 @@
+lib/base/diag.ml: Format Loc

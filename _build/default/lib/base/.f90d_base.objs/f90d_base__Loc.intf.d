@@ -1,0 +1,1 @@
+lib/base/loc.mli: Format

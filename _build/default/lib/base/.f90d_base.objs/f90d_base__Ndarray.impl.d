@@ -1,0 +1,1 @@
+lib/base/ndarray.ml: Array Diag Float Format Scalar

@@ -1,0 +1,1 @@
+lib/base/scalar.ml: Diag Float Format String

@@ -1,0 +1,11 @@
+exception Error of Loc.t * string
+
+let error ?(loc = Loc.none) fmt =
+  Format.kasprintf (fun msg -> raise (Error (loc, msg))) fmt
+
+let bug fmt = Format.kasprintf (fun msg -> failwith ("F90D bug: " ^ msg)) fmt
+
+let pp_error ppf (loc, msg) = Format.fprintf ppf "%a: error: %s" Loc.pp loc msg
+
+let protect f =
+  try Ok (f ()) with Error (loc, msg) -> Error (Format.asprintf "%a" pp_error (loc, msg))

@@ -1,0 +1,19 @@
+(** Compiler diagnostics.
+
+    All passes report user-level problems through {!error} (raising
+    {!Error}); internal invariant violations use [assert] or {!bug}. *)
+
+exception Error of Loc.t * string
+(** A diagnosed error in the user's program. *)
+
+val error : ?loc:Loc.t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [error ~loc fmt ...] raises {!Error} with a formatted message. *)
+
+val bug : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Internal compiler error: raises [Failure] with a "F90D bug:" prefix. *)
+
+val pp_error : Format.formatter -> Loc.t * string -> unit
+(** Renders an error as ["loc: error: msg"]. *)
+
+val protect : (unit -> 'a) -> ('a, string) result
+(** Runs a compilation thunk, converting {!Error} into [Error msg]. *)

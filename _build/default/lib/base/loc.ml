@@ -1,0 +1,10 @@
+type t = { file : string; line : int; col : int }
+
+let none = { file = ""; line = 0; col = 0 }
+let make ~file ~line ~col = { file; line; col }
+
+let pp ppf t =
+  if t.line = 0 then Format.pp_print_string ppf "<no-loc>"
+  else Format.fprintf ppf "%s:%d:%d" t.file t.line t.col
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,16 @@
+(** Source locations for diagnostics.
+
+    A location identifies a point (or the start of a construct) in a
+    Fortran 90D/HPF source file: file name, 1-based line, 1-based column. *)
+
+type t = { file : string; line : int; col : int }
+
+val none : t
+(** Placeholder for synthesized constructs with no source position. *)
+
+val make : file:string -> line:int -> col:int -> t
+
+val pp : Format.formatter -> t -> unit
+(** Prints ["file:line:col"], or ["<no-loc>"] for {!none}. *)
+
+val to_string : t -> string

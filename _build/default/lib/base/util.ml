@@ -1,0 +1,55 @@
+let floor_div a b =
+  let q = a / b and r = a mod b in
+  if r <> 0 && (r < 0) <> (b < 0) then q - 1 else q
+
+let ceil_div a b = -floor_div (-a) b
+
+let modulo a b =
+  let r = a mod b in
+  if r < 0 then r + abs b else r
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+let rec egcd a b =
+  if b = 0 then (a, 1, 0)
+  else
+    let g, x, y = egcd b (a mod b) in
+    (g, y, x - (a / b) * y)
+
+(* Solve x = r1 (mod m1), x = r2 (mod m2); smallest solution >= lo. *)
+let crt_first_ge ~lo ~r1 ~m1 ~r2 ~m2 =
+  let g, p, _ = egcd m1 m2 in
+  if modulo (r2 - r1) g <> 0 then None
+  else
+    let lcm = m1 / g * m2 in
+    let diff = (r2 - r1) / g in
+    (* x = r1 + m1 * p * diff  (mod lcm) *)
+    let x0 = modulo (r1 + (m1 * modulo (p * diff) (m2 / g))) lcm in
+    let k = ceil_div (lo - x0) lcm in
+    Some (x0 + (k * lcm))
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let ilog2 n =
+  assert (n >= 1);
+  let rec go k n = if n <= 1 then k else go (k + 1) (n lsr 1) in
+  go 0 n
+
+let ceil_log2 n =
+  assert (n >= 1);
+  let l = ilog2 n in
+  if 1 lsl l = n then l else l + 1
+
+let gray n = n lxor (n lsr 1)
+
+let gray_inverse g =
+  let rec go acc g = if g = 0 then acc else go (acc lxor g) (g lsr 1) in
+  go 0 g
+
+let popcount n =
+  let rec go acc n = if n = 0 then acc else go (acc + (n land 1)) (n lsr 1) in
+  go 0 n
+
+let range a b = List.init (max 0 (b - a + 1)) (fun i -> a + i)
+let sum_floats = List.fold_left ( +. ) 0.
+let mean = function [] -> 0. | l -> sum_floats l /. float_of_int (List.length l)

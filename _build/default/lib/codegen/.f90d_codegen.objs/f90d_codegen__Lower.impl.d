@@ -1,0 +1,1 @@
+lib/codegen/lower.ml: Array Ast Diag F90d_base F90d_commdet F90d_frontend F90d_ir Hashtbl Intrinsic_names Ir List Normalize Option Pattern Sema Subscript

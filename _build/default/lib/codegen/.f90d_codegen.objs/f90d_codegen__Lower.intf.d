@@ -1,0 +1,1 @@
+lib/codegen/lower.mli: Ast F90d_frontend F90d_ir Sema

@@ -1,0 +1,220 @@
+open F90d_base
+open F90d_frontend
+open F90d_commdet
+open F90d_ir
+
+(* Fresh temporary ids, unique within one lowered unit. *)
+let temp_counter = ref 0
+
+let fresh_temp () =
+  incr temp_counter;
+  !temp_counter
+
+let stmt_counter = ref 0
+
+(* Accesses for the dimensions of a structured temporary: broadcast and
+   transferred dimensions collapse to extent 1; shifted dimensions keep the
+   owned extent and are indexed by the local position of their FORALL
+   variable; untouched dimensions by their own subscript's local position. *)
+let box_dims classes tags =
+  Array.mapi
+    (fun d tag ->
+      match (tag, classes.(d)) with
+      | (Pattern.Multicast _ | Pattern.Transfer _), _ -> Ir.Collapsed
+      | Pattern.Temp_shift _, (Subscript.Var_const (v, _) | Subscript.Var_scalar (v, _)) ->
+          Ir.By_sub (Ast.var v)
+      | _, Subscript.Canonical v -> Ir.By_sub (Ast.var v)
+      | _, Subscript.Const e -> Ir.By_sub e
+      | _, Subscript.Var_const (v, _) | _, Subscript.Var_scalar (v, _) ->
+          Ir.By_sub (Ast.var v)
+      | _, (Subscript.Affine _ | Subscript.Vector _ | Subscript.Unknown) ->
+          Diag.bug "lower: unstructured subscript in a structured temporary")
+    tags
+
+let lower_ref env ~vars (r : Ast.ref_) (plan : Pattern.ref_plan) =
+  let var_names = List.map fst vars in
+  let lookup v = List.assoc_opt v env.Sema.uparams in
+  let is_int_array n =
+    match Sema.array_spec env n with Some s -> s.Sema.skind = Ast.Integer | None -> false
+  in
+  let classes =
+    List.map
+      (fun (s : Ast.section) ->
+        match s with
+        | Ast.Elem e -> Subscript.classify ~vars:var_names ~is_const:lookup ~is_int_array e
+        | Ast.Range _ -> Diag.bug "lower: section survived normalization")
+      r.Ast.args
+    |> Array.of_list
+  in
+  match plan with
+  | Pattern.Direct -> ([], [ (r.Ast.rid, Ir.Acc_direct) ], [])
+  | Pattern.Precomp_read ->
+      let t = fresh_temp () in
+      ([ Ir.Precomp_read { r; itemp = t; key = None } ], [ (r.Ast.rid, Ir.Acc_flat { temp = t }) ], [])
+  | Pattern.Gather ->
+      let t = fresh_temp () in
+      ([ Ir.Gather_read { r; itemp = t; key = None } ], [ (r.Ast.rid, Ir.Acc_flat { temp = t }) ], [])
+  | Pattern.Concat ->
+      let t = fresh_temp () in
+      ([ Ir.Concat { arr = r.Ast.base; temp = t } ], [ (r.Ast.rid, Ir.Acc_global_temp { temp = t }) ], [])
+  | Pattern.Structured tags ->
+      let comm_dims =
+        Array.to_list (Array.mapi (fun d t -> (d, t)) tags)
+        |> List.filter_map (fun (d, tag) ->
+               match tag with
+               | Pattern.Multicast _ | Pattern.Transfer _ | Pattern.Overlap _
+               | Pattern.Temp_shift _ ->
+                   Some d
+               | Pattern.No_comm | Pattern.Local_dim -> None)
+      in
+      (match comm_dims with
+      | [] -> ([], [ (r.Ast.rid, Ir.Acc_direct) ], [])
+      | [ d ] -> (
+          match tags.(d) with
+          | Pattern.Overlap c ->
+              let ghost = if c > 0 then (r.Ast.base, d, 0, c) else (r.Ast.base, d, -c, 0) in
+              ( [ Ir.Overlap_shift { arr = r.Ast.base; dim = d; amount = c } ],
+                [ (r.Ast.rid, Ir.Acc_direct) ],
+                [ ghost ] )
+          | Pattern.Multicast g ->
+              let t = fresh_temp () in
+              ( [ Ir.Multicast { arr = r.Ast.base; dim = d; g; temp = t } ],
+                [ (r.Ast.rid, Ir.Acc_box { temp = t; dims = box_dims classes tags }) ],
+                [] )
+          | Pattern.Transfer { src; dest } ->
+              let t = fresh_temp () in
+              ( [ Ir.Transfer { arr = r.Ast.base; dim = d; src; dest; temp = t } ],
+                [ (r.Ast.rid, Ir.Acc_box { temp = t; dims = box_dims classes tags }) ],
+                [] )
+          | Pattern.Temp_shift s ->
+              let t = fresh_temp () in
+              ( [ Ir.Temp_shift { arr = r.Ast.base; dim = d; amount = s; temp = t } ],
+                [ (r.Ast.rid, Ir.Acc_box { temp = t; dims = box_dims classes tags }) ],
+                [] )
+          | Pattern.No_comm | Pattern.Local_dim -> Diag.bug "lower: no-comm dim counted as comm")
+      | [ d1; d2 ] -> (
+          (* the fusable pair: one multicast + one shift *)
+          match (tags.(d1), tags.(d2)) with
+          | Pattern.Multicast g, Pattern.Temp_shift s ->
+              let t = fresh_temp () in
+              ( [ Ir.Multicast_shift
+                    { ms_arr = r.Ast.base; mdim = d1; ms_g = g; sdim = d2; ms_amount = s; ms_temp = t; fused = true } ],
+                [ (r.Ast.rid, Ir.Acc_box { temp = t; dims = box_dims classes tags }) ],
+                [] )
+          | Pattern.Temp_shift s, Pattern.Multicast g ->
+              let t = fresh_temp () in
+              ( [ Ir.Multicast_shift
+                    { ms_arr = r.Ast.base; mdim = d2; ms_g = g; sdim = d1; ms_amount = s; ms_temp = t; fused = true } ],
+                [ (r.Ast.rid, Ir.Acc_box { temp = t; dims = box_dims classes tags }) ],
+                [] )
+          | _ ->
+              (* other double-communication patterns: inspector fallback *)
+              let t = fresh_temp () in
+              ( [ Ir.Precomp_read { r; itemp = t; key = None } ],
+                [ (r.Ast.rid, Ir.Acc_flat { temp = t }) ],
+                [] ))
+      | _ ->
+          let t = fresh_temp () in
+          ( [ Ir.Precomp_read { r; itemp = t; key = None } ],
+            [ (r.Ast.rid, Ir.Acc_flat { temp = t }) ],
+            [] ))
+
+let lower_forall env ~vars ~mask ~lhs ~rhs =
+  incr stmt_counter;
+  let plan = Pattern.analyze_forall env ~vars ~mask ~lhs ~rhs in
+  let iter, post =
+    match plan.Pattern.lhs with
+    | Pattern.Lhs_canonical { var_dims; guards } ->
+        (Ir.It_canonical { var_dims; guards }, None)
+    | Pattern.Lhs_replicated -> (Ir.It_replicated, None)
+    | Pattern.Lhs_postcomp -> (Ir.It_even, Some (Ir.Postcomp_write { key = None }))
+    | Pattern.Lhs_scatter -> (Ir.It_even, Some (Ir.Scatter_write { key = None }))
+  in
+  let pre, accesses, ghosts =
+    List.fold_left
+      (fun (pre, accs, ghosts) (r, rplan) ->
+        let p, a, g = lower_ref env ~vars r rplan in
+        (pre @ p, accs @ a, ghosts @ g))
+      ([], [], []) plan.Pattern.refs
+  in
+  ( {
+      Ir.f_vars = vars;
+      f_mask = mask;
+      f_lhs = plan.Pattern.lhs_ref;
+      f_rhs = rhs;
+      f_iter = iter;
+      f_pre = pre;
+      f_access = accesses;
+      f_post = post;
+    },
+    ghosts )
+
+let is_mover_call (e : Ast.expr) =
+  match e.Ast.e with
+  | Ast.Ref r when Intrinsic_names.returns_array ~nargs:(List.length r.Ast.args) r.Ast.base ->
+      Some r
+  | _ -> None
+
+let rec lower_stmt env ghosts (st : Ast.stmt) : Ir.stmt list =
+  match st.Ast.s with
+  | Ast.Assign (({ Ast.e = Ast.Var v; _ } as _lhs), rhs) -> (
+      match is_mover_call rhs with
+      | Some call ->
+          if Sema.array_spec env v = None then
+            Diag.error ~loc:st.Ast.sloc "intrinsic '%s' must be assigned to an array"
+              call.Ast.base;
+          [ Ir.Mover { target = v; call } ]
+      | None ->
+          if Sema.array_spec env v <> None then
+            Diag.error ~loc:st.Ast.sloc "unexpected whole-array assignment after normalization";
+          [ Ir.Scalar_assign { name = v; rhs } ])
+  | Ast.Assign (({ Ast.e = Ast.Ref r; _ } as _lhs), rhs) ->
+      if Sema.array_spec env r.Ast.base = None then
+        Diag.error ~loc:st.Ast.sloc "assignment to undeclared array '%s'" r.Ast.base;
+      if is_mover_call rhs <> None then
+        Diag.error ~loc:st.Ast.sloc "movement intrinsics must target a whole array";
+      [ Ir.Element_assign { lhs = r; rhs } ]
+  | Ast.Assign _ -> Diag.error ~loc:st.Ast.sloc "invalid assignment target"
+  | Ast.Forall (vars, mask, [ { Ast.s = Ast.Assign (lhs, rhs); _ } ]) ->
+      let f, g = lower_forall env ~vars ~mask ~lhs ~rhs in
+      ghosts := g @ !ghosts;
+      [ Ir.Forall f ]
+  | Ast.Forall _ -> Diag.error ~loc:st.Ast.sloc "FORALL bodies must be single assignments here"
+  | Ast.Where _ -> Diag.bug "lower: WHERE survived normalization"
+  | Ast.Do (var, range, body) ->
+      [ Ir.Do_loop { var; range; body = lower_body env ghosts body } ]
+  | Ast.While (cond, body) -> [ Ir.While_loop { cond; body = lower_body env ghosts body } ]
+  | Ast.If (arms, els) ->
+      [
+        Ir.If_block
+          {
+            arms = List.map (fun (c, b) -> (c, lower_body env ghosts b)) arms;
+            els = lower_body env ghosts els;
+          };
+      ]
+  | Ast.Call (sub, args) -> [ Ir.Call_sub { sub; args } ]
+  | Ast.Print args -> [ Ir.Print_stmt args ]
+  | Ast.Return -> [ Ir.Return_stmt ]
+
+and lower_body env ghosts body = List.concat_map (lower_stmt env ghosts) body
+
+let lower_unit env =
+  temp_counter := 0;
+  let normalized = Normalize.normalize_unit env env.Sema.usub.Ast.body in
+  let ghosts = ref [] in
+  let body = lower_body env ghosts normalized in
+  (* consolidate ghost requirements: widest wins per (array, dim) *)
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (arr, dim, lo, hi) ->
+      let k = (arr, dim) in
+      let lo0, hi0 = Option.value (Hashtbl.find_opt tbl k) ~default:(0, 0) in
+      Hashtbl.replace tbl k (max lo lo0, max hi hi0))
+    !ghosts;
+  let u_ghosts = Hashtbl.fold (fun (arr, dim) (lo, hi) acc -> (arr, dim, lo, hi) :: acc) tbl [] in
+  { Ir.u_name = env.Sema.usub.Ast.pname; u_env = env; u_body = body; u_ghosts }
+
+let lower_program (penv : Sema.program_env) =
+  stmt_counter := 0;
+  let units = List.map (fun (name, uenv) -> (name, lower_unit uenv)) penv.Sema.uunits in
+  { Ir.p_env = penv; p_units = units }

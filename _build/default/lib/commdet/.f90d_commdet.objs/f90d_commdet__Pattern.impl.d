@@ -1,0 +1,1 @@
+lib/commdet/pattern.ml: Affine Array Ast Diag F90d_base F90d_frontend Format List Printf Sema String Subscript

@@ -1,0 +1,1 @@
+lib/commdet/pattern.mli: Ast F90d_frontend Format Sema Subscript

@@ -1,0 +1,1 @@
+lib/commdet/subscript.ml: Affine Ast F90d_base F90d_frontend Format List Sema

@@ -1,0 +1,1 @@
+lib/commdet/subscript.mli: Ast F90d_base F90d_frontend Format

@@ -1,0 +1,1 @@
+lib/core/baselines.ml: Array Collectives Diag Distrib Engine F90d_base F90d_dist F90d_machine F90d_runtime Float Grid Message Model Programs Rctx Stats Topology

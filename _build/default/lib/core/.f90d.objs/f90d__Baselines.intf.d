@@ -1,0 +1,1 @@
+lib/core/baselines.mli: F90d_machine F90d_runtime Model Stats Topology

@@ -1,0 +1,1 @@
+lib/core/driver.ml: Array Diag Engine F90d_base F90d_codegen F90d_dist F90d_exec F90d_frontend F90d_ir F90d_machine F90d_opt F90d_runtime Grid List Model Parser Rctx Schedule Sema Stats Topology

@@ -1,0 +1,1 @@
+lib/core/driver.mli: F90d_base F90d_exec F90d_frontend F90d_ir F90d_machine F90d_opt Model Stats Topology

@@ -1,0 +1,150 @@
+open F90d_base
+open F90d_dist
+open F90d_machine
+open F90d_runtime
+
+(* Column-BLOCK Gaussian elimination with partial pivoting, hand-coded
+   against the runtime library.  Matrix entries come from
+   [Programs.gauss_coeff]/[gauss_rhs] so results are comparable with the
+   compiled program. *)
+let hand_gauss_node ctx ~n =
+  let p = Rctx.nprocs ctx in
+  let me = Rctx.me ctx in
+  let cols = Distrib.make Block ~n:(n + 1) ~p in
+  let my_cols = Distrib.local_count cols ~proc:me in
+  (* local section: full rows of my columns, column-major *)
+  let a = Array.make (n * my_cols) 0. in
+  let idx i lc = (i - 1) + (lc * n) in
+  for lc = 0 to my_cols - 1 do
+    let j = Distrib.global_of_local cols ~proc:me lc + 1 in
+    for i = 1 to n do
+      a.(idx i lc) <-
+        (if j = n + 1 then Programs.gauss_rhs ~n i else Programs.gauss_coeff ~n i j)
+    done
+  done;
+  Rctx.charge_iops ctx (2 * n * my_cols);
+  let team = Collectives.team_all ctx in
+  let col = Array.make n 0. in
+  for k = 1 to n do
+    let owner = Distrib.owner cols (k - 1) in
+    (* the owner finds the pivot, swaps its own column and broadcasts the
+       row index together with the swapped multiplier column: one fused
+       message per step *)
+    let payload =
+      if me = owner then begin
+        let lc = Distrib.local_of_global cols (k - 1) in
+        let indxr = ref k and pivmax = ref (-1.) in
+        for i = k to n do
+          let v = Float.abs a.(idx i lc) in
+          if v > !pivmax then begin
+            pivmax := v;
+            indxr := i
+          end
+        done;
+        Rctx.charge_flops ctx (n - k + 1);
+        if !indxr <> k then begin
+          let t = a.(idx k lc) in
+          a.(idx k lc) <- a.(idx !indxr lc);
+          a.(idx !indxr lc) <- t
+        end;
+        let c = Array.init n (fun i0 -> a.(idx (i0 + 1) lc)) in
+        Rctx.charge_copy_bytes ctx (8 * n);
+        Message.Pair (Message.Ints [| !indxr |], Message.Floats c)
+      end
+      else Message.Empty
+    in
+    (match Collectives.broadcast ctx team ~root:owner payload with
+    | Message.Pair (Message.Ints ix, Message.Floats c) ->
+        let indxr = ix.(0) in
+        Array.blit c 0 col 0 n;
+        (* swap rows k and indxr in my columns (the owner's column k is
+           already swapped; swapping it again would undo it) *)
+        if indxr <> k then
+          for lc = 0 to my_cols - 1 do
+            if not (me = owner && lc = Distrib.local_of_global cols (k - 1)) then begin
+              let t = a.(idx k lc) in
+              a.(idx k lc) <- a.(idx indxr lc);
+              a.(idx indxr lc) <- t
+            end
+          done
+    | _ -> Diag.bug "hand_gauss: broadcast protocol error");
+    let pivot = col.(k - 1) in
+    (* normalise row k and eliminate, over my columns with global j >= k *)
+    for lc = 0 to my_cols - 1 do
+      let j = Distrib.global_of_local cols ~proc:me lc + 1 in
+      if j >= k then begin
+        a.(idx k lc) <- a.(idx k lc) /. pivot;
+        let akj = a.(idx k lc) in
+        for i = 1 to n do
+          if i <> k then a.(idx i lc) <- a.(idx i lc) -. (col.(i - 1) *. akj)
+        done
+      end
+    done;
+    let active = ref 0 in
+    for lc = 0 to my_cols - 1 do
+      if Distrib.global_of_local cols ~proc:me lc + 1 >= k then incr active
+    done;
+    (* same per-element charge as the compiled loop: 2 flops + a store,
+       and comparable index arithmetic *)
+    Rctx.charge_flops ctx (3 * n * !active);
+    Rctx.charge_iops ctx (12 * n * !active)
+  done;
+  (* replicate the solution column for verification *)
+  let owner = Distrib.owner cols n in
+  let payload =
+    if me = owner then begin
+      let lc = Distrib.local_of_global cols n in
+      Message.Floats (Array.init n (fun i0 -> a.(idx (i0 + 1) lc)))
+    end
+    else Message.Empty
+  in
+  match Collectives.broadcast ctx team ~root:owner payload with
+  | Message.Floats x -> x
+  | _ -> Diag.bug "hand_gauss: final broadcast protocol error"
+
+type gauss_run = { elapsed : float; stats : Stats.t; solution : float array }
+
+let run_hand_gauss ?(model = Model.ipsc860) ?(topology = Topology.Hypercube) ~nprocs ~n () =
+  let dims = [| nprocs |] in
+  let phys_of_rank = Topology.grid_embedding topology ~nprocs dims in
+  let grid = Grid.make ?phys_of_rank dims in
+  let cfg = Engine.config ~model ~topology nprocs in
+  let report = Engine.run cfg (fun eng -> hand_gauss_node (Rctx.make eng grid) ~n) in
+  {
+    elapsed = report.Engine.elapsed;
+    stats = report.Engine.stats;
+    solution = report.Engine.results.(Grid.phys_of_rank grid 0);
+  }
+
+let seq_gauss ~n =
+  let a = Array.make_matrix (n + 1) (n + 2) 0. in
+  for i = 1 to n do
+    for j = 1 to n do
+      a.(i).(j) <- Programs.gauss_coeff ~n i j
+    done;
+    a.(i).(n + 1) <- Programs.gauss_rhs ~n i
+  done;
+  for k = 1 to n do
+    let indxr = ref k in
+    for i = k to n do
+      if Float.abs a.(i).(k) > Float.abs a.(!indxr).(k) then indxr := i
+    done;
+    if !indxr <> k then begin
+      let t = a.(k) in
+      a.(k) <- a.(!indxr);
+      a.(!indxr) <- t
+    end;
+    let pivot = a.(k).(k) in
+    for j = k to n + 1 do
+      a.(k).(j) <- a.(k).(j) /. pivot
+    done;
+    for i = 1 to n do
+      if i <> k then begin
+        let f = a.(i).(k) in
+        for j = k to n + 1 do
+          a.(i).(j) <- a.(i).(j) -. (f *. a.(k).(j))
+        done
+      end
+    done
+  done;
+  Array.init n (fun i0 -> a.(i0 + 1).(n + 1))

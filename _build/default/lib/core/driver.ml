@@ -1,0 +1,56 @@
+open F90d_base
+open F90d_dist
+open F90d_machine
+open F90d_runtime
+open F90d_frontend
+
+type compiled = {
+  c_source : string;
+  c_env : Sema.program_env;
+  c_ir : F90d_ir.Ir.program_ir;
+  c_flags : F90d_opt.Passes.flags;
+}
+
+let compile ?(flags = F90d_opt.Passes.all_on) ?(file = "<input>") source =
+  let ast = Parser.parse ~file source in
+  let env = Sema.analyze ast in
+  let ir = F90d_codegen.Lower.lower_program env in
+  let ir = F90d_opt.Passes.apply flags ir in
+  { c_source = source; c_env = env; c_ir = ir; c_flags = flags }
+
+type run_result = {
+  outcome : F90d_exec.Interp.outcome;
+  elapsed : float;
+  clocks : float array;
+  stats : Stats.t;
+}
+
+let run ?(collect_finals = true) ?(model = Model.ideal) ?(topology = Topology.Full) ~nprocs
+    compiled =
+  Schedule.clear_cache ();
+  let dims = Sema.grid_dims compiled.c_env ~nprocs in
+  let phys_of_rank = Topology.grid_embedding topology ~nprocs dims in
+  let grid = Grid.make ?phys_of_rank dims in
+  let cfg = Engine.config ~model ~topology nprocs in
+  let report =
+    Engine.run cfg (fun eng ->
+        F90d_exec.Interp.node_main ~collect_finals compiled.c_ir (Rctx.make eng grid))
+  in
+  (* rank 0 of the grid carries the program output *)
+  let root_phys = Grid.phys_of_rank grid 0 in
+  {
+    outcome = report.Engine.results.(root_phys);
+    elapsed = report.Engine.elapsed;
+    clocks = report.Engine.clocks;
+    stats = report.Engine.stats;
+  }
+
+let final result name =
+  match List.assoc_opt name result.outcome.F90d_exec.Interp.finals with
+  | Some a -> a
+  | None -> Diag.error "no final array '%s' (was collect_finals set?)" name
+
+let final_scalar result name =
+  match List.assoc_opt name result.outcome.F90d_exec.Interp.final_scalars with
+  | Some s -> s
+  | None -> Diag.error "no final scalar '%s'" name

@@ -1,0 +1,46 @@
+(** The Fortran 90D/HPF compiler driver: source text in, SPMD program out,
+    executed on the simulated distributed-memory machine.
+
+    {[
+      let compiled = Driver.compile source in
+      let result = Driver.run ~nprocs:16 ~model:Model.ipsc860 compiled in
+      print_string result.outcome.output
+    ]} *)
+
+open F90d_machine
+
+type compiled = {
+  c_source : string;
+  c_env : F90d_frontend.Sema.program_env;
+  c_ir : F90d_ir.Ir.program_ir;
+  c_flags : F90d_opt.Passes.flags;
+}
+
+val compile : ?flags:F90d_opt.Passes.flags -> ?file:string -> string -> compiled
+(** Lex, parse, analyze, normalize, detect communication, lower and
+    optimize.  @raise F90d_base.Diag.Error on any front-end or lowering
+    diagnostic. *)
+
+type run_result = {
+  outcome : F90d_exec.Interp.outcome;
+  elapsed : float;  (** simulated parallel execution time, seconds *)
+  clocks : float array;
+  stats : Stats.t;
+}
+
+val run :
+  ?collect_finals:bool ->
+  ?model:Model.t ->
+  ?topology:Topology.t ->
+  nprocs:int ->
+  compiled ->
+  run_result
+(** Instantiate the processor grid (PROCESSORS directive, or a 1-D grid of
+    the whole machine), embed it in the topology, and execute.  Defaults:
+    ideal model, fully connected.  The global schedule cache is cleared at
+    entry so runs are independent. *)
+
+val final : run_result -> string -> F90d_base.Ndarray.t
+(** A gathered final array by name (requires [collect_finals]). *)
+
+val final_scalar : run_result -> string -> F90d_base.Scalar.t

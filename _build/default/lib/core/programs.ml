@@ -1,0 +1,200 @@
+let gauss_coeff ~n i j =
+  ignore n;
+  float_of_int ((((7 * i) + (11 * j)) mod 19) - 9) +. if i = j then 30. else 0.
+
+let gauss_rhs ~n i =
+  ignore n;
+  float_of_int (((3 * i) mod 7) + 1)
+
+let gauss_dist ~dist ~n =
+  let dist_name = match dist with `Block -> "BLOCK" | `Cyclic -> "CYCLIC" in
+  Printf.sprintf
+    {|
+      PROGRAM GAUSS
+      INTEGER, PARAMETER :: N = %d
+      REAL A(%d, %d)
+      REAL W(%d), F(%d), TMPR(%d)
+      REAL PIVOT, PIVMAX, T1
+      INTEGER K, I, INDXR
+C$    TEMPLATE T(%d)
+C$    ALIGN A(I, J) WITH T(J)
+C$    ALIGN TMPR(J) WITH T(J)
+C$    DISTRIBUTE T(%s)
+
+      FORALL (I = 1:N, J = 1:N)
+        A(I, J) = MOD(7*I + 11*J, 19) - 9 + MERGE(30.0, 0.0, I == J)
+      END FORALL
+      FORALL (I = 1:N) A(I, N+1) = MOD(3*I, 7) + 1
+
+      DO K = 1, N
+C       fetch the pivot column (owner multicasts the slab)
+        FORALL (I = 1:N) W(I) = A(I, K)
+C       partial pivoting: scan the replicated column locally
+        PIVMAX = -1.0
+        INDXR = K
+        DO I = K, N
+          IF (ABS(W(I)) > PIVMAX) THEN
+            PIVMAX = ABS(W(I))
+            INDXR = I
+          END IF
+        END DO
+C       swap rows K and INDXR (purely local under column distribution)
+        IF (INDXR /= K) THEN
+          FORALL (J = K:N+1) TMPR(J) = A(K, J)
+          FORALL (J = K:N+1) A(K, J) = A(INDXR, J)
+          FORALL (J = K:N+1) A(INDXR, J) = TMPR(J)
+          T1 = W(K)
+          W(K) = W(INDXR)
+          W(INDXR) = T1
+        END IF
+C       the pivot element read: the compiler turns this into a broadcast
+C       from the owner of column K -- the extra communication step of
+C       Table 4 / Figure 6
+        PIVOT = A(K, K)
+        FORALL (J = K:N+1) A(K, J) = A(K, J) / PIVOT
+C       re-fetch the multiplier column after the swap: a second multicast
+C       the hand-written code fuses away (the Table 4 / Figure 6 gap)
+        FORALL (I = 1:N) F(I) = A(I, K)
+        FORALL (I = 1:K-1, J = K+1:N+1) A(I, J) = A(I, J) - F(I)*A(K, J)
+        FORALL (I = K+1:N, J = K+1:N+1) A(I, J) = A(I, J) - F(I)*A(K, J)
+        FORALL (I = 1:K-1) A(I, K) = 0.0
+        FORALL (I = K+1:N) A(I, K) = 0.0
+      END DO
+      END
+|}
+    n n (n + 1) n n (n + 1) (n + 1) dist_name
+
+let gauss ~n = gauss_dist ~dist:`Block ~n
+
+let jacobi ~n ~iters =
+  Printf.sprintf
+    {|
+      PROGRAM JACOBI
+      INTEGER, PARAMETER :: N = %d
+      INTEGER, PARAMETER :: STEPS = %d
+      REAL U(%d), V(%d)
+      INTEGER T
+C$    TEMPLATE TP(%d)
+C$    ALIGN U(I) WITH TP(I)
+C$    ALIGN V(I) WITH TP(I)
+C$    DISTRIBUTE TP(BLOCK)
+
+      FORALL (I = 1:N) U(I) = MOD(3*I, 17)
+      DO T = 1, STEPS
+        FORALL (I = 2:N-1) V(I) = 0.5*(U(I-1) + U(I+1))
+        V(1) = U(1)
+        V(N) = U(N)
+        U = V
+      END DO
+      END
+|}
+    n iters n n n
+
+let jacobi2d ~n ~iters ~p ~q =
+  let m = n + 2 in
+  Printf.sprintf
+    {|
+      PROGRAM JACOBI2
+      INTEGER, PARAMETER :: N = %d
+      INTEGER, PARAMETER :: STEPS = %d
+      REAL A(%d, %d), B(%d, %d)
+      INTEGER T
+C$    PROCESSORS P(%d, %d)
+C$    TEMPLATE TP(%d, %d)
+C$    ALIGN A(I, J) WITH TP(I, J)
+C$    ALIGN B(I, J) WITH TP(I, J)
+C$    DISTRIBUTE TP(BLOCK, BLOCK)
+
+      FORALL (I = 1:N+2, J = 1:N+2) A(I, J) = MOD(I*5 + J*3, 13)
+      DO T = 1, STEPS
+        FORALL (I = 2:N+1, J = 2:N+1)
+          B(I, J) = 0.25*(A(I-1, J) + A(I+1, J) + A(I, J-1) + A(I, J+1))
+        END FORALL
+        FORALL (I = 2:N+1, J = 2:N+1) A(I, J) = B(I, J)
+      END DO
+      END
+|}
+    n iters m m m m p q m m
+
+let heat ~n ~tol =
+  Printf.sprintf
+    {|
+      PROGRAM HEAT
+      INTEGER, PARAMETER :: N = %d
+      REAL, PARAMETER :: TOL = %g
+      REAL U(%d), V(%d), D(%d)
+      REAL ERR
+      INTEGER STEPS
+C$    TEMPLATE TP(%d)
+C$    ALIGN U(I) WITH TP(I)
+C$    ALIGN V(I) WITH TP(I)
+C$    ALIGN D(I) WITH TP(I)
+C$    DISTRIBUTE TP(BLOCK)
+
+      FORALL (I = 1:N) U(I) = 0.0
+      U(1) = 0.0
+      U(N) = 100.0
+      ERR = TOL + 1.0
+      STEPS = 0
+      DO WHILE (ERR > TOL)
+        FORALL (I = 2:N-1) V(I) = 0.5*(U(I-1) + U(I+1))
+        V(1) = U(1)
+        V(N) = U(N)
+        FORALL (I = 1:N) D(I) = ABS(V(I) - U(I))
+        ERR = MAXVAL(D)
+        U = V
+        STEPS = STEPS + 1
+      END DO
+      PRINT *, 'converged after', STEPS, 'sweeps, residual', ERR
+      END
+|}
+    n tol n n n n
+
+let irregular ~n =
+  Printf.sprintf
+    {|
+      PROGRAM IRREG
+      INTEGER, PARAMETER :: N = %d
+      REAL A(%d), B(%d), C(%d)
+      INTEGER V(%d), U(%d)
+      INTEGER T
+C$    TEMPLATE TP(%d)
+C$    ALIGN A(I) WITH TP(I)
+C$    ALIGN B(I) WITH TP(I)
+C$    ALIGN C(I) WITH TP(I)
+C$    DISTRIBUTE TP(BLOCK)
+
+      FORALL (I = 1:N) V(I) = MOD(I + N/2, N) + 1
+      FORALL (I = 1:N) U(I) = N + 1 - I
+      FORALL (I = 1:N) B(I) = 3*I
+      DO T = 1, 4
+C       gather through V, scatter through U; schedules are reused
+        FORALL (I = 1:N) A(I) = B(V(I)) + T
+        FORALL (I = 1:N) C(U(I)) = A(I)
+      END DO
+      END
+|}
+    n n n n n n n
+
+let fft_butterfly ~n =
+  (* one butterfly stage of the paper's Example 2 (non-canonical lhs) *)
+  let incrm = n / 4 in
+  Printf.sprintf
+    {|
+      PROGRAM BFLY
+      INTEGER, PARAMETER :: N = %d
+      INTEGER, PARAMETER :: INCRM = %d
+      REAL X(%d), TERM2(%d)
+C$    TEMPLATE TP(%d)
+C$    ALIGN X(I) WITH TP(I)
+C$    ALIGN TERM2(I) WITH TP(I)
+C$    DISTRIBUTE TP(BLOCK)
+
+      FORALL (I = 1:N) X(I) = MOD(7*I, 23)
+      FORALL (I = 1:N) TERM2(I) = MOD(3*I, 11)
+      FORALL (I = 1:INCRM, J = 0:N/(2*INCRM)-1)
+        X(I + J*INCRM*2 + INCRM) = X(I + J*INCRM*2) - TERM2(I + J*INCRM*2 + INCRM)
+      END FORALL
+      END
+|}
+    n incrm n n n

@@ -1,0 +1,51 @@
+(** Canonical Fortran 90D/HPF benchmark sources (the paper's workloads),
+    parameterised by problem size.  Shared by the examples, the test suite
+    and the benchmark harness so everyone compiles exactly the same
+    programs. *)
+
+val gauss : n:int -> string
+(** Gaussian elimination with partial pivoting on an N x (N+1) augmented
+    system, column distributed — the Fortran D/HPF benchmark-suite
+    program of §8 (Figure 5, Table 4, Figure 6).  Row swaps and the
+    elimination update are local under column distribution; each step
+    costs one column multicast plus the compiler's extra pivot broadcast —
+    the O(log P) gap of Figure 6.  The matrix is seeded deterministically
+    and diagonally dominated; the solution ends in column N+1.
+
+    Column BLOCK distributed; see {!gauss_dist} for the CYCLIC variant. *)
+
+val gauss_dist : dist:[ `Block | `Cyclic ] -> n:int -> string
+(** {!gauss} with an explicit column distribution.  CYCLIC balances the
+    shrinking active region across processors — the distribution-choice
+    effect §3 describes — at the price of strided local loops. *)
+
+val gauss_rhs : n:int -> int -> float
+(** The right-hand side used by {!gauss} (for residual checks). *)
+
+val gauss_coeff : n:int -> int -> int -> float
+(** The coefficient matrix used by {!gauss}. *)
+
+val jacobi : n:int -> iters:int -> string
+(** 1-D Jacobi relaxation (the paper's §4 canonical-form example shape):
+    BLOCK distribution, overlap shifts at the boundaries. *)
+
+val jacobi2d : n:int -> iters:int -> p:int -> q:int -> string
+(** 2-D Jacobi relaxation on an (n+2)^2 grid over a [p] x [q] processor
+    grid — the paper's Example 1 stencil, overlap shifts in both
+    dimensions ([p*q] must equal the machine size at run time). *)
+
+val heat : n:int -> tol:float -> string
+(** 1-D heat diffusion to convergence: a DO WHILE loop whose condition is
+    a MAXVAL reduction of the residual — reductions feeding sequential
+    control flow, the loosely synchronous pattern of §2.  Fixed endpoints
+    0 and 100; converges to the linear profile. *)
+
+val irregular : n:int -> string
+(** Irregular gather/scatter through indirection arrays (the PARTI
+    workload of §5.3.2): A(I) = B(V(I)) and C(U(I)) = A(I) inside a time
+    loop, exercising schedule construction and reuse. *)
+
+val fft_butterfly : n:int -> string
+(** The paper's §4 Example 2: a non-canonical lhs butterfly step
+    (x(i+j*incrm*2+incrm) = ...), exercising even iteration partitioning
+    with postcomp_write. *)

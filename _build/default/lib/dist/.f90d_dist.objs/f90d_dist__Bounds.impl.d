@@ -1,0 +1,1 @@
+lib/dist/bounds.ml: Array Dad Layout

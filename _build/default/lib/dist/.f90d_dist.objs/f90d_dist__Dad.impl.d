@@ -1,0 +1,1 @@
+lib/dist/dad.ml: Affine Array Diag Distrib F90d_base Format Grid Hashtbl Layout List Ndarray Printf Scalar

@@ -1,0 +1,1 @@
+lib/dist/dad.mli: Distrib F90d_base Format Grid Layout

@@ -1,0 +1,1 @@
+lib/dist/distrib.ml: Diag F90d_base Format List Printf Util

@@ -1,0 +1,1 @@
+lib/dist/grid.ml: Array Diag F90d_base Format Fun String

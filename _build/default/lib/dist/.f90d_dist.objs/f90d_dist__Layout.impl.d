@@ -1,0 +1,1 @@
+lib/dist/layout.ml: Affine Array Diag Distrib F90d_base Format List Util

@@ -1,0 +1,1 @@
+lib/dist/layout.mli: Distrib F90d_base Format

@@ -1,0 +1,156 @@
+open F90d_base
+
+type t = Prog of { first : int; step : int; count : int } | Explicit of int array
+
+let empty = Prog { first = 0; step = 1; count = 0 }
+let count = function Prog p -> p.count | Explicit a -> Array.length a
+
+(* Owned array indices for BLOCK: align maps the contiguous block of template
+   cells back to a contiguous interval of array indices. *)
+let resolve_block (d : Distrib.t) (al : Affine.t) extent proc =
+  let c = Distrib.chunk d in
+  let blo = proc * c and bhi = min d.n ((proc + 1) * c) - 1 in
+  if bhi < blo then empty
+  else
+    let lo, hi =
+      if al.a > 0 then (Util.ceil_div (blo - al.b) al.a, Util.floor_div (bhi - al.b) al.a)
+      else (Util.ceil_div (bhi - al.b) al.a, Util.floor_div (blo - al.b) al.a)
+    in
+    let lo = max lo 0 and hi = min hi (extent - 1) in
+    if hi < lo then empty else Prog { first = lo; step = 1; count = hi - lo + 1 }
+
+(* Owned array indices for CYCLIC with a > 0: a*i + b = proc (mod P). *)
+let resolve_cyclic (d : Distrib.t) (al : Affine.t) extent proc =
+  let p = d.p in
+  let g = Util.gcd al.a p in
+  if Util.modulo (proc - al.b) g <> 0 then empty
+  else
+    (* solve a*i = proc - b (mod p): solutions are i = first (mod p/g) *)
+    let step = p / g in
+    let rec find i =
+      if i >= extent then None
+      else if Affine.eval al i >= 0 && Util.modulo (Affine.eval al i) p = proc then Some i
+      else find (i + 1)
+    in
+    match find 0 with
+    | None -> empty
+    | Some first ->
+        (* also require the template index in range [0, n) *)
+        let max_i = min (extent - 1) (Util.floor_div (d.n - 1 - al.b) al.a) in
+        if max_i < first then empty
+        else Prog { first; step; count = ((max_i - first) / step) + 1 }
+
+let resolve_explicit (d : Distrib.t) (al : Affine.t) extent proc =
+  let owned = ref [] in
+  for i = extent - 1 downto 0 do
+    let t = Affine.eval al i in
+    if t >= 0 && t < d.n && Distrib.is_owned d ~proc t then owned := i :: !owned
+  done;
+  Explicit (Array.of_list !owned)
+
+let resolve (d : Distrib.t) ~align ~extent ~proc =
+  match d.form with
+  | Distrib.Replicated -> Prog { first = 0; step = 1; count = extent }
+  | _ when not (Affine.invertible align) ->
+      Diag.bug "layout: non-invertible alignment on a distributed dimension"
+  | Distrib.Block -> resolve_block d align extent proc
+  | Distrib.Cyclic when align.a > 0 -> resolve_cyclic d align extent proc
+  | Distrib.Cyclic | Distrib.Block_cyclic _ -> resolve_explicit d align extent proc
+
+let is_owned t g =
+  match t with
+  | Prog { first; step; count } ->
+      g >= first && (g - first) mod step = 0 && (g - first) / step < count
+  | Explicit a ->
+      let rec bisect lo hi =
+        if lo > hi then false
+        else
+          let mid = (lo + hi) / 2 in
+          if a.(mid) = g then true else if a.(mid) < g then bisect (mid + 1) hi else bisect lo (mid - 1)
+      in
+      bisect 0 (Array.length a - 1)
+
+let local_of_global t g =
+  match t with
+  | Prog { first; step; count } ->
+      let l = (g - first) / step in
+      if g < first || (g - first) mod step <> 0 || l >= count then
+        Diag.bug "layout: global index %d not owned" g;
+      l
+  | Explicit a ->
+      let rec bisect lo hi =
+        if lo > hi then Diag.bug "layout: global index %d not owned" g
+        else
+          let mid = (lo + hi) / 2 in
+          if a.(mid) = g then mid else if a.(mid) < g then bisect (mid + 1) hi else bisect lo (mid - 1)
+      in
+      bisect 0 (Array.length a - 1)
+
+let global_of_local t l =
+  match t with
+  | Prog { first; step; count } ->
+      if l < 0 || l >= count then Diag.bug "layout: local index %d out of range" l;
+      first + (l * step)
+  | Explicit a -> a.(l)
+
+let to_list t = List.init (count t) (global_of_local t)
+
+(* Normalise a possibly-descending Fortran triplet to an ascending one
+   describing the same index set. *)
+let normalise ~glb ~gub ~gst =
+  if gst = 0 then Diag.bug "set_bound: zero stride";
+  if gst > 0 then if gub < glb then None else Some (glb, gub, gst)
+  else if glb < gub then None
+  else
+    let k = (glb - gub) / -gst in
+    Some (glb + (k * gst), glb, -gst)
+
+let set_bound t ~glb ~gub ~gst =
+  match normalise ~glb ~gub ~gst with
+  | None -> None
+  | Some (glb, gub, gst) -> (
+      match t with
+      | Prog { first; step; count } ->
+          if count = 0 then None
+          else
+            let last = first + ((count - 1) * step) in
+            let lo = max glb first and hi = min gub last in
+            (* smallest g >= lo with g = glb (mod gst) and g = first (mod step) *)
+            ( match Util.crt_first_ge ~lo ~r1:(Util.modulo glb gst) ~m1:gst
+                      ~r2:(Util.modulo first step) ~m2:step
+              with
+            | None -> None
+            | Some g0 ->
+                if g0 > hi then None
+                else
+                  let bigstep = gst / Util.gcd gst step * step in
+                  let glast = g0 + ((hi - g0) / bigstep * bigstep) in
+                  let llb = (g0 - first) / step
+                  and lub = (glast - first) / step
+                  and lst = bigstep / step in
+                  Some (llb, lub, lst) )
+      | Explicit a ->
+          (* collect matching local indices; they need not be evenly spaced,
+             so return the tightest triplet only when they are *)
+          let locals = ref [] in
+          Array.iteri
+            (fun l g ->
+              if g >= glb && g <= gub && (g - glb) mod gst = 0 then locals := l :: !locals)
+            a;
+          match List.rev !locals with
+          | [] -> None
+          | [ l ] -> Some (l, l, 1)
+          | l0 :: l1 :: rest ->
+              let st = l1 - l0 in
+              let ok, last =
+                List.fold_left (fun (ok, prev) l -> (ok && l - prev = st, l)) (true, l1) rest
+              in
+              if ok then Some (l0, last, st)
+              else
+                Diag.error
+                  "strided iteration over a CYCLIC(k) dimension does not form a \
+                   local triplet; use stride 1 or a BLOCK/CYCLIC distribution")
+
+let pp ppf = function
+  | Prog { first; step; count } -> Format.fprintf ppf "prog(first=%d,step=%d,count=%d)" first step count
+  | Explicit a -> Format.fprintf ppf "explicit(%d indices)" (Array.length a)

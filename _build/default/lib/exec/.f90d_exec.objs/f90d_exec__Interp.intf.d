@@ -1,0 +1,1 @@
+lib/exec/interp.mli: Ast F90d_base F90d_dist F90d_frontend F90d_ir F90d_runtime Hashtbl Logs

@@ -1,0 +1,1 @@
+lib/exec/kernel.ml: Array Ast Dad Darray F90d_base F90d_dist F90d_frontend F90d_ir F90d_runtime Float Intrinsic_names Ir Layout List Ndarray Scalar Sema

@@ -1,0 +1,1 @@
+lib/exec/kernel.mli: F90d_base F90d_frontend F90d_ir F90d_runtime Sema

@@ -1,0 +1,35 @@
+(** The SPMD node-program interpreter.
+
+    [node_main ir ctx] runs the compiled program on one simulated
+    processor, calling the run-time support system for every
+    communication; the engine's fibers run one [node_main] per processor.
+    Virtual time is charged for the interpreted local computation from
+    static per-iteration operation counts, so the simulated clock reflects
+    the machine model rather than host speed. *)
+
+open F90d_frontend
+
+type outcome = {
+  output : string;  (** rank-0 PRINT output *)
+  finals : (string * F90d_base.Ndarray.t) list;
+      (** gathered global contents of the main unit's arrays *)
+  final_scalars : (string * F90d_base.Scalar.t) list;
+}
+
+val log_src : Logs.src
+(** Communication trace: set to [Debug] to log every collective primitive
+    with its processor and virtual time ([f90dc --trace]). *)
+
+val node_main :
+  ?collect_finals:bool -> F90d_ir.Ir.program_ir -> F90d_runtime.Rctx.t -> outcome
+(** Execute the main program unit.  When [collect_finals] (default true)
+    every array is gathered at the end so callers can verify results; turn
+    it off for benchmarking, where the gathers would pollute timing. *)
+
+val instantiate_dads :
+  F90d_ir.Ir.unit_ir -> grid:F90d_dist.Grid.t -> (string, F90d_dist.Dad.t) Hashtbl.t
+(** The unit's DADs over a grid, with ghost widths applied (exposed for
+    tests). *)
+
+val ops_of_expr : Ast.expr -> int * int
+(** Static (flops, iops) estimate per evaluation, used for time charging. *)

@@ -1,0 +1,299 @@
+open F90d_base
+open F90d_dist
+open F90d_runtime
+open F90d_frontend
+open F90d_ir
+
+type temp_nd = Tbox of Ndarray.t | Tflat of Ndarray.t | Tglobal of Ndarray.t
+
+(* Compiled float expressions over up to three loop counters. *)
+type node =
+  | Nconst of float
+  | Nlin of float * float * float * float  (* base + s1*c1 + s2*c2 + s3*c3 *)
+  | Nload of float array * int * int * int * int  (* data, base, s1, s2, s3 *)
+  | Nloadi of int array * int * int * int * int
+  | Nneg of node
+  | Nadd of node * node
+  | Nsub of node * node
+  | Nmul of node * node
+  | Ndiv of node * node
+  | Nfun1 of (float -> float) * node
+  | Nfun2 of (float -> float -> float) * node * node
+
+let rec ev n c1 c2 c3 =
+  match n with
+  | Nconst v -> v
+  | Nlin (b, s1, s2, s3) ->
+      b +. (s1 *. float_of_int c1) +. (s2 *. float_of_int c2) +. (s3 *. float_of_int c3)
+  | Nload (d, b, s1, s2, s3) -> Array.unsafe_get d (b + (s1 * c1) + (s2 * c2) + (s3 * c3))
+  | Nloadi (d, b, s1, s2, s3) ->
+      float_of_int (Array.unsafe_get d (b + (s1 * c1) + (s2 * c2) + (s3 * c3)))
+  | Nneg a -> -.ev a c1 c2 c3
+  | Nadd (a, b) -> ev a c1 c2 c3 +. ev b c1 c2 c3
+  | Nsub (a, b) -> ev a c1 c2 c3 -. ev b c1 c2 c3
+  | Nmul (a, b) -> ev a c1 c2 c3 *. ev b c1 c2 c3
+  | Ndiv (a, b) -> ev a c1 c2 c3 /. ev b c1 c2 c3
+  | Nfun1 (f, a) -> f (ev a c1 c2 c3)
+  | Nfun2 (f, a, b) -> f (ev a c1 c2 c3) (ev b c1 c2 c3)
+
+exception Fallback
+
+let run_count = ref 0
+let runs () = !run_count
+let reset_runs () = run_count := 0
+
+(* Linear form over the loop counters: value = base + sum coefs.(k)*c_k. *)
+type lin = { base : int; coefs : int array }
+
+let lin_const nvars b = { base = b; coefs = Array.make nvars 0 }
+
+let lin_add a b = { base = a.base + b.base; coefs = Array.map2 ( + ) a.coefs b.coefs }
+let lin_scale k a = { base = k * a.base; coefs = Array.map (( * ) k) a.coefs }
+let lin_sub a b = lin_add a (lin_scale (-1) b)
+
+(* Extract a linear form in the loop counters from an index expression:
+   FORALL variables contribute their progressions, scalars and parameters
+   their current integer values. *)
+let rec lin_of ~nvars ~var_index ~progs ~ilookup (e : Ast.expr) =
+  match e.Ast.e with
+  | Ast.Int_lit n -> lin_const nvars n
+  | Ast.Var v -> (
+      match var_index v with
+      | Some k ->
+          let g0, gs = progs.(k) in
+          let l = lin_const nvars g0 in
+          l.coefs.(k) <- gs;
+          l
+      | None -> (
+          match ilookup v with Some n -> lin_const nvars n | None -> raise Fallback))
+  | Ast.Un (Ast.Neg, a) -> lin_scale (-1) (lin_of ~nvars ~var_index ~progs ~ilookup a)
+  | Ast.Bin (Ast.Add, a, b) ->
+      lin_add (lin_of ~nvars ~var_index ~progs ~ilookup a) (lin_of ~nvars ~var_index ~progs ~ilookup b)
+  | Ast.Bin (Ast.Sub, a, b) ->
+      lin_sub (lin_of ~nvars ~var_index ~progs ~ilookup a) (lin_of ~nvars ~var_index ~progs ~ilookup b)
+  | Ast.Bin (Ast.Mul, a, b) -> (
+      let la = lin_of ~nvars ~var_index ~progs ~ilookup a in
+      let lb = lin_of ~nvars ~var_index ~progs ~ilookup b in
+      match (Array.for_all (( = ) 0) la.coefs, Array.for_all (( = ) 0) lb.coefs) with
+      | true, _ -> lin_scale la.base lb
+      | _, true -> lin_scale lb.base la
+      | false, false -> raise Fallback)
+  | _ -> raise Fallback
+
+(* Storage position (per dimension) as a linear form, through a layout. *)
+let pos_through_layout layout ~flb (v : lin) =
+  match layout with
+  | Layout.Prog { first; step; _ } ->
+      let num = lin_sub v (lin_const (Array.length v.coefs) (flb + first)) in
+      if num.base mod step <> 0 || Array.exists (fun c -> c mod step <> 0) num.coefs then
+        raise Fallback;
+      { base = num.base / step; coefs = Array.map (fun c -> c / step) num.coefs }
+  | Layout.Explicit _ -> raise Fallback
+
+(* Combine per-dimension positions into a flat linear offset, checking that
+   every reachable offset is inside the payload. *)
+let flat_of_positions ~lens nd positions =
+  let strides = Ndarray.strides nd in
+  let nvars = match positions with p :: _ -> Array.length p.coefs | [] -> 0 in
+  let acc = ref (lin_const nvars 0) in
+  List.iteri
+    (fun d p ->
+      (* storage index space starts at lb; flat = (pos - lb) * stride *)
+      let adjusted = lin_sub p (lin_const nvars nd.Ndarray.lb.(d)) in
+      acc := lin_add !acc (lin_scale strides.(d) adjusted))
+    positions;
+  let flat = !acc in
+  (* corner check: linear => extrema at corner points *)
+  let size = Ndarray.size nd in
+  let rec corners k lo hi =
+    if k >= Array.length flat.coefs then begin
+      if lo < 0 || hi >= size then raise Fallback
+    end
+    else
+      let c = flat.coefs.(k) in
+      let span = c * (lens.(k) - 1) in
+      corners (k + 1) (lo + min 0 span) (hi + max 0 span)
+  in
+  if size = 0 then raise Fallback;
+  corners 0 flat.base flat.base;
+  flat
+
+let load_node nd flat =
+  let pad a = (a.base, a.coefs.(0), a.coefs.(1), a.coefs.(2)) in
+  let b, s1, s2, s3 = pad flat in
+  match nd.Ndarray.data with
+  | Ndarray.Reals d -> Nload (d, b, s1, s2, s3)
+  | Ndarray.Ints d -> Nloadi (d, b, s1, s2, s3)
+  | Ndarray.Logs _ -> raise Fallback
+
+let try_run ~env ~me ~scalar_lookup ~darr_of ~temp_of ~values ~(f : Ir.forall) =
+  try
+    if f.Ir.f_mask <> None || f.Ir.f_post <> None then raise Fallback;
+    let nvars_real = List.length f.Ir.f_vars in
+    if nvars_real = 0 || nvars_real > 3 then raise Fallback;
+    let nvars = 3 in
+    let var_names = List.map fst f.Ir.f_vars in
+    let var_index v =
+      let rec go k = function
+        | [] -> None
+        | x :: _ when x = v -> Some k
+        | _ :: tl -> go (k + 1) tl
+      in
+      go 0 var_names
+    in
+    (* progressions and lengths; pad to three counters *)
+    let lens = Array.make nvars 1 in
+    let progs = Array.make nvars (0, 0) in
+    List.iteri
+      (fun k vals ->
+        let n = Array.length vals in
+        if n = 0 then raise Fallback;
+        let g0 = vals.(0) in
+        let gs = if n >= 2 then vals.(1) - vals.(0) else 0 in
+        (* iteration sets from set_BOUND are progressions by construction;
+           verify cheaply on the last element *)
+        if n >= 2 && vals.(n - 1) <> g0 + ((n - 1) * gs) then raise Fallback;
+        lens.(k) <- n;
+        progs.(k) <- (g0, gs))
+      values;
+    let ilookup v =
+      match scalar_lookup v with Some (Scalar.Int n) -> Some n | _ -> None
+    in
+    let flookup v =
+      match scalar_lookup v with
+      | Some (Scalar.Int n) -> Some (float_of_int n)
+      | Some (Scalar.Real r) -> Some r
+      | _ -> None
+    in
+    let lin_of e = lin_of ~nvars ~var_index ~progs ~ilookup e in
+    let subscripts (r : Ast.ref_) =
+      List.map
+        (function Ast.Elem e -> e | Ast.Range _ -> raise Fallback)
+        r.Ast.args
+    in
+    (* flat linear offset of an array reference under its access *)
+    let flat_of_ref (r : Ast.ref_) =
+      let acc = List.assoc_opt r.Ast.rid f.Ir.f_access in
+      match acc with
+      | None | Some Ir.Acc_direct ->
+          let darr = darr_of r.Ast.base in
+          let dad = darr.Darray.dad in
+          let nd = darr.Darray.local in
+          let positions =
+            List.mapi
+              (fun d e ->
+                let v = lin_of e in
+                let flb = (Dad.dims dad).(d).Dad.flb in
+                pos_through_layout (Dad.layout_at dad ~dim:d ~rank:me) ~flb v)
+              (subscripts r)
+          in
+          (nd, flat_of_positions ~lens nd positions)
+      | Some (Ir.Acc_box { temp; dims }) ->
+          let nd =
+            match temp_of temp with Some (Tbox nd) -> nd | _ -> raise Fallback
+          in
+          let darr = darr_of r.Ast.base in
+          let dad = darr.Darray.dad in
+          let positions =
+            List.mapi
+              (fun d bd ->
+                match bd with
+                | Ir.Collapsed -> lin_const nvars 1
+                | Ir.By_sub e ->
+                    let v = lin_of e in
+                    let flb = (Dad.dims dad).(d).Dad.flb in
+                    let p = pos_through_layout (Dad.layout_at dad ~dim:d ~rank:me) ~flb v in
+                    (* temporaries have lower bound 1 *)
+                    lin_add p (lin_const nvars 1))
+              (Array.to_list dims)
+          in
+          (nd, flat_of_positions ~lens nd positions)
+      | Some (Ir.Acc_flat { temp }) ->
+          let nd =
+            match temp_of temp with Some (Tflat nd) -> nd | _ -> raise Fallback
+          in
+          (* the iteration counter in nest order *)
+          let counter = ref (lin_const nvars 0) in
+          let weight = ref 1 in
+          for k = nvars - 1 downto 0 do
+            let l = lin_const nvars 0 in
+            l.coefs.(k) <- !weight;
+            counter := lin_add !counter l;
+            weight := !weight * lens.(k)
+          done;
+          (nd, flat_of_positions ~lens nd [ lin_add !counter (lin_const nvars 1) ])
+      | Some (Ir.Acc_global_temp { temp }) ->
+          let nd =
+            match temp_of temp with Some (Tglobal nd) -> nd | _ -> raise Fallback
+          in
+          let positions = List.map (fun e -> lin_of e) (subscripts r) in
+          (nd, flat_of_positions ~lens nd positions)
+    in
+    (* compile the rhs *)
+    let rec compile (e : Ast.expr) =
+      match e.Ast.e with
+      | Ast.Real_lit v -> Nconst v
+      | Ast.Int_lit n -> Nconst (float_of_int n)
+      | Ast.Var v -> (
+          match var_index v with
+          | Some k ->
+              let g0, gs = progs.(k) in
+              let s = Array.make nvars 0. in
+              s.(k) <- float_of_int gs;
+              Nlin (float_of_int g0, s.(0), s.(1), s.(2))
+          | None -> (
+              match flookup v with Some x -> Nconst x | None -> raise Fallback))
+      | Ast.Un (Ast.Neg, a) -> Nneg (compile a)
+      | Ast.Un (Ast.Not, _) -> raise Fallback
+      | Ast.Bin (op, a, b) -> (
+          let ca = compile a and cb = compile b in
+          match op with
+          | Ast.Add -> Nadd (ca, cb)
+          | Ast.Sub -> Nsub (ca, cb)
+          | Ast.Mul -> Nmul (ca, cb)
+          | Ast.Div -> Ndiv (ca, cb)
+          | Ast.Pow -> Nfun2 (Float.pow, ca, cb)
+          | _ -> raise Fallback)
+      | Ast.Log_lit _ | Ast.Str_lit _ -> raise Fallback
+      | Ast.Ref r when Intrinsic_names.is_elemental r.Ast.base
+                       && Sema.array_spec env r.Ast.base = None -> (
+          let args = List.map compile (subscripts r) in
+          match (r.Ast.base, args) with
+          | "ABS", [ a ] -> Nfun1 (Float.abs, a)
+          | "SQRT", [ a ] -> Nfun1 (Float.sqrt, a)
+          | "EXP", [ a ] -> Nfun1 (Float.exp, a)
+          | "LOG", [ a ] -> Nfun1 (Float.log, a)
+          | "SIN", [ a ] -> Nfun1 (sin, a)
+          | "COS", [ a ] -> Nfun1 (cos, a)
+          | "MIN", [ a; b ] -> Nfun2 (Float.min, a, b)
+          | "MAX", [ a; b ] -> Nfun2 (Float.max, a, b)
+          | ("REAL" | "FLOAT" | "DBLE"), [ a ] -> a
+          | _ -> raise Fallback)
+      | Ast.Ref r -> (
+          match Sema.array_spec env r.Ast.base with
+          | None -> raise Fallback
+          | Some spec ->
+              if spec.Sema.skind = Ast.Logical then raise Fallback;
+              let nd, flat = flat_of_ref r in
+              load_node nd flat)
+    in
+    let body = compile f.Ir.f_rhs in
+    (* the store side *)
+    let lhs_darr = darr_of f.Ir.f_lhs.Ast.base in
+    let store_nd = lhs_darr.Darray.local in
+    let store =
+      match store_nd.Ndarray.data with Ndarray.Reals d -> d | _ -> raise Fallback
+    in
+    let _, sflat = flat_of_ref { f.Ir.f_lhs with Ast.rid = -1 } in
+    (* -1 rid: no access entry, so the lhs resolves Acc_direct *)
+    let sb = sflat.base and ss1 = sflat.coefs.(0) and ss2 = sflat.coefs.(1) and ss3 = sflat.coefs.(2) in
+    for c1 = 0 to lens.(0) - 1 do
+      for c2 = 0 to lens.(1) - 1 do
+        for c3 = 0 to lens.(2) - 1 do
+          Array.unsafe_set store (sb + (ss1 * c1) + (ss2 * c2) + (ss3 * c3)) (ev body c1 c2 c3)
+        done
+      done
+    done;
+    incr run_count;
+    true
+  with Fallback -> false

@@ -1,0 +1,40 @@
+(** Elementwise kernel specializer — the stand-in for the node Fortran
+    compiler's scalar optimizer/vectorizer that §7 delegates to.
+
+    A FORALL whose iteration sets are arithmetic progressions, whose
+    references all resolve to flat offsets affine in the loop counters,
+    and whose body is real arithmetic, is compiled once per execution into
+    a closure-tree over raw [float array]s and run as a tight loop nest —
+    two to three orders of magnitude faster than generic interpretation,
+    which is what makes the paper's 1023x1024 Table 4 matrix tractable.
+
+    Anything else (masks, integer bodies, indirection, write-back phases)
+    returns [None] and falls back to the general interpreter; results are
+    bit-identical either way (same operations, same order). *)
+
+open F90d_frontend
+
+type temp_nd =
+  | Tbox of F90d_base.Ndarray.t
+  | Tflat of F90d_base.Ndarray.t
+  | Tglobal of F90d_base.Ndarray.t
+
+val runs : unit -> int
+(** Number of loop nests executed by the specializer since {!reset_runs}
+    (summed over all simulated processors) — lets performance tests assert
+    that hot FORALLs actually take the fast path. *)
+
+val reset_runs : unit -> unit
+
+val try_run :
+  env:Sema.unit_env ->
+  me:int ->
+  scalar_lookup:(string -> F90d_base.Scalar.t option) ->
+  darr_of:(string -> F90d_runtime.Darray.t) ->
+  temp_of:(int -> temp_nd option) ->
+  values:int array list ->
+  f:F90d_ir.Ir.forall ->
+  bool
+(** Runs the whole local loop nest if specialization applies; [false]
+    means the caller must interpret.  [values] are this processor's
+    per-variable global index values in nest order. *)

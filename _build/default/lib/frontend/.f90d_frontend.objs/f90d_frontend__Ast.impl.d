@@ -1,0 +1,1 @@
+lib/frontend/ast.ml: F90d_base Format List Loc Option

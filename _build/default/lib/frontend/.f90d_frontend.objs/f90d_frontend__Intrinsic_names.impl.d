@@ -1,0 +1,1 @@
+lib/frontend/intrinsic_names.ml: List

@@ -1,0 +1,1 @@
+lib/frontend/lexer.ml: Buffer Diag F90d_base List Loc String Token

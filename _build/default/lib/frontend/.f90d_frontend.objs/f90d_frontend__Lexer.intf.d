@@ -1,0 +1,1 @@
+lib/frontend/lexer.mli: F90d_base Token

@@ -1,0 +1,1 @@
+lib/frontend/normalize.ml: Array Ast Diag F90d_base Intrinsic_names List Option Printf Sema

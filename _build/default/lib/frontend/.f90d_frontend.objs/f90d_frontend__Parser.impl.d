@@ -1,0 +1,1 @@
+lib/frontend/parser.ml: Array Ast Diag F90d_base Lexer List Loc String Token

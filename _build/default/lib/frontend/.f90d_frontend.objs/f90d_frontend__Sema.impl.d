@@ -1,0 +1,1 @@
+lib/frontend/sema.ml: Affine Array Ast Dad Diag Distrib F90d_base F90d_dist Grid Hashtbl List Loc Option Printf Scalar

@@ -1,0 +1,1 @@
+lib/frontend/sema.mli: Affine Ast F90d_base F90d_dist Scalar

@@ -1,0 +1,31 @@
+(** Classification of Fortran 90 intrinsic names, used by the normalizer
+    (elemental intrinsics distribute over FORALL indices; transformational
+    ones consume whole arrays) and by code generation. *)
+
+let elemental =
+  [
+    "ABS"; "SQRT"; "EXP"; "LOG"; "LOG10"; "SIN"; "COS"; "TAN"; "ASIN"; "ACOS"; "ATAN";
+    "ATAN2"; "MOD"; "MODULO"; "MIN"; "MAX"; "SIGN"; "INT"; "NINT"; "REAL"; "FLOAT"; "DBLE";
+    "MERGE";
+  ]
+
+let reductions = [ "SUM"; "PRODUCT"; "MAXVAL"; "MINVAL"; "ALL"; "ANY"; "COUNT"; "DOT_PRODUCT"; "DOTPRODUCT" ]
+let locations = [ "MAXLOC"; "MINLOC" ]
+let movers = [ "CSHIFT"; "EOSHIFT"; "SPREAD"; "TRANSPOSE"; "RESHAPE"; "PACK"; "UNPACK"; "MATMUL" ]
+
+let queries = [ "SIZE"; "LBOUND"; "UBOUND" ]
+
+let is_elemental n = List.mem n elemental
+let is_reduction n = List.mem n reductions
+let is_location n = List.mem n locations
+let is_mover n = List.mem n movers
+let is_query n = List.mem n queries
+
+let is_transformational n = is_reduction n || is_location n || is_mover n || is_query n
+let is_intrinsic n = is_elemental n || is_transformational n
+
+(* Calls whose value is a whole array: the movement intrinsics, and the
+   reductions in their dimensional (two-argument) form — DOT_PRODUCT's two
+   arguments are both data, so it stays scalar-valued. *)
+let dimensional = [ "SUM"; "PRODUCT"; "MAXVAL"; "MINVAL"; "ALL"; "ANY"; "COUNT" ]
+let returns_array ~nargs n = is_mover n || (List.mem n dimensional && nargs = 2)

@@ -1,0 +1,254 @@
+open F90d_base
+
+(* Lex one logical line at a time: continuation handling ('&' before the
+   line break) and directive prefixes are line-level concerns in Fortran. *)
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+let is_ident_char c = is_alpha c || is_digit c || c = '_'
+
+type state = {
+  file : string;
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (* offset of beginning of current line *)
+  mutable out : (Token.t * Loc.t) list;  (* reversed *)
+}
+
+let loc st = Loc.make ~file:st.file ~line:st.line ~col:(st.pos - st.bol + 1)
+let emit st tok l = st.out <- (tok, l) :: st.out
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+let peek2 st = if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let newline st =
+  st.pos <- st.pos + 1;
+  st.line <- st.line + 1;
+  st.bol <- st.pos
+
+(* Dotted operators and logical literals: .AND. .OR. .NOT. .TRUE. .FALSE.
+   .EQ. .NE. .LT. .LE. .GT. .GE. *)
+let dotted_token st l =
+  let start = st.pos in
+  advance st;
+  let word_start = st.pos in
+  while (match peek st with Some c when is_alpha c -> true | _ -> false) do
+    advance st
+  done;
+  let word = String.uppercase_ascii (String.sub st.src word_start (st.pos - word_start)) in
+  (match peek st with
+  | Some '.' -> advance st
+  | _ -> Diag.error ~loc:l "unterminated dotted operator");
+  ignore start;
+  let tok : Token.t =
+    match word with
+    | "AND" -> And
+    | "OR" -> Or
+    | "NOT" -> Not
+    | "TRUE" -> True
+    | "FALSE" -> False
+    | "EQ" -> Eq
+    | "NE" -> Ne
+    | "LT" -> Lt
+    | "LE" -> Le
+    | "GT" -> Gt
+    | "GE" -> Ge
+    | w -> Diag.error ~loc:l "unknown operator .%s." w
+  in
+  emit st tok l
+
+let number st l =
+  let start = st.pos in
+  while (match peek st with Some c when is_digit c -> true | _ -> false) do
+    advance st
+  done;
+  let is_real = ref false in
+  (* fractional part; careful not to eat '1:2' ranges or '1.AND.' *)
+  (match (peek st, peek2 st) with
+  | Some '.', Some c when is_digit c ->
+      is_real := true;
+      advance st;
+      while (match peek st with Some c when is_digit c -> true | _ -> false) do
+        advance st
+      done
+  | Some '.', Some c when is_alpha c -> () (* 1.AND. — leave the dot *)
+  | Some '.', (Some _ | None) ->
+      is_real := true;
+      advance st
+  | _ -> ());
+  (match peek st with
+  | Some ('e' | 'E' | 'd' | 'D') -> (
+      (* exponent must be followed by digits or sign+digits *)
+      let save = st.pos in
+      advance st;
+      (match peek st with Some ('+' | '-') -> advance st | _ -> ());
+      match peek st with
+      | Some c when is_digit c ->
+          is_real := true;
+          while (match peek st with Some c when is_digit c -> true | _ -> false) do
+            advance st
+          done
+      | _ -> st.pos <- save)
+  | _ -> ());
+  let text = String.sub st.src start (st.pos - start) in
+  if !is_real then
+    let text = String.map (function 'd' | 'D' -> 'e' | c -> c) text in
+    emit st (Token.Float (float_of_string text)) l
+  else emit st (Token.Int (int_of_string text)) l
+
+let ident st l =
+  let start = st.pos in
+  while (match peek st with Some c when is_ident_char c -> true | _ -> false) do
+    advance st
+  done;
+  emit st (Token.Ident (String.uppercase_ascii (String.sub st.src start (st.pos - start)))) l
+
+let string_lit st l quote =
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> Diag.error ~loc:l "unterminated string literal"
+    | Some c when c = quote ->
+        advance st;
+        (* doubled quote = escaped quote *)
+        if peek st = Some quote then begin
+          Buffer.add_char buf quote;
+          advance st;
+          go ()
+        end
+    | Some '\n' -> Diag.error ~loc:l "unterminated string literal"
+    | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        go ()
+  in
+  go ();
+  emit st (Token.String (Buffer.contents buf)) l
+
+(* Directive prefix at beginning of line: C$ / c$ / !HPF$ / CHPF$ *)
+let directive_prefix st =
+  let rest = String.length st.src - st.pos in
+  let starts s =
+    let n = String.length s in
+    rest >= n && String.uppercase_ascii (String.sub st.src st.pos n) = s
+  in
+  if starts "!HPF$" || starts "CHPF$" then Some 5 else if starts "C$" then Some 2 else None
+
+let skip_comment st =
+  while (match peek st with Some c when c <> '\n' -> true | _ -> false) do
+    advance st
+  done
+
+let tokenize ~file src =
+  let st = { file; src; pos = 0; line = 1; bol = 0; out = [] } in
+  let at_line_start = ref true in
+  let emit_newline () =
+    match st.out with
+    | (Token.Newline, _) :: _ | [] -> ()
+    | _ -> emit st Token.Newline (loc st)
+  in
+  while st.pos < String.length st.src do
+    let l = loc st in
+    (if !at_line_start then begin
+       match directive_prefix st with
+       | Some n ->
+           st.pos <- st.pos + n;
+           emit st Token.Directive l
+       | None -> (
+           (* fixed-form comment: 'C', 'c' or '*' in column 1 (not C$) *)
+           match (peek st, peek2 st) with
+           | Some ('C' | 'c' | '*'), Some c when c <> '$' && not (is_ident_char c) ->
+               skip_comment st
+           | Some ('C' | 'c' | '*'), None -> skip_comment st
+           | _ -> ())
+     end);
+    at_line_start := false;
+    match peek st with
+    | None -> ()
+    | Some ' ' | Some '\t' | Some '\r' -> advance st
+    | Some '\n' ->
+        emit_newline ();
+        newline st;
+        at_line_start := true
+    | Some '!' -> skip_comment st
+    | Some '&' when String.trim (String.sub st.src st.bol (st.pos - st.bol)) = "" ->
+        (* '&' leading a line: fixed-form-style continuation of the
+           previous statement — cancel the statement break *)
+        advance st;
+        (match st.out with (Token.Newline, _) :: rest -> st.out <- rest | _ -> ())
+    | Some '&' ->
+        (* continuation: swallow up to and including the line break *)
+        advance st;
+        let rec to_eol () =
+          match peek st with
+          | Some (' ' | '\t' | '\r') ->
+              advance st;
+              to_eol ()
+          | Some '!' ->
+              skip_comment st;
+              to_eol ()
+          | Some '\n' -> newline st
+          | Some c -> Diag.error ~loc:l "unexpected '%c' after continuation '&'" c
+          | None -> ()
+        in
+        to_eol ();
+        (* swallow a leading '&' on the continued line *)
+        let rec skip_ws () =
+          match peek st with
+          | Some (' ' | '\t' | '\r') ->
+              advance st;
+              skip_ws ()
+          | Some '&' -> advance st
+          | _ -> ()
+        in
+        skip_ws ()
+    | Some '\'' -> string_lit st l '\''
+    | Some '"' -> string_lit st l '"'
+    | Some '.' -> (
+        match peek2 st with
+        | Some c when is_digit c -> number st l
+        | Some c when is_alpha c -> dotted_token st l
+        | _ -> Diag.error ~loc:l "unexpected '.'")
+    | Some c when is_digit c -> number st l
+    | Some c when is_alpha c -> ident st l
+    | Some '+' -> advance st; emit st Token.Plus l
+    | Some '-' -> advance st; emit st Token.Minus l
+    | Some '*' ->
+        advance st;
+        if peek st = Some '*' then begin advance st; emit st Token.Power l end
+        else emit st Token.Star l
+    | Some '/' ->
+        advance st;
+        if peek st = Some '=' then begin advance st; emit st Token.Ne l end
+        else emit st Token.Slash l
+    | Some '(' -> advance st; emit st Token.Lparen l
+    | Some ')' -> advance st; emit st Token.Rparen l
+    | Some ',' -> advance st; emit st Token.Comma l
+    | Some ':' ->
+        advance st;
+        if peek st = Some ':' then begin advance st; emit st Token.Dcolon l end
+        else emit st Token.Colon l
+    | Some '=' ->
+        advance st;
+        if peek st = Some '=' then begin advance st; emit st Token.Eq l end
+        else emit st Token.Assign l
+    | Some '<' ->
+        advance st;
+        if peek st = Some '=' then begin advance st; emit st Token.Le l end
+        else emit st Token.Lt l
+    | Some '>' ->
+        advance st;
+        if peek st = Some '=' then begin advance st; emit st Token.Ge l end
+        else emit st Token.Gt l
+    | Some ';' ->
+        advance st;
+        emit_newline ()
+    | Some c -> Diag.error ~loc:l "unexpected character '%c'" c
+  done;
+  emit_newline ();
+  emit st Token.Eof (loc st);
+  List.rev st.out

@@ -1,0 +1,11 @@
+(** Hand-written lexer for free-form Fortran 90D/HPF source.
+
+    - case-insensitive (identifiers are upper-cased);
+    - [!] starts a comment; [&] at end of line continues the statement;
+    - lines beginning with [C$], [c$], [!HPF$] or [CHPF$] become a
+      {!Token.Directive} marker followed by the directive's tokens;
+    - statement boundaries are {!Token.Newline} tokens (consecutive ones
+      are collapsed). *)
+
+val tokenize : file:string -> string -> (Token.t * F90d_base.Loc.t) list
+(** @raise F90d_base.Diag.Error on malformed input. *)

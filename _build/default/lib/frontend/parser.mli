@@ -1,0 +1,13 @@
+(** Recursive-descent parser for the Fortran 90D/HPF subset:
+
+    program units (PROGRAM / SUBROUTINE), type declarations with PARAMETER
+    and DIMENSION, the data-mapping directives (PROCESSORS,
+    TEMPLATE/DECOMPOSITION, ALIGN, DISTRIBUTE), and the executable subset
+    the paper compiles — assignments over array sections, WHERE, FORALL,
+    DO / DO WHILE, IF, CALL, PRINT, RETURN. *)
+
+val parse : file:string -> string -> Ast.program
+(** @raise F90d_base.Diag.Error with a source location on syntax errors. *)
+
+val parse_expr_string : string -> Ast.expr
+(** Parse a standalone expression (testing convenience). *)

@@ -1,0 +1,33 @@
+(** Lexical tokens.  Keywords are recognised by the parser from [Ident]
+    spellings (Fortran has no reserved words), except the handful with
+    operator-like syntax. *)
+
+type t =
+  | Ident of string  (** upper-cased *)
+  | Int of int
+  | Float of float
+  | String of string
+  | Plus | Minus | Star | Slash | Power  (** ** *)
+  | Lparen | Rparen
+  | Comma | Colon | Dcolon  (** :: *)
+  | Assign  (** = *)
+  | Eq | Ne | Lt | Le | Gt | Ge  (** ==, /=, <, <=, >, >= and .EQ. etc. *)
+  | And | Or | Not | True | False
+  | Newline
+  | Directive  (** start of a C$ / !HPF$ directive line *)
+  | Eof
+
+let to_string = function
+  | Ident s -> s
+  | Int n -> string_of_int n
+  | Float f -> string_of_float f
+  | String s -> Printf.sprintf "'%s'" s
+  | Plus -> "+" | Minus -> "-" | Star -> "*" | Slash -> "/" | Power -> "**"
+  | Lparen -> "(" | Rparen -> ")"
+  | Comma -> "," | Colon -> ":" | Dcolon -> "::"
+  | Assign -> "="
+  | Eq -> "==" | Ne -> "/=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | And -> ".AND." | Or -> ".OR." | Not -> ".NOT." | True -> ".TRUE." | False -> ".FALSE."
+  | Newline -> "<newline>"
+  | Directive -> "<directive>"
+  | Eof -> "<eof>"

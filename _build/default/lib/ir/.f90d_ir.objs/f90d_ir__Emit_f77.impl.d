@@ -1,0 +1,1 @@
+lib/ir/emit_f77.ml: Array Ast Buffer F90d_frontend Format Ir List Printf String

@@ -1,0 +1,1 @@
+lib/ir/emit_f77.mli: Ir

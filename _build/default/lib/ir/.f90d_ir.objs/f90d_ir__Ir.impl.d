@@ -1,0 +1,1 @@
+lib/ir/ir.ml: Ast F90d_base F90d_frontend List Sema

@@ -1,0 +1,121 @@
+(** The loosely synchronous SPMD intermediate representation.
+
+    A lowered FORALL is an explicit phase sequence — collective
+    pre-communication into temporaries, a purely local loop nest over
+    [set_BOUND]-restricted bounds, and an optional write-back phase — the
+    code shape of §5.3.  Scalar expressions stay as front-end ASTs; array
+    references are resolved through {!access} annotations keyed by the
+    reference's [rid]. *)
+
+open F90d_frontend
+
+type mshift = {
+  ms_arr : string;
+  mdim : int;
+  ms_g : Ast.expr;
+  sdim : int;
+  ms_amount : Ast.expr;
+  ms_temp : int;
+  fused : bool;  (** §5.3.1 example 3; unfused variant kept for ablation *)
+}
+
+type inspector = { r : Ast.ref_; itemp : int; key : string option }
+
+(** Pre-communication operations (one per communicating rhs reference). *)
+type comm =
+  | Multicast of { arr : string; dim : int; g : Ast.expr; temp : int }
+      (** broadcast slice [dim = g] along its grid dimension *)
+  | Transfer of { arr : string; dim : int; src : Ast.expr; dest : Ast.expr; temp : int }
+  | Overlap_shift of { arr : string; dim : int; amount : int }
+      (** fills ghost cells in place; no temporary *)
+  | Temp_shift of { arr : string; dim : int; amount : Ast.expr; temp : int }
+  | Multicast_shift of mshift
+  | Concat of { arr : string; temp : int }
+  | Precomp_read of inspector
+      (** schedule1 inspector over the reference's subscripts *)
+  | Gather_read of inspector
+
+(** Post-communication (non-canonical lhs). *)
+type post =
+  | Postcomp_write of { key : string option }
+  | Scatter_write of { key : string option }
+
+(** How a reference is addressed inside the local loop. *)
+type box_dim =
+  | Collapsed  (** communicated dimension of the temporary: extent 1 *)
+  | By_sub of Ast.expr
+      (** indexed by the local position (under this array dimension's own
+          layout) of the given global index expression — the FORALL
+          variable itself for no-comm and shifted dimensions *)
+
+type access =
+  | Acc_direct  (** own local section (ghosts included) or a replicated array *)
+  | Acc_box of { temp : int; dims : box_dim array }
+  | Acc_flat of { temp : int }  (** unstructured temp, iteration-counter order *)
+  | Acc_global_temp of { temp : int }  (** concatenated full copy *)
+
+(** Computation partitioning (§4). *)
+type iter =
+  | It_canonical of {
+      var_dims : (string * int option) list;
+      guards : (int * Ast.expr) list;
+    }  (** owner computes: set_BOUND per lhs dimension *)
+  | It_even  (** iteration space block-split over all processors *)
+  | It_replicated  (** lhs replicated: every processor runs every iteration *)
+
+type forall = {
+  f_vars : (string * Ast.range) list;
+  f_mask : Ast.expr option;
+  f_lhs : Ast.ref_;
+  f_rhs : Ast.expr;
+  f_iter : iter;
+  f_pre : comm list;
+  f_access : (int * access) list;  (** rid -> access *)
+  f_post : post option;
+}
+
+type stmt =
+  | Forall of forall
+  | Scalar_assign of { name : string; rhs : Ast.expr }
+  | Element_assign of { lhs : Ast.ref_; rhs : Ast.expr }
+      (** all-scalar subscripts: owners store, everyone evaluates *)
+  | Mover of { target : string; call : Ast.ref_ }
+      (** whole-array intrinsic movement: A = CSHIFT(B, 1) etc. *)
+  | Do_loop of { var : string; range : Ast.range; body : stmt list }
+  | While_loop of { cond : Ast.expr; body : stmt list }
+  | If_block of { arms : (Ast.expr * stmt list) list; els : stmt list }
+  | Call_sub of { sub : string; args : Ast.expr list }
+  | Print_stmt of Ast.expr list
+  | Return_stmt
+
+type unit_ir = {
+  u_name : string;
+  u_env : Sema.unit_env;
+  u_body : stmt list;
+  u_ghosts : (string * int * int * int) list;
+      (** (array, dim, ghost_lo, ghost_hi) requirements from overlap shifts *)
+}
+
+type program_ir = { p_env : Sema.program_env; p_units : (string * unit_ir) list }
+
+let find_unit ir name =
+  match List.assoc_opt name ir.p_units with
+  | Some u -> u
+  | None -> F90d_base.Diag.error "unknown subroutine '%s'" name
+
+let comm_temp = function
+  | Multicast { temp; _ } | Transfer { temp; _ } | Temp_shift { temp; _ } | Concat { temp; _ } ->
+      Some temp
+  | Multicast_shift { ms_temp; _ } -> Some ms_temp
+  | Precomp_read { itemp; _ } | Gather_read { itemp; _ } -> Some itemp
+  | Overlap_shift _ -> None
+
+let comm_name = function
+  | Multicast _ -> "multicast"
+  | Transfer _ -> "transfer"
+  | Overlap_shift _ -> "overlap_shift"
+  | Temp_shift _ -> "temporary_shift"
+  | Multicast_shift { fused; _ } -> if fused then "multicast_shift" else "multicast+shift"
+  | Concat _ -> "concatenation"
+  | Precomp_read _ -> "precomp_read"
+  | Gather_read _ -> "gather"

@@ -1,0 +1,1 @@
+lib/machine/engine.ml: Array Diag Effect F90d_base Float Hashtbl List Message Model Printexc Printf Queue Seq Stats String Topology

@@ -1,0 +1,1 @@
+lib/machine/engine.mli: Message Model Stats Topology

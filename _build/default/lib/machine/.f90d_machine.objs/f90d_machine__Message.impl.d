@@ -1,0 +1,1 @@
+lib/machine/message.ml: Array Diag F90d_base List Ndarray Scalar

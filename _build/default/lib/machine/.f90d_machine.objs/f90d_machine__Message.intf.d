@@ -1,0 +1,1 @@
+lib/machine/message.mli: F90d_base

@@ -1,0 +1,1 @@
+lib/machine/model.ml: Format Printf

@@ -1,0 +1,157 @@
+open F90d_base
+open Effect
+open Effect.Deep
+
+type config = { nprocs : int; model : Model.t; topology : Topology.t }
+
+let config ?(model = Model.ideal) ?(topology = Topology.Full) nprocs =
+  if nprocs < 1 then Diag.bug "engine: nprocs %d < 1" nprocs;
+  { nprocs; model; topology }
+
+exception Deadlock of string
+
+type shared = {
+  cfg : config;
+  clocks : float array;
+  (* mailbox: (dest, src, tag) -> FIFO of messages *)
+  mail : (int * int * int, Message.t Queue.t) Hashtbl.t;
+  stats : Stats.t;
+}
+
+type ctx = { me : int; sh : shared }
+
+type _ Effect.t += Wait_recv : (int * int * int) -> Message.t Effect.t
+(* (dest, src, tag): suspend until a matching message is in the mailbox *)
+
+let rank ctx = ctx.me
+let nprocs ctx = ctx.sh.cfg.nprocs
+let model ctx = ctx.sh.cfg.model
+let time ctx = ctx.sh.clocks.(ctx.me)
+
+let advance ctx dt =
+  if dt < 0. then Diag.bug "engine: negative time advance";
+  ctx.sh.clocks.(ctx.me) <- ctx.sh.clocks.(ctx.me) +. dt
+
+let charge_flops ctx n = advance ctx (float_of_int n *. (model ctx).Model.flop)
+let charge_iops ctx n = advance ctx (float_of_int n *. (model ctx).Model.iop)
+let charge_copy_bytes ctx n = advance ctx (float_of_int n *. (model ctx).Model.memcpy)
+
+let mailbox sh key =
+  match Hashtbl.find_opt sh.mail key with
+  | Some q -> q
+  | None ->
+      let q = Queue.create () in
+      Hashtbl.add sh.mail key q;
+      q
+
+let send ctx ~dest ~tag payload =
+  let sh = ctx.sh in
+  if dest < 0 || dest >= sh.cfg.nprocs then Diag.bug "engine: send to rank %d" dest;
+  let bytes = Message.payload_bytes payload in
+  let m = sh.cfg.model in
+  (* blocking csend: the sender is busy for startup + transfer *)
+  advance ctx (m.Model.alpha +. (float_of_int bytes *. m.Model.beta));
+  let hops = Topology.hops sh.cfg.topology ~nprocs:sh.cfg.nprocs ctx.me dest in
+  let arrival = time ctx +. (float_of_int (max 0 (hops - 1)) *. m.Model.hop) in
+  Stats.record_send ~tag sh.stats ~rank:ctx.me ~bytes;
+  Queue.add
+    { Message.src = ctx.me; tag; payload; bytes; arrival }
+    (mailbox sh (dest, ctx.me, tag))
+
+let recv ctx ~src ~tag =
+  let msg = perform (Wait_recv (ctx.me, src, tag)) in
+  let sh = ctx.sh in
+  let before = time ctx in
+  if msg.Message.arrival > before then begin
+    Stats.record_wait sh.stats (msg.Message.arrival -. before);
+    sh.clocks.(ctx.me) <- msg.Message.arrival
+  end;
+  msg
+
+type 'a report = { results : 'a array; elapsed : float; clocks : float array; stats : Stats.t }
+
+type 'a fiber_state =
+  | Not_started
+  | Blocked of (int * int * int) * (Message.t, unit) continuation
+  | Finished of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+let run cfg main =
+  let sh =
+    {
+      cfg;
+      clocks = Array.make cfg.nprocs 0.;
+      mail = Hashtbl.create 64;
+      stats = Stats.create cfg.nprocs;
+    }
+  in
+  let states = Array.make cfg.nprocs Not_started in
+  (* Run one fiber slice: either start a fiber or resume a blocked one whose
+     message is available.  Returns true if any progress was made. *)
+  let deliver key =
+    match Hashtbl.find_opt sh.mail key with
+    | Some q when not (Queue.is_empty q) -> Some (Queue.pop q)
+    | _ -> None
+  in
+  let handle me thunk =
+    match_with thunk ()
+      {
+        retc = (fun v -> states.(me) <- Finished v);
+        exnc = (fun e -> states.(me) <- Failed (e, Printexc.get_raw_backtrace ()));
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Wait_recv key ->
+                Some
+                  (fun (k : (a, unit) continuation) -> states.(me) <- Blocked (key, k))
+            | _ -> None);
+      }
+  in
+  let progress = ref true in
+  let all_done () =
+    Array.for_all (function Finished _ | Failed _ -> true | _ -> false) states
+  in
+  while (not (all_done ())) && !progress do
+    progress := false;
+    for me = 0 to cfg.nprocs - 1 do
+      match states.(me) with
+      | Not_started ->
+          progress := true;
+          let ctx = { me; sh } in
+          handle me (fun () -> main ctx)
+      | Blocked (key, k) -> (
+          match deliver key with
+          | Some msg ->
+              progress := true;
+              (* the fiber's original deep handler updates [states.(me)] *)
+              continue k msg
+          | None -> ())
+      | Finished _ | Failed _ -> ()
+    done
+  done;
+  (* Propagate the first failure, if any. *)
+  Array.iteri
+    (fun _ st ->
+      match st with
+      | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+      | _ -> ())
+    states;
+  if not (all_done ()) then begin
+    let blocked =
+      Array.to_seq states
+      |> Seq.filter_map (function
+           | Blocked ((me, src, tag), _) -> Some (Printf.sprintf "p%d waiting on (src=%d,tag=%d)" me src tag)
+           | _ -> None)
+      |> List.of_seq
+    in
+    raise (Deadlock (String.concat "; " blocked))
+  end;
+  let results =
+    Array.map
+      (function
+        | Finished v -> v
+        | Not_started | Blocked _ | Failed _ -> Diag.bug "engine: unfinished fiber after run")
+      states
+  in
+  let elapsed = Array.fold_left Float.max 0. sh.clocks in
+  { results; elapsed; clocks = Array.copy sh.clocks; stats = sh.stats }

@@ -1,0 +1,62 @@
+(** The simulated distributed-memory MIMD machine.
+
+    [run config node_main] executes one fiber per processor (OCaml effect
+    handlers provide the blocking-receive suspension).  Each processor has
+    a virtual clock: computation advances it explicitly ({!advance},
+    {!charge_flops}, ...), a send charges the sender
+    [alpha + bytes*beta], and a message becomes consumable at
+    [sender-completion + hop * (hops-1)]; a receive completes at
+    [max(local clock, arrival)].
+
+    Sends are asynchronous and buffered (csend-style); receives match
+    exactly on (source, tag) in FIFO order, so simulations are
+    deterministic.  If every unfinished fiber is blocked on a receive that
+    can never be satisfied the engine raises {!Deadlock}. *)
+
+type config = {
+  nprocs : int;
+  model : Model.t;
+  topology : Topology.t;
+}
+
+val config : ?model:Model.t -> ?topology:Topology.t -> int -> config
+(** Defaults: {!Model.ideal}, [Full] crossbar. *)
+
+type ctx
+(** A processor's view of the machine, passed to node programs. *)
+
+exception Deadlock of string
+
+(** {2 Node-program API} *)
+
+val rank : ctx -> int
+(** Physical node id in [0 .. nprocs-1]. *)
+
+val nprocs : ctx -> int
+val model : ctx -> Model.t
+val time : ctx -> float
+(** This processor's virtual clock, seconds. *)
+
+val send : ctx -> dest:int -> tag:int -> Message.payload -> unit
+val recv : ctx -> src:int -> tag:int -> Message.t
+
+val advance : ctx -> float -> unit
+(** Charge raw seconds of local computation. *)
+
+val charge_flops : ctx -> int -> unit
+val charge_iops : ctx -> int -> unit
+val charge_copy_bytes : ctx -> int -> unit
+
+(** {2 Driving the machine} *)
+
+type 'a report = {
+  results : 'a array;  (** per-processor return values *)
+  elapsed : float;  (** max over final clocks: parallel execution time *)
+  clocks : float array;
+  stats : Stats.t;
+}
+
+val run : config -> (ctx -> 'a) -> 'a report
+(** Runs the SPMD program to completion.  Any exception raised by a node
+    program is re-raised after the machine stops; unsatisfiable receives
+    raise {!Deadlock}. *)

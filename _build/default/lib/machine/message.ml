@@ -1,0 +1,36 @@
+open F90d_base
+
+type payload =
+  | Empty
+  | Scalar of Scalar.t
+  | Arr of Ndarray.t
+  | Ints of int array
+  | Floats of float array
+  | Pair of payload * payload
+  | List of payload list
+
+type t = { src : int; tag : int; payload : payload; bytes : int; arrival : float }
+
+let rec payload_bytes = function
+  | Empty -> 0
+  | Scalar _ -> 8
+  | Arr a -> Ndarray.bytes a
+  | Ints a -> 4 * Array.length a
+  | Floats a -> 8 * Array.length a
+  | Pair (a, b) -> payload_bytes a + payload_bytes b
+  | List l -> List.fold_left (fun acc p -> acc + payload_bytes p) 0 l
+
+let scalar t =
+  match t.payload with Scalar s -> s | _ -> Diag.bug "message: expected scalar payload"
+
+let arr t = match t.payload with Arr a -> a | _ -> Diag.bug "message: expected array payload"
+let ints t = match t.payload with Ints a -> a | _ -> Diag.bug "message: expected int payload"
+
+let floats t =
+  match t.payload with Floats a -> a | _ -> Diag.bug "message: expected float payload"
+
+let pair t =
+  match t.payload with Pair (a, b) -> (a, b) | _ -> Diag.bug "message: expected pair payload"
+
+let list t =
+  match t.payload with List l -> l | _ -> Diag.bug "message: expected list payload"

@@ -1,0 +1,32 @@
+(** Messages exchanged on the simulated machine. *)
+
+type payload =
+  | Empty
+  | Scalar of F90d_base.Scalar.t
+  | Arr of F90d_base.Ndarray.t
+  | Ints of int array
+  | Floats of float array
+  | Pair of payload * payload
+      (** composed messages (e.g. multicast_shift, combined pivot+factors) *)
+  | List of payload list  (** concatenation/gather results in team order *)
+
+type t = {
+  src : int;  (** sender's physical node id *)
+  tag : int;
+  payload : payload;
+  bytes : int;
+  arrival : float;  (** virtual time at which the receiver may consume it *)
+}
+
+val payload_bytes : payload -> int
+(** Wire size: 8 bytes per real or scalar, 4 per integer/logical. *)
+
+val scalar : t -> F90d_base.Scalar.t
+(** Projections that fail loudly on a payload of the wrong shape —
+    a protocol error in the runtime library. *)
+
+val arr : t -> F90d_base.Ndarray.t
+val ints : t -> int array
+val floats : t -> float array
+val pair : t -> payload * payload
+val list : t -> payload list

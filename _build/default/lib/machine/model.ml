@@ -1,0 +1,58 @@
+type t = {
+  name : string;
+  alpha : float;
+  beta : float;
+  hop : float;
+  flop : float;
+  iop : float;
+  memcpy : float;
+}
+
+(* iPSC/860: ~75us startup, ~2.8 MB/s sustained.  The computation costs
+   are calibrated so the paper's sequential Gaussian-elimination time
+   (Table 4, 1023x1024, ~620 s) is reproduced by the simulator's static
+   operation counts. *)
+let ipsc860 =
+  {
+    name = "iPSC/860";
+    alpha = 75e-6;
+    beta = 0.36e-6;
+    hop = 11e-6;
+    flop = 0.30e-6;
+    iop = 0.020e-6;
+    memcpy = 0.04e-6;
+  }
+
+(* nCUBE/2: ~154us startup, ~1.7 MB/s, roughly 2.5-3x slower per node in
+   compiled Fortran than the i860. *)
+let ncube2 =
+  {
+    name = "nCUBE/2";
+    alpha = 154e-6;
+    beta = 0.57e-6;
+    hop = 4e-6;
+    flop = 0.80e-6;
+    iop = 0.055e-6;
+    memcpy = 0.11e-6;
+  }
+
+let ideal =
+  { name = "ideal"; alpha = 0.; beta = 0.; hop = 0.; flop = 1.; iop = 1.; memcpy = 1. }
+
+let scaled t ~comp ~comm =
+  {
+    name = Printf.sprintf "%s[comp*%g,comm*%g]" t.name comp comm;
+    alpha = t.alpha *. comm;
+    beta = t.beta *. comm;
+    hop = t.hop *. comm;
+    flop = t.flop *. comp;
+    iop = t.iop *. comp;
+    memcpy = t.memcpy *. comp;
+  }
+
+let transfer_time t ~bytes ~hops =
+  t.alpha +. (float_of_int bytes *. t.beta) +. (float_of_int (max 0 (hops - 1)) *. t.hop)
+
+let pp ppf t =
+  Format.fprintf ppf "%s(alpha=%.1fus, beta=%.2fus/B, flop=%.2fus)" t.name (t.alpha *. 1e6)
+    (t.beta *. 1e6) (t.flop *. 1e6)

@@ -1,0 +1,36 @@
+(** Machine cost models.
+
+    The simulator charges virtual time for computation and communication
+    from these parameters.  The two 1993 hypercubes of the paper's
+    evaluation are calibrated from their published characteristics
+    (per-node compiled-Fortran throughput, message startup latency and
+    point-to-point bandwidth); [ideal] makes communication free and each
+    operation cost one unit, which tests use to count operations exactly. *)
+
+type t = {
+  name : string;
+  alpha : float;  (** message startup / software latency, seconds *)
+  beta : float;  (** transfer time per byte, seconds *)
+  hop : float;  (** additional latency per network hop beyond the first *)
+  flop : float;  (** time per floating-point operation (compiled code) *)
+  iop : float;  (** time per integer/index operation *)
+  memcpy : float;  (** local copy cost per byte *)
+}
+
+val ipsc860 : t
+(** Intel iPSC/860 hypercube. *)
+
+val ncube2 : t
+(** nCUBE/2 hypercube. *)
+
+val ideal : t
+(** Free communication, unit-cost ops: op counting for tests. *)
+
+val scaled : t -> comp:float -> comm:float -> t
+(** Scale computation (flop/iop/memcpy) and communication (alpha/beta/hop)
+    costs; used by ablation benches. *)
+
+val transfer_time : t -> bytes:int -> hops:int -> float
+(** End-to-end latency of one message. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,45 @@
+type t = {
+  mutable messages : int;
+  mutable bytes : int;
+  mutable recv_wait : float;
+  per_rank_messages : int array;
+  per_rank_bytes : int array;
+  by_tag : (int, int * int) Hashtbl.t;
+}
+
+let create nprocs =
+  {
+    messages = 0;
+    bytes = 0;
+    recv_wait = 0.;
+    per_rank_messages = Array.make nprocs 0;
+    per_rank_bytes = Array.make nprocs 0;
+    by_tag = Hashtbl.create 16;
+  }
+
+let record_send ?(tag = 0) t ~rank ~bytes =
+  t.messages <- t.messages + 1;
+  t.bytes <- t.bytes + bytes;
+  t.per_rank_messages.(rank) <- t.per_rank_messages.(rank) + 1;
+  t.per_rank_bytes.(rank) <- t.per_rank_bytes.(rank) + bytes;
+  let m, b = Option.value (Hashtbl.find_opt t.by_tag tag) ~default:(0, 0) in
+  Hashtbl.replace t.by_tag tag (m + 1, b + bytes)
+
+let record_wait t dt = t.recv_wait <- t.recv_wait +. dt
+
+(* message tags are namespaced by hundreds (see F90d_runtime.Tags) *)
+let tag_family tag = tag / 100 * 100
+
+let breakdown t ~name_of =
+  let fams = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun tag (m, b) ->
+      let f = tag_family tag in
+      let m0, b0 = Option.value (Hashtbl.find_opt fams f) ~default:(0, 0) in
+      Hashtbl.replace fams f (m0 + m, b0 + b))
+    t.by_tag;
+  Hashtbl.fold (fun f (m, b) acc -> (name_of f, m, b) :: acc) fams []
+  |> List.sort (fun (_, m1, _) (_, m2, _) -> compare m2 m1)
+
+let pp ppf t =
+  Format.fprintf ppf "messages=%d bytes=%d recv_wait=%.6fs" t.messages t.bytes t.recv_wait

@@ -1,0 +1,25 @@
+(** Per-run communication and computation statistics, used by the
+    benchmark harness and by tests that assert message counts (e.g. that
+    schedule reuse removes preprocessing messages).
+
+    Sends are also accounted per message-tag family so benches can print
+    a breakdown by communication primitive. *)
+
+type t = {
+  mutable messages : int;
+  mutable bytes : int;
+  mutable recv_wait : float;  (** total time receivers spent blocked *)
+  per_rank_messages : int array;
+  per_rank_bytes : int array;
+  by_tag : (int, int * int) Hashtbl.t;  (** tag -> (messages, bytes) *)
+}
+
+val create : int -> t
+val record_send : ?tag:int -> t -> rank:int -> bytes:int -> unit
+val record_wait : t -> float -> unit
+
+val breakdown : t -> name_of:(int -> string) -> (string * int * int) list
+(** (family name, messages, bytes) per tag family (tags grouped by
+    hundreds, matching the runtime's namespace), most messages first. *)
+
+val pp : Format.formatter -> t -> unit

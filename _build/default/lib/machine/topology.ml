@@ -1,0 +1,47 @@
+open F90d_base
+
+type t = Hypercube | Mesh | Full
+
+let name = function Hypercube -> "hypercube" | Mesh -> "mesh" | Full -> "full"
+
+(* Mesh: nodes arranged in a near-square 2D grid, row-major. *)
+let mesh_side nprocs =
+  let rec find s = if s * s >= nprocs then s else find (s + 1) in
+  find 1
+
+let hops t ~nprocs a b =
+  if a = b then 0
+  else
+    match t with
+    | Full -> 1
+    | Hypercube -> Util.popcount (a lxor b)
+    | Mesh ->
+        let side = mesh_side nprocs in
+        abs ((a mod side) - (b mod side)) + abs ((a / side) - (b / side))
+
+(* Per-dimension Gray coding: coordinate c_d of log2(dims d) bits becomes
+   gray(c_d); bit fields are concatenated in dimension order.  Adjacent
+   coordinates along any dimension then differ in exactly one node bit. *)
+let grid_embedding t ~nprocs dims =
+  match t with
+  | Mesh | Full -> None
+  | Hypercube ->
+      let total = Array.fold_left ( * ) 1 dims in
+      if total <> nprocs || not (Array.for_all Util.is_pow2 dims) then None
+      else
+        let bits = Array.map Util.ilog2 dims in
+        let n = total in
+        let phys = Array.make n 0 in
+        for rank = 0 to n - 1 do
+          (* decode column-major coordinates, then pack gray fields *)
+          let r = ref rank and node = ref 0 and shift = ref 0 in
+          Array.iteri
+            (fun d extent ->
+              let c = !r mod extent in
+              r := !r / extent;
+              node := !node lor (Util.gray c lsl !shift);
+              shift := !shift + bits.(d))
+            dims;
+          phys.(rank) <- !node
+        done;
+        Some phys

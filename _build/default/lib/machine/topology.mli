@@ -1,0 +1,19 @@
+(** Interconnect topologies: hop counts between physical nodes and
+    logical-grid embeddings (the φ of stage 3).
+
+    The paper's machines are binary hypercubes; grids whose extents are all
+    powers of two embed by per-dimension Gray coding, making grid
+    neighbours physical neighbours.  [Full] models an ideal crossbar. *)
+
+type t = Hypercube | Mesh | Full
+
+val hops : t -> nprocs:int -> int -> int -> int
+(** Network distance between two physical node ids (>= 1 for distinct
+    nodes, 0 for self). *)
+
+val grid_embedding : t -> nprocs:int -> int array -> int array option
+(** [grid_embedding topo ~nprocs dims] is the [phys_of_rank] permutation
+    for a logical grid with extents [dims] covering [nprocs] nodes, or
+    [None] for the identity (no better embedding available). *)
+
+val name : t -> string

@@ -1,0 +1,1 @@
+lib/opt/passes.ml: Ast F90d_frontend F90d_ir Hashtbl Ir List Option Printf Sema

@@ -1,0 +1,1 @@
+lib/opt/passes.mli: F90d_ir

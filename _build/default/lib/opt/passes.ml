@@ -1,0 +1,132 @@
+open F90d_frontend
+open F90d_ir
+
+type flags = { shift_union : bool; fuse_mshift : bool; schedule_reuse : bool }
+
+let all_on = { shift_union = true; fuse_mshift = true; schedule_reuse = true }
+let all_off = { shift_union = false; fuse_mshift = false; schedule_reuse = false }
+
+(* ------------------------------------------------------------------ *)
+(* Shift union                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Keep only the widest overlap shift per (array, dim, direction); the
+   wider ghost transfer carries the narrower one's data. *)
+let union_shifts pre =
+  let widest = Hashtbl.create 8 in
+  List.iter
+    (fun c ->
+      match c with
+      | Ir.Overlap_shift { arr; dim; amount } ->
+          let key = (arr, dim, amount > 0) in
+          let cur = Option.value (Hashtbl.find_opt widest key) ~default:0 in
+          if abs amount > abs cur then Hashtbl.replace widest key amount
+      | _ -> ())
+    pre;
+  let emitted = Hashtbl.create 8 in
+  List.filter
+    (fun c ->
+      match c with
+      | Ir.Overlap_shift { arr; dim; amount } ->
+          let key = (arr, dim, amount > 0) in
+          if Hashtbl.find widest key = amount && not (Hashtbl.mem emitted key) then begin
+            Hashtbl.replace emitted key ();
+            true
+          end
+          else false
+      | _ -> true)
+    pre
+
+(* ------------------------------------------------------------------ *)
+(* Multicast/shift fusion control                                      *)
+(* ------------------------------------------------------------------ *)
+
+let set_fusion fused pre =
+  List.map
+    (function
+      | Ir.Multicast_shift m -> Ir.Multicast_shift { m with Ir.fused }
+      | c -> c)
+    pre
+
+(* ------------------------------------------------------------------ *)
+(* Schedule reuse                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A schedule's index sets are invariant when every input is a named
+   constant: range bounds and reference subscripts may mention only
+   parameters and the FORALL variables themselves. *)
+let invariant_forall env (f : Ir.forall) (r : Ast.ref_) =
+  let params = List.map fst env.Sema.uparams in
+  let forall_vars = List.map fst f.Ir.f_vars in
+  let ok_expr e =
+    List.for_all (fun v -> List.mem v params || List.mem v forall_vars) (Ast.vars_of e)
+  in
+  let ok_range (rg : Ast.range) =
+    ok_expr rg.Ast.lo && ok_expr rg.Ast.hi
+    && (match rg.Ast.st with Some e -> ok_expr e | None -> true)
+  in
+  List.for_all (fun (_, rg) -> ok_range rg) f.Ir.f_vars
+  && List.for_all
+       (function Ast.Elem e -> ok_expr e | Ast.Range _ -> false)
+       r.Ast.args
+
+let key_schedules env ~unit_name counter (f : Ir.forall) =
+  let mk_key arr =
+    incr counter;
+    Some (Printf.sprintf "%s:s%d:%s" unit_name !counter arr)
+  in
+  let pre =
+    List.map
+      (fun c ->
+        match c with
+        | Ir.Precomp_read p when invariant_forall env f p.Ir.r ->
+            Ir.Precomp_read { p with Ir.key = mk_key p.Ir.r.Ast.base }
+        | Ir.Gather_read p when invariant_forall env f p.Ir.r ->
+            Ir.Gather_read { p with Ir.key = mk_key p.Ir.r.Ast.base }
+        | c -> c)
+      f.Ir.f_pre
+  in
+  let post =
+    match f.Ir.f_post with
+    | Some (Ir.Postcomp_write _) when invariant_forall env f f.Ir.f_lhs && f.Ir.f_mask = None ->
+        Some (Ir.Postcomp_write { key = mk_key f.Ir.f_lhs.Ast.base })
+    | Some (Ir.Scatter_write _) when invariant_forall env f f.Ir.f_lhs && f.Ir.f_mask = None ->
+        Some (Ir.Scatter_write { key = mk_key f.Ir.f_lhs.Ast.base })
+    | p -> p
+  in
+  { f with Ir.f_pre = pre; f_post = post }
+
+(* ------------------------------------------------------------------ *)
+(* Pass driver                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec map_stmt f = function
+  | Ir.Forall fo -> Ir.Forall (f fo)
+  | Ir.Do_loop { var; range; body } ->
+      Ir.Do_loop { var; range; body = List.map (map_stmt f) body }
+  | Ir.While_loop { cond; body } -> Ir.While_loop { cond; body = List.map (map_stmt f) body }
+  | Ir.If_block { arms; els } ->
+      Ir.If_block
+        {
+          arms = List.map (fun (c, ss) -> (c, List.map (map_stmt f) ss)) arms;
+          els = List.map (map_stmt f) els;
+        }
+  | s -> s
+
+let apply flags (ir : Ir.program_ir) =
+  let units =
+    List.map
+      (fun (name, u) ->
+        let counter = ref 0 in
+        let on_forall fo =
+          let fo =
+            if flags.shift_union then { fo with Ir.f_pre = union_shifts fo.Ir.f_pre } else fo
+          in
+          let fo = { fo with Ir.f_pre = set_fusion flags.fuse_mshift fo.Ir.f_pre } in
+          if flags.schedule_reuse then key_schedules u.Ir.u_env ~unit_name:name counter fo
+          else fo
+        in
+        (name, { u with Ir.u_body = List.map (map_stmt on_forall) u.Ir.u_body }))
+      ir.Ir.p_units
+  in
+  { ir with Ir.p_units = units }

@@ -1,0 +1,21 @@
+(** The communication optimizations of §7, as IR-to-IR passes.  Each can
+    be toggled independently so the ablation benchmarks can measure its
+    contribution (message vectorization, the fourth §7 item, is inherent
+    in the runtime primitives and has its own ablation knob there).
+
+    - {e shift union}: several overlap shifts of the same array dimension
+      in one statement collapse into the widest one (the paper's
+      [B(I+2)+B(I+3)] example);
+    - {e multicast_shift fusion}: a multicast and a shift on different
+      dimensions of one reference combine into the fused primitive
+      (§5.3.1 example 3); disabling lowers to the two-step sequence;
+    - {e schedule reuse}: inspector-built schedules whose index sets are
+      provably loop-invariant (all inputs are named constants) get stable
+      cache keys, so re-executions skip preprocessing entirely. *)
+
+type flags = { shift_union : bool; fuse_mshift : bool; schedule_reuse : bool }
+
+val all_on : flags
+val all_off : flags
+
+val apply : flags -> F90d_ir.Ir.program_ir -> F90d_ir.Ir.program_ir

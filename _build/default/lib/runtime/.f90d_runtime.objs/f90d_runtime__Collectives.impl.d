@@ -1,0 +1,1 @@
+lib/runtime/collectives.ml: Array Diag F90d_base F90d_dist F90d_machine Fun Grid Message Rctx Tags Util

@@ -1,0 +1,1 @@
+lib/runtime/collectives.mli: F90d_machine Message Rctx

@@ -1,0 +1,1 @@
+lib/runtime/darray.ml: Array Collectives Dad Diag F90d_base F90d_dist F90d_machine Message Ndarray Option Rctx

@@ -1,0 +1,1 @@
+lib/runtime/darray.mli: F90d_base F90d_dist Ndarray Rctx Scalar

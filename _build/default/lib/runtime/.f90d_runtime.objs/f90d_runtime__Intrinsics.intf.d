@@ -1,0 +1,1 @@
+lib/runtime/intrinsics.mli: Darray F90d_base F90d_dist Rctx Redop Scalar

@@ -1,0 +1,1 @@
+lib/runtime/rctx.ml: Diag Engine F90d_base F90d_dist F90d_machine Grid

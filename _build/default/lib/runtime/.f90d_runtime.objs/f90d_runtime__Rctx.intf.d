@@ -1,0 +1,1 @@
+lib/runtime/rctx.mli: F90d_dist F90d_machine

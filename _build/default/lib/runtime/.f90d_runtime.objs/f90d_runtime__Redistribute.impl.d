@@ -1,0 +1,1 @@
+lib/runtime/redistribute.ml: Array Dad Darray F90d_base F90d_dist Format Fun List Rctx Schedule

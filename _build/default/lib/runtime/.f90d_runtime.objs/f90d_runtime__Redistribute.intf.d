@@ -1,0 +1,1 @@
+lib/runtime/redistribute.mli: Darray F90d_dist Rctx

@@ -1,0 +1,1 @@
+lib/runtime/redop.ml: Array Diag F90d_base F90d_machine Float Message Ndarray Scalar

@@ -1,0 +1,1 @@
+lib/runtime/redop.mli: F90d_base F90d_machine

@@ -1,0 +1,1 @@
+lib/runtime/schedule.ml: Array Darray F90d_base F90d_machine Hashtbl List Message Ndarray Rctx Seq Tags

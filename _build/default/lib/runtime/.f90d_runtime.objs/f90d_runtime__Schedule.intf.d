@@ -1,0 +1,1 @@
+lib/runtime/schedule.mli: Darray F90d_base Rctx

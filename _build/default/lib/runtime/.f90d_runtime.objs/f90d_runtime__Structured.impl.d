@@ -1,0 +1,1 @@
+lib/runtime/structured.ml: Affine Array Collectives Dad Darray Diag Distrib F90d_base F90d_dist F90d_machine Fun Layout List Message Ndarray Rctx Seq Tags

@@ -1,0 +1,1 @@
+lib/runtime/structured.mli: Darray F90d_base Ndarray Rctx

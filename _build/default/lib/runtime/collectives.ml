@@ -1,0 +1,147 @@
+open F90d_base
+open F90d_dist
+open F90d_machine
+
+type team = int array
+
+let team_all ctx = Array.init (Rctx.nprocs ctx) Fun.id
+let team_along ctx ~dim = Grid.ranks_along (Rctx.grid ctx) ~rank:(Rctx.me ctx) ~dim
+
+let index_in team rank =
+  let rec go i =
+    if i >= Array.length team then Diag.bug "collectives: rank %d not in team" rank
+    else if team.(i) = rank then i
+    else go (i + 1)
+  in
+  go 0
+
+let my_index ctx team = index_in team (Rctx.me ctx)
+
+let transfer ctx team ~src ~dest payload =
+  let vr = my_index ctx team in
+  if src = dest then
+    if vr = src then begin
+      (* purely local: charge the copy, no message *)
+      let p = match payload with Some p -> p | None -> Diag.bug "transfer: source passed None" in
+      Rctx.charge_copy_bytes ctx (Message.payload_bytes p);
+      Some p
+    end
+    else None
+  else if vr = src then begin
+    let p = match payload with Some p -> p | None -> Diag.bug "transfer: source passed None" in
+    Rctx.send ctx ~dest:team.(dest) ~tag:Tags.transfer p;
+    None
+  end
+  else if vr = dest then Some (Rctx.recv ctx ~src:team.(src) ~tag:Tags.transfer).Message.payload
+  else None
+
+let broadcast ctx team ~root payload =
+  let m = Array.length team in
+  let vr = Util.modulo (my_index ctx team - root) m in
+  let p = ref payload in
+  let mask = ref 1 in
+  while !mask < m do
+    let k = !mask in
+    if vr < k then begin
+      if vr + k < m then
+        Rctx.send ctx ~dest:team.(Util.modulo (vr + k + root) m) ~tag:Tags.broadcast !p
+    end
+    else if vr < 2 * k then
+      p := (Rctx.recv ctx ~src:team.(Util.modulo (vr - k + root) m) ~tag:Tags.broadcast).Message.payload;
+    mask := k * 2
+  done;
+  !p
+
+let reduce ctx team ~root ~combine payload =
+  let m = Array.length team in
+  let vr = Util.modulo (my_index ctx team - root) m in
+  let acc = ref payload in
+  let mask = ref 1 in
+  let sent = ref false in
+  while !mask < m && not !sent do
+    let k = !mask in
+    if vr mod (2 * k) = 0 then begin
+      if vr + k < m then begin
+        let msg = Rctx.recv ctx ~src:team.(Util.modulo (vr + k + root) m) ~tag:Tags.reduce in
+        Rctx.charge_flops ctx (Message.payload_bytes msg.Message.payload / 8);
+        acc := combine !acc msg.Message.payload
+      end
+    end
+    else begin
+      Rctx.send ctx ~dest:team.(Util.modulo (vr - k + root) m) ~tag:Tags.reduce !acc;
+      sent := true
+    end;
+    mask := k * 2
+  done;
+  if vr = 0 then Some !acc else None
+
+let allreduce ctx team ~combine payload =
+  match reduce ctx team ~root:0 ~combine payload with
+  | Some p -> broadcast ctx team ~root:0 p
+  | None -> broadcast ctx team ~root:0 Message.Empty
+
+let gather ctx team ~root payload =
+  let m = Array.length team in
+  let vr = Util.modulo (my_index ctx team - root) m in
+  (* accumulate the segment [vr, vr + span) of team-ordered payloads *)
+  let acc = ref [ payload ] in
+  let mask = ref 1 in
+  let sent = ref false in
+  while !mask < m && not !sent do
+    let k = !mask in
+    if vr mod (2 * k) = 0 then begin
+      if vr + k < m then begin
+        let msg = Rctx.recv ctx ~src:team.(Util.modulo (vr + k + root) m) ~tag:Tags.gatherv in
+        acc := !acc @ Message.list msg
+      end
+    end
+    else begin
+      Rctx.send ctx ~dest:team.(Util.modulo (vr - k + root) m) ~tag:Tags.gatherv (Message.List !acc);
+      sent := true
+    end;
+    mask := k * 2
+  done;
+  if vr = 0 then begin
+    (* accumulated in virtual-rank order; rotate back to team order *)
+    let arr = Array.of_list !acc in
+    Some (Array.init m (fun i -> arr.(Util.modulo (i - root) m)))
+  end
+  else None
+
+let allgather ctx team payload =
+  match gather ctx team ~root:0 payload with
+  | Some arr -> (
+      match broadcast ctx team ~root:0 (Message.List (Array.to_list arr)) with
+      | Message.List l -> Array.of_list l
+      | _ -> Diag.bug "allgather: broadcast protocol error")
+  | None -> (
+      match broadcast ctx team ~root:0 Message.Empty with
+      | Message.List l -> Array.of_list l
+      | _ -> Diag.bug "allgather: broadcast protocol error")
+
+let shift_edge ctx team ~delta payload =
+  let m = Array.length team in
+  let vr = my_index ctx team in
+  if delta = 0 then Some payload
+  else begin
+    let dest = vr + delta and src = vr - delta in
+    (* post the send first (asynchronous), then receive *)
+    if dest >= 0 && dest < m then Rctx.send ctx ~dest:team.(dest) ~tag:Tags.shift payload;
+    if src >= 0 && src < m then
+      Some (Rctx.recv ctx ~src:team.(src) ~tag:Tags.shift).Message.payload
+    else None
+  end
+
+let shift_circular ctx team ~delta payload =
+  let m = Array.length team in
+  let d = Util.modulo delta m in
+  if d = 0 then payload
+  else begin
+    let vr = my_index ctx team in
+    let dest = Util.modulo (vr + d) m and src = Util.modulo (vr - d) m in
+    Rctx.send ctx ~dest:team.(dest) ~tag:Tags.shift payload;
+    (Rctx.recv ctx ~src:team.(src) ~tag:Tags.shift).Message.payload
+  end
+
+let barrier ctx team =
+  ignore (allreduce ctx team ~combine:(fun _ _ -> Message.Empty) Message.Empty)

@@ -1,0 +1,67 @@
+(** The collective communication library (§5 of the paper).
+
+    Every routine is collective over a {e team} — an ordered set of grid
+    ranks, typically a grid row/column ({!team_along}) or the whole grid
+    ({!team_all}) — and must be called by every member in the same program
+    order.  All routines are built exclusively on the simulated machine's
+    point-to-point send/receive, mirroring the paper's library-on-Express
+    portability layer (§8.1).
+
+    Tree-shaped operations (broadcast, reduce, gather) use binomial trees,
+    giving the O(log P) behaviour the paper cites for its broadcast. *)
+
+open F90d_machine
+
+type team = int array
+(** Grid ranks in team order. *)
+
+val team_all : Rctx.t -> team
+val team_along : Rctx.t -> dim:int -> team
+(** The grid row/column through this processor along grid dimension [dim]. *)
+
+val index_in : team -> int -> int
+(** Position of a grid rank in a team; fails if absent. *)
+
+val transfer : Rctx.t -> team -> src:int -> dest:int -> Message.payload option -> Message.payload option
+(** Single source to single destination (team indices).  The source passes
+    [Some p]; everyone else passes [None]; the destination receives
+    [Some p], everyone else [None].  Self-transfer charges a local copy. *)
+
+val broadcast : Rctx.t -> team -> root:int -> Message.payload -> Message.payload
+(** Binomial-tree multicast from team index [root]; only the root's
+    [payload] argument is meaningful. *)
+
+val reduce :
+  Rctx.t ->
+  team ->
+  root:int ->
+  combine:(Message.payload -> Message.payload -> Message.payload) ->
+  Message.payload ->
+  Message.payload option
+(** Binomial-tree reduction to [root] ([Some] there, [None] elsewhere).
+    [combine] must be associative; combination cost is charged as flops
+    proportional to the payload size. *)
+
+val allreduce :
+  Rctx.t ->
+  team ->
+  combine:(Message.payload -> Message.payload -> Message.payload) ->
+  Message.payload ->
+  Message.payload
+
+val gather : Rctx.t -> team -> root:int -> Message.payload -> Message.payload array option
+(** Team-ordered payloads at the root. *)
+
+val allgather : Rctx.t -> team -> Message.payload -> Message.payload array
+(** The paper's {e concatenation} primitive: the result ends up on all
+    team members. *)
+
+val shift_edge : Rctx.t -> team -> delta:int -> Message.payload -> Message.payload option
+(** Send to team index [i+delta], receive from [i-delta]; ends of the team
+    send/receive nothing ([None] = nothing arrived) — EOSHIFT's pattern. *)
+
+val shift_circular : Rctx.t -> team -> delta:int -> Message.payload -> Message.payload
+(** Circular shift (CSHIFT's pattern).  [delta] may be negative or exceed
+    the team size. *)
+
+val barrier : Rctx.t -> team -> unit

@@ -1,0 +1,84 @@
+open F90d_base
+open F90d_dist
+open F90d_machine
+
+type t = { dad : Dad.t; local : Ndarray.t }
+
+let create ctx dad =
+  { dad; local = Dad.alloc_local dad ~rank:(Rctx.me ctx) }
+
+let kind t = Dad.kind t.dad
+
+let storage_flat t lidx =
+  (* lidx are 0-based owned positions; storage lower bound is -ghost_lo *)
+  Ndarray.offset t.local lidx
+
+let owned_flat_of_global t ~rank gidx =
+  match Dad.local_indices t.dad ~rank gidx with
+  | None -> None
+  | Some lidx -> Some (Ndarray.offset t.local lidx)
+
+let get_local t ~rank gidx =
+  Option.map (Ndarray.get_flat t.local) (owned_flat_of_global t ~rank gidx)
+
+let set_local t ~rank gidx v =
+  match owned_flat_of_global t ~rank gidx with
+  | None -> false
+  | Some f ->
+      Ndarray.set_flat t.local f v;
+      true
+
+let iter_owned t ~rank f =
+  Dad.iter_local t.dad ~rank (fun g lidx -> f g (Ndarray.offset t.local lidx))
+
+let owned_count t ~rank = Array.fold_left ( * ) 1 (Dad.local_counts t.dad ~rank)
+
+let init_global ctx dad f =
+  let t = create ctx dad in
+  let me = Rctx.me ctx in
+  iter_owned t ~rank:me (fun g flat -> Ndarray.set_flat t.local flat (f g));
+  t
+
+let pack_owned t ~rank =
+  let n = owned_count t ~rank in
+  let out = Ndarray.create (kind t) [| n |] in
+  let i = ref 0 in
+  iter_owned t ~rank (fun _ flat ->
+      Ndarray.set_flat out !i (Ndarray.get_flat t.local flat);
+      incr i);
+  out
+
+let gather_global ctx t =
+  let me = Rctx.me ctx in
+  let team = Collectives.team_all ctx in
+  let mine = pack_owned t ~rank:me in
+  Rctx.charge_copy_bytes ctx (Ndarray.bytes mine);
+  let parts = Collectives.allgather ctx team (Message.Arr mine) in
+  let extents = Dad.global_extents t.dad in
+  let lbs = Array.map (fun d -> d.Dad.flb) (Dad.dims t.dad) in
+  let out = Ndarray.create (kind t) ~lb:lbs extents in
+  Array.iteri
+    (fun r payload ->
+      let part = match payload with Message.Arr a -> a | _ -> Diag.bug "gather_global: protocol" in
+      (* re-enumerate rank r's owned elements in the same order it packed *)
+      let i = ref 0 in
+      Dad.iter_local t.dad ~rank:team.(r) (fun g _ ->
+          Ndarray.set out g (Ndarray.get_flat part !i);
+          incr i))
+    parts;
+  Rctx.charge_copy_bytes ctx (Ndarray.bytes out);
+  out
+
+let get_global ctx t gidx =
+  let home = Dad.home_rank t.dad gidx in
+  let team = Collectives.team_all ctx in
+  let payload =
+    if Rctx.me ctx = home then
+      match get_local t ~rank:home gidx with
+      | Some v -> Message.Scalar v
+      | None -> Diag.bug "get_global: home rank does not own the element"
+    else Message.Empty
+  in
+  match Collectives.broadcast ctx team ~root:(Collectives.index_in team home) payload with
+  | Message.Scalar v -> v
+  | _ -> Diag.bug "get_global: protocol error"

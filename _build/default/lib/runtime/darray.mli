@@ -1,0 +1,49 @@
+(** A processor's handle on a distributed array: the shared DAD plus this
+    processor's local section (including ghost cells).
+
+    Every processor of the grid holds one [Darray.t] per program array;
+    collective operations take the handles SPMD-style. *)
+
+open F90d_base
+
+type t = { dad : F90d_dist.Dad.t; local : Ndarray.t }
+
+val create : Rctx.t -> F90d_dist.Dad.t -> t
+(** Allocate a zeroed local section for this processor. *)
+
+val init_global : Rctx.t -> F90d_dist.Dad.t -> (int array -> Scalar.t) -> t
+(** Every processor fills its owned elements from a (deterministic) global
+    initialiser — the standard way tests and examples set up inputs
+    without communication. *)
+
+val kind : t -> Scalar.kind
+
+val get_local : t -> rank:int -> int array -> Scalar.t option
+(** Value of a global element if owned here ([rank] is the grid rank). *)
+
+val set_local : t -> rank:int -> int array -> Scalar.t -> bool
+(** Store into a global element if owned here; returns whether it was. *)
+
+val owned_flat_of_global : t -> rank:int -> int array -> int option
+(** Flat position in [local]'s payload of a global element, if owned.
+    Accounts for ghost offsets. *)
+
+val storage_flat : t -> int array -> int
+(** Flat position of per-dimension local indices (0-based owned positions,
+    ghost offset applied). *)
+
+val iter_owned : t -> rank:int -> (int array -> int -> unit) -> unit
+(** Iterate owned elements in local column-major order as
+    [(global_indices, flat_storage_position)]. *)
+
+val owned_count : t -> rank:int -> int
+
+val pack_owned : t -> rank:int -> Ndarray.t
+(** Compact copy of the owned elements (no ghosts), local column-major. *)
+
+val gather_global : Rctx.t -> t -> Ndarray.t
+(** Assemble the full global array on every processor (the paper's
+    concatenation primitive; also the test oracle). *)
+
+val get_global : Rctx.t -> t -> int array -> Scalar.t
+(** Collective: the home owner broadcasts one element to everyone. *)

@@ -1,0 +1,78 @@
+(** The parallel intrinsic-function library (§6, Table 3).
+
+    All functions are SPMD-collective over the whole grid.  The five
+    communication categories of Table 3 map to implementations as follows:
+
+    - {e structured} (CSHIFT, EOSHIFT): one vectorized message per
+      neighbouring pair along the shifted dimension;
+    - {e reduction} (SUM, PRODUCT, MAXVAL, MINVAL, ALL, ANY, COUNT,
+      DOTPRODUCT, MAXLOC, MINLOC): local fold + binomial reduction tree;
+    - {e multicast} (SPREAD): gather/broadcast trees;
+    - {e unstructured} (TRANSPOSE, RESHAPE, PACK, UNPACK): schedule-driven
+      all-to-all remapping (PARTI executors);
+    - {e special} (MATMUL): replicate-operands block algorithm; each
+      processor computes only its owned block of the result.
+
+    Result descriptors are supplied by the caller (the compiler knows the
+    distribution of the assignment target). *)
+
+open F90d_base
+
+val table3_category : string -> string option
+(** Communication category of an intrinsic name (upper-case), used to
+    regenerate Table 3. *)
+
+(** {2 Structured} *)
+
+val cshift : Rctx.t -> Darray.t -> dim:int -> shift:int -> Darray.t
+(** Circular shift along a dimension (0-based [dim]); same descriptor. *)
+
+val eoshift : Rctx.t -> Darray.t -> dim:int -> shift:int -> boundary:Scalar.t -> Darray.t
+
+(** {2 Reductions} *)
+
+val reduce : Rctx.t -> Redop.t -> Darray.t -> Scalar.t
+(** SUM / PRODUCT / MAXVAL / MINVAL / ALL / ANY over every element. *)
+
+val reduce_dim :
+  Rctx.t -> Redop.t -> Darray.t -> dim:int -> dad:F90d_dist.Dad.t -> Darray.t
+(** SUM(A, dim) and friends: fold away dimension [dim] (0-based).  Each
+    processor folds its owned box locally, partial slabs combine in a
+    reduction tree along that dimension's grid axis, and the result is
+    remapped into the caller's rank-1-lower descriptor. *)
+
+val count : Rctx.t -> Darray.t -> Scalar.t
+(** Number of [.TRUE.] elements of a logical array. *)
+
+val dotproduct : Rctx.t -> Darray.t -> Darray.t -> Scalar.t
+(** Identically-distributed vectors reduce without data motion; otherwise
+    one operand is remapped first. *)
+
+val maxloc : Rctx.t -> Darray.t -> int array
+(** Global Fortran indices of the first maximal element. *)
+
+val minloc : Rctx.t -> Darray.t -> int array
+
+(** {2 Multicast} *)
+
+val spread : Rctx.t -> Darray.t -> dim:int -> dad:F90d_dist.Dad.t -> Darray.t
+(** SPREAD(source, dim, copies): [dad] is the rank+1 result descriptor;
+    [dim] (0-based) is the broadcast dimension. *)
+
+(** {2 Unstructured} *)
+
+val transpose : Rctx.t -> Darray.t -> dad:F90d_dist.Dad.t -> Darray.t
+val reshape : Rctx.t -> Darray.t -> dad:F90d_dist.Dad.t -> Darray.t
+(** Column-major element-order reshape into the target descriptor. *)
+
+val pack : Rctx.t -> Darray.t -> mask:Darray.t -> dad:F90d_dist.Dad.t -> Darray.t * int
+(** Masked elements in array-element order, padded with zeros; also
+    returns the number of packed elements. *)
+
+val unpack : Rctx.t -> Darray.t -> mask:Darray.t -> field:Darray.t -> Darray.t
+(** Inverse of {!pack}: vector elements dropped into [.TRUE.] positions of
+    the mask, field values elsewhere; result shaped like [mask]/[field]. *)
+
+(** {2 Special} *)
+
+val matmul : Rctx.t -> Darray.t -> Darray.t -> dad:F90d_dist.Dad.t -> Darray.t

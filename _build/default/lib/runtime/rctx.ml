@@ -1,0 +1,27 @@
+open F90d_base
+open F90d_dist
+open F90d_machine
+
+type t = { eng : Engine.ctx; grid : Grid.t }
+
+let make eng grid =
+  if Grid.size grid <> Engine.nprocs eng then
+    Diag.bug "rctx: grid size %d does not cover the machine (%d nodes)" (Grid.size grid)
+      (Engine.nprocs eng);
+  { eng; grid }
+
+let engine t = t.eng
+let grid t = t.grid
+let me t = Grid.rank_of_phys t.grid (Engine.rank t.eng)
+let nprocs t = Grid.size t.grid
+let my_coords t = Grid.coords_of_rank t.grid (me t)
+let time t = Engine.time t.eng
+
+let send t ~dest ~tag payload =
+  Engine.send t.eng ~dest:(Grid.phys_of_rank t.grid dest) ~tag payload
+
+let recv t ~src ~tag = Engine.recv t.eng ~src:(Grid.phys_of_rank t.grid src) ~tag
+
+let charge_flops t n = Engine.charge_flops t.eng n
+let charge_iops t n = Engine.charge_iops t.eng n
+let charge_copy_bytes t n = Engine.charge_copy_bytes t.eng n

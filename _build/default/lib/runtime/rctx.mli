@@ -1,0 +1,30 @@
+(** Grid-aware processor context.
+
+    The engine deals in physical node ids; the run-time system and the
+    compiled node programs deal in logical grid ranks (stage 3 of the
+    paper's mapping keeps them distinct).  An [Rctx.t] carries both the
+    engine context and the grid, translating at every send/receive. *)
+
+type t
+
+val make : F90d_machine.Engine.ctx -> F90d_dist.Grid.t -> t
+(** The grid must exactly cover the machine ([Grid.size = nprocs]). *)
+
+val engine : t -> F90d_machine.Engine.ctx
+val grid : t -> F90d_dist.Grid.t
+
+val me : t -> int
+(** This processor's logical grid rank. *)
+
+val nprocs : t -> int
+val my_coords : t -> int array
+val time : t -> float
+
+val send : t -> dest:int -> tag:int -> F90d_machine.Message.payload -> unit
+(** [dest] is a grid rank. *)
+
+val recv : t -> src:int -> tag:int -> F90d_machine.Message.t
+
+val charge_flops : t -> int -> unit
+val charge_iops : t -> int -> unit
+val charge_copy_bytes : t -> int -> unit

@@ -1,0 +1,45 @@
+open F90d_dist
+
+(* needs/writes list for moving [src] into [dst] where both descriptors are
+   global knowledge: for [rank]'s owned dst elements, in local order, the
+   (source owner, source storage flat) pairs. *)
+let needs_for ~(src : Darray.t) ~(dst_dad : Dad.t) ~f rank =
+  let acc = ref [] in
+  Dad.iter_local dst_dad ~rank (fun g _ ->
+      let sg = f g in
+      let owner = Dad.home_rank src.Darray.dad sg in
+      let lidx =
+        match Dad.local_indices src.Darray.dad ~rank:owner sg with
+        | Some l -> l
+        | None -> F90d_base.Diag.bug "redistribute: home rank does not own source element"
+      in
+      acc := (owner, Dad.storage_flat src.Darray.dad ~rank:owner lidx) :: !acc);
+  Array.of_list (List.rev !acc)
+
+let store_tmp ctx ~(dst : Darray.t) tmp =
+  let me = Rctx.me ctx in
+  let i = ref 0 in
+  Darray.iter_owned dst ~rank:me (fun _ flat ->
+      F90d_base.Ndarray.set_flat dst.Darray.local flat (F90d_base.Ndarray.get_flat tmp !i);
+      incr i);
+  Rctx.charge_copy_bytes ctx (F90d_base.Ndarray.bytes tmp)
+
+let redistribute ctx (src : Darray.t) dst_dad =
+  let dst = Darray.create ctx dst_dad in
+  let me = Rctx.me ctx in
+  let key = Format.asprintf "redist:%a->%a" Dad.pp src.Darray.dad Dad.pp dst_dad in
+  let sched =
+    Schedule.cached ctx ~key (fun () ->
+        Schedule.build_read_local ctx
+          ~needs:(needs_for ~src ~dst_dad ~f:Fun.id me)
+          ~peer_needs:(needs_for ~src ~dst_dad ~f:Fun.id))
+  in
+  let tmp = Schedule.read ctx sched src in
+  store_tmp ctx ~dst tmp;
+  dst
+
+let remap ctx ~(dst : Darray.t) ~(src : Darray.t) ~f =
+  let me = Rctx.me ctx in
+  let sched = Schedule.build_read_comm ctx ~needs:(needs_for ~src ~dst_dad:dst.Darray.dad ~f me) in
+  let tmp = Schedule.read ctx sched src in
+  store_tmp ctx ~dst tmp

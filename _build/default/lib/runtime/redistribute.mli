@@ -1,0 +1,19 @@
+(** Dynamic data redistribution (§6).
+
+    Used when a distributed actual argument meets a differently-distributed
+    dummy argument at a subroutine boundary: the array is redistributed on
+    entry and back on exit.  Because both descriptors are known everywhere,
+    both sides of every exchange are computed locally (schedule1-style) and
+    the data moves in one vectorized message per processor pair. *)
+
+val redistribute : Rctx.t -> Darray.t -> F90d_dist.Dad.t -> Darray.t
+(** A new array with the same global contents under the target descriptor.
+    Schedules are cached under the (source, target) descriptor pair. *)
+
+val remap :
+  Rctx.t -> dst:Darray.t -> src:Darray.t -> f:(int array -> int array) -> unit
+(** Generalised movement: set [dst(idx) = src(f idx)] for every global
+    index of [dst], where [f] maps to global indices of [src].  [f] need
+    not be invertible; the request lists are exchanged (schedule2), which
+    is how the unstructured intrinsics (TRANSPOSE, RESHAPE, ...) are
+    implemented. *)

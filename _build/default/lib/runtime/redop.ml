@@ -1,0 +1,71 @@
+open F90d_base
+open F90d_machine
+
+type t = Sum | Prod | Max | Min | And | Or
+
+let name = function
+  | Sum -> "SUM"
+  | Prod -> "PRODUCT"
+  | Max -> "MAX"
+  | Min -> "MIN"
+  | And -> "ALL"
+  | Or -> "ANY"
+
+let scalar op a b =
+  match op with
+  | Sum -> Scalar.add a b
+  | Prod -> Scalar.mul a b
+  | Max -> Scalar.max2 a b
+  | Min -> Scalar.min2 a b
+  | And -> Scalar.and_ a b
+  | Or -> Scalar.or_ a b
+
+let identity op kind =
+  match (op, kind) with
+  | Sum, k -> Scalar.zero k
+  | Prod, Scalar.Kint -> Scalar.Int 1
+  | Prod, _ -> Scalar.Real 1.
+  | Max, Scalar.Kint -> Scalar.Int min_int
+  | Max, _ -> Scalar.Real neg_infinity
+  | Min, Scalar.Kint -> Scalar.Int max_int
+  | Min, _ -> Scalar.Real infinity
+  | And, _ -> Scalar.Log true
+  | Or, _ -> Scalar.Log false
+
+let rec payload op a b =
+  match (a, b) with
+  | Message.Empty, x | x, Message.Empty -> x
+  | Message.Scalar x, Message.Scalar y -> Message.Scalar (scalar op x y)
+  | Message.Floats x, Message.Floats y ->
+      let f = match op with
+        | Sum -> ( +. ) | Prod -> ( *. ) | Max -> Float.max | Min -> Float.min
+        | And | Or -> Diag.bug "redop: logical reduction over float payload"
+      in
+      Message.Floats (Array.mapi (fun i v -> f v y.(i)) x)
+  | Message.Ints x, Message.Ints y ->
+      let f = match op with
+        | Sum -> ( + ) | Prod -> ( * ) | Max -> max | Min -> min
+        | And | Or -> Diag.bug "redop: logical reduction over int payload"
+      in
+      Message.Ints (Array.mapi (fun i v -> f v y.(i)) x)
+  | Message.Arr x, Message.Arr y ->
+      let out = Ndarray.copy x in
+      for i = 0 to Ndarray.size x - 1 do
+        Ndarray.set_flat out i (scalar op (Ndarray.get_flat x i) (Ndarray.get_flat y i))
+      done;
+      Message.Arr out
+  | Message.Pair (a1, a2), Message.Pair (b1, b2) ->
+      Message.Pair (payload op a1 b1, payload op a2 b2)
+  | _ -> Diag.bug "redop: payload shape mismatch in reduction"
+
+(* [Pair (Scalar value, Ints location)]: keep the better value; on ties the
+   left (earlier team member) wins. *)
+let loc_combine better a b =
+  match (a, b) with
+  | Message.Empty, x | x, Message.Empty -> x
+  | Message.Pair (Message.Scalar va, _), Message.Pair (Message.Scalar vb, _) ->
+      if Scalar.to_bool (better vb va) then b else a
+  | _ -> Diag.bug "redop: MAXLOC/MINLOC payload must be (value, location)"
+
+let maxloc a b = loc_combine Scalar.cmp_gt a b
+let minloc a b = loc_combine Scalar.cmp_lt a b

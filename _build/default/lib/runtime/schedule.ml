@@ -1,0 +1,184 @@
+open F90d_base
+open F90d_machine
+
+type segment = { peer : int; positions : int array }
+
+type t = {
+  out_segs : segment list;  (* positions into the source buffer, per peer *)
+  in_segs : segment list;  (* positions into the destination buffer, per peer *)
+  self_src : int array;
+  self_dst : int array;
+  tmp_size : int;
+}
+
+(* Group (owner, remote_flat) pairs by owner in grid-rank order, keeping the
+   original (iteration) order inside each group.  [pos_of] selects whether
+   a pair contributes its sequence position or its remote flat index. *)
+let group_by_peer ctx pairs ~pos_of =
+  let p = Rctx.nprocs ctx in
+  let buckets = Array.make p [] in
+  Array.iteri
+    (fun seq (owner, flat) -> buckets.(owner) <- pos_of seq flat :: buckets.(owner))
+    pairs;
+  let segs = ref [] in
+  for peer = p - 1 downto 0 do
+    match buckets.(peer) with
+    | [] -> ()
+    | l -> segs := { peer; positions = Array.of_list (List.rev l) } :: !segs
+  done;
+  !segs
+
+let seq_pos seq _flat = seq
+
+(* Preprocessing-loop cost: a few index operations per element inspected. *)
+let charge_inspector ctx n = Rctx.charge_iops ctx (3 * n)
+
+let split_self ctx segs =
+  let me = Rctx.me ctx in
+  let self = List.find_opt (fun s -> s.peer = me) segs in
+  (List.filter (fun s -> s.peer <> me) segs, match self with Some s -> s.positions | None -> [||])
+
+let build_read_local ctx ~needs ~peer_needs =
+  charge_inspector ctx (Array.length needs);
+  let me = Rctx.me ctx in
+  let in_all = group_by_peer ctx needs ~pos_of:seq_pos in
+  let in_segs, self_dst = split_self ctx in_all in
+  let self_src =
+    Array.of_seq
+      (Seq.filter_map
+         (fun (owner, flat) -> if owner = me then Some flat else None)
+         (Array.to_seq needs))
+  in
+  (* the send side is computed locally from the inverted subscript *)
+  let out_segs = ref [] in
+  for peer = Rctx.nprocs ctx - 1 downto 0 do
+    if peer <> me then begin
+      let theirs = peer_needs peer in
+      let mine =
+        Array.to_seq theirs
+        |> Seq.filter_map (fun (owner, flat) -> if owner = me then Some flat else None)
+        |> Array.of_seq
+      in
+      if Array.length mine > 0 then out_segs := { peer; positions = mine } :: !out_segs
+    end
+  done;
+  { out_segs = !out_segs; in_segs; self_src; self_dst; tmp_size = Array.length needs }
+
+(* Exchange index lists with every peer: I tell each peer which of its flat
+   positions I need (or will write); each peer's reply order defines the
+   packing order on its side. *)
+let exchange_index_lists ctx ~mine_for =
+  let me = Rctx.me ctx and p = Rctx.nprocs ctx in
+  for peer = 0 to p - 1 do
+    if peer <> me then Rctx.send ctx ~dest:peer ~tag:Tags.schedule_indices (Message.Ints (mine_for peer))
+  done;
+  let incoming = Array.make p [||] in
+  for peer = 0 to p - 1 do
+    if peer <> me then incoming.(peer) <- Message.ints (Rctx.recv ctx ~src:peer ~tag:Tags.schedule_indices)
+  done;
+  incoming
+
+let segs_of_incoming incoming =
+  let segs = ref [] in
+  for peer = Array.length incoming - 1 downto 0 do
+    if Array.length incoming.(peer) > 0 then
+      segs := { peer; positions = incoming.(peer) } :: !segs
+  done;
+  !segs
+
+let remote_flats_for pairs peer =
+  Array.to_seq pairs
+  |> Seq.filter_map (fun (owner, flat) -> if owner = peer then Some flat else None)
+  |> Array.of_seq
+
+let build_read_comm ctx ~needs =
+  charge_inspector ctx (Array.length needs);
+  let me = Rctx.me ctx in
+  let in_all = group_by_peer ctx needs ~pos_of:seq_pos in
+  let in_segs, self_dst = split_self ctx in_all in
+  let self_src = remote_flats_for needs me in
+  let incoming = exchange_index_lists ctx ~mine_for:(remote_flats_for needs) in
+  { out_segs = segs_of_incoming incoming; in_segs; self_src; self_dst; tmp_size = Array.length needs }
+
+let build_write_local ctx ~writes ~peer_writes =
+  charge_inspector ctx (Array.length writes);
+  let me = Rctx.me ctx in
+  let out_all = group_by_peer ctx writes ~pos_of:seq_pos in
+  let out_segs, self_src = split_self ctx out_all in
+  let self_dst = remote_flats_for writes me in
+  let in_segs = ref [] in
+  for peer = Rctx.nprocs ctx - 1 downto 0 do
+    if peer <> me then begin
+      let theirs = remote_flats_for (peer_writes peer) me in
+      if Array.length theirs > 0 then in_segs := { peer; positions = theirs } :: !in_segs
+    end
+  done;
+  { out_segs; in_segs = !in_segs; self_src; self_dst; tmp_size = Array.length writes }
+
+let build_write_comm ctx ~writes =
+  charge_inspector ctx (Array.length writes);
+  let me = Rctx.me ctx in
+  let out_all = group_by_peer ctx writes ~pos_of:seq_pos in
+  let out_segs, self_src = split_self ctx out_all in
+  let self_dst = remote_flats_for writes me in
+  let incoming = exchange_index_lists ctx ~mine_for:(remote_flats_for writes) in
+  { out_segs; in_segs = segs_of_incoming incoming; self_src; self_dst; tmp_size = Array.length writes }
+
+let pack ctx src positions =
+  let out = Ndarray.create (Ndarray.kind src) [| Array.length positions |] in
+  Array.iteri (fun i p -> Ndarray.set_flat out i (Ndarray.get_flat src p)) positions;
+  Rctx.charge_copy_bytes ctx (Ndarray.bytes out);
+  out
+
+let unpack ctx dst positions values =
+  Array.iteri (fun i p -> Ndarray.set_flat dst p (Ndarray.get_flat values i)) positions;
+  Rctx.charge_copy_bytes ctx (4 * Array.length positions)
+
+let exchange ctx sched ~src ~dst =
+  List.iter
+    (fun s -> Rctx.send ctx ~dest:s.peer ~tag:Tags.exec_data (Message.Arr (pack ctx src s.positions)))
+    sched.out_segs;
+  Array.iteri
+    (fun i p -> Ndarray.set_flat dst sched.self_dst.(i) (Ndarray.get_flat src p))
+    sched.self_src;
+  Rctx.charge_copy_bytes ctx (4 * Array.length sched.self_src);
+  List.iter
+    (fun s ->
+      let msg = Rctx.recv ctx ~src:s.peer ~tag:Tags.exec_data in
+      unpack ctx dst s.positions (Message.arr msg))
+    sched.in_segs
+
+let read ctx sched (darr : Darray.t) =
+  let tmp = Ndarray.create (Darray.kind darr) [| sched.tmp_size |] in
+  exchange ctx sched ~src:darr.Darray.local ~dst:tmp;
+  tmp
+
+let write ctx sched (darr : Darray.t) tmp =
+  exchange ctx sched ~src:tmp ~dst:darr.Darray.local
+
+(* ------------------------------------------------------------------ *)
+(* Schedule reuse                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let cache : (string * int, t) Hashtbl.t = Hashtbl.create 64
+let builds = ref 0
+let hits = ref 0
+
+let cached ctx ~key builder =
+  let k = (key, Rctx.me ctx) in
+  match Hashtbl.find_opt cache k with
+  | Some s ->
+      incr hits;
+      s
+  | None ->
+      incr builds;
+      let s = builder () in
+      Hashtbl.add cache k s;
+      s
+
+let cache_stats () = (!builds, !hits)
+
+let clear_cache () =
+  Hashtbl.reset cache;
+  builds := 0;
+  hits := 0

@@ -1,0 +1,55 @@
+(** PARTI-style communication schedules (§5.3.2).
+
+    A schedule records, per peer, which buffer positions to pack into a
+    single vectorized message and where incoming values land — the
+    inspector half of the inspector/executor model.  Data always moves in
+    one message per communicating pair, which is the paper's message
+    vectorization optimization.
+
+    Two build families mirror the paper's two kinds of preprocessing:
+
+    - {e local} builds (schedule1 of precomp_read / postcomp_write): both
+      sides of every exchange are computed without communication, from an
+      invertible subscript.  The caller supplies a closure able to
+      enumerate any peer's needs/writes (cheap local arithmetic).
+    - {e communicating} builds (schedule2/schedule3 of gather / scatter):
+      only one side is locally known; index lists are exchanged during
+      scheduling (the fan-in the paper describes).
+
+    [needs]/[writes] pair each tmp-buffer position (in iteration order)
+    with [(owner grid rank, flat storage position on the owner)]. *)
+
+type t
+
+val build_read_local :
+  Rctx.t -> needs:(int * int) array -> peer_needs:(int -> (int * int) array) -> t
+(** schedule1 for precomp_read. *)
+
+val build_read_comm : Rctx.t -> needs:(int * int) array -> t
+(** schedule2 for gather. *)
+
+val build_write_local :
+  Rctx.t -> writes:(int * int) array -> peer_writes:(int -> (int * int) array) -> t
+(** schedule1 for postcomp_write. *)
+
+val build_write_comm : Rctx.t -> writes:(int * int) array -> t
+(** schedule3 for scatter. *)
+
+val read : Rctx.t -> t -> Darray.t -> F90d_base.Ndarray.t
+(** Executor: fetch every needed element into a flat tmp buffer ordered
+    like [needs]. *)
+
+val write : Rctx.t -> t -> Darray.t -> F90d_base.Ndarray.t -> unit
+(** Executor: store tmp values (ordered like [writes]) into their owners'
+    local sections. *)
+
+(** {2 Schedule reuse (§7, optimization 3)} *)
+
+val cached : Rctx.t -> key:string -> (unit -> t) -> t
+(** Returns the cached schedule for [key] on this processor, building it
+    once.  The compiler emits stable keys for reusable inspectors. *)
+
+val cache_stats : unit -> int * int
+(** (builds, hits) since the last {!clear_cache}. *)
+
+val clear_cache : unit -> unit

@@ -1,0 +1,236 @@
+open F90d_base
+open F90d_dist
+open F90d_machine
+
+(* The grid dimension an array dimension is distributed over; structured
+   primitives are only generated for distributed dimensions. *)
+let pdim_of (darr : Darray.t) dim =
+  match (Dad.dims darr.Darray.dad).(dim).Dad.pdim with
+  | Some p -> p
+  | None -> Diag.bug "structured: dimension %d of %s is not distributed" (dim + 1)
+              (Dad.name darr.Darray.dad)
+
+let my_counts ctx (darr : Darray.t) = Dad.local_counts darr.Darray.dad ~rank:(Rctx.me ctx)
+
+let owner_coord (darr : Darray.t) dim g =
+  let d = (Dad.dims darr.Darray.dad).(dim) in
+  Distrib.owner d.Dad.dist (Affine.eval d.Dad.align g)
+
+let my_coord ctx (darr : Darray.t) dim = (Rctx.my_coords ctx).(pdim_of darr dim)
+
+(* Copy the slices of [local] at the given storage positions along [dim]
+   into a fresh array whose [dim] extent is the number of slices. *)
+let gather_dim_slices ctx local ~dim ~counts positions =
+  let extents = Array.copy counts in
+  extents.(dim) <- Array.length positions;
+  let out = Ndarray.create (Ndarray.kind local) extents in
+  Array.iteri
+    (fun i pos ->
+      let lo = Array.make (Array.length counts) 0 in
+      lo.(dim) <- pos;
+      let box_extents = Array.copy counts in
+      box_extents.(dim) <- 1;
+      let slab = Ndarray.get_box local ~lo ~extents:box_extents in
+      let dst_lo = Array.make (Array.length counts) 1 in
+      dst_lo.(dim) <- i + 1;
+      Ndarray.set_box out ~lo:dst_lo slab)
+    positions;
+  Rctx.charge_copy_bytes ctx (Ndarray.bytes out);
+  out
+
+(* Place the [dim] slices of [src] (in order) at the given positions of
+   [dst] along [dim].  [origin] is the index where the owned box starts in
+   the non-shifted dimensions: 0 for local sections (whose lower bound is
+   the ghost corner), 1 for fresh temporaries. *)
+let scatter_dim_slices ctx ~dst ~dim ~origin positions src =
+  let nd = Ndarray.rank dst in
+  let box_extents = Array.copy src.Ndarray.extents in
+  box_extents.(dim) <- 1;
+  Array.iteri
+    (fun i pos ->
+      let src_lo = Array.make nd 1 in
+      src_lo.(dim) <- i + 1;
+      let slab = Ndarray.get_box src ~lo:src_lo ~extents:box_extents in
+      let dst_lo = Array.make nd origin in
+      dst_lo.(dim) <- pos;
+      Ndarray.set_box dst ~lo:dst_lo slab)
+    positions;
+  Rctx.charge_copy_bytes ctx (Ndarray.bytes src)
+
+let multicast ctx (darr : Darray.t) ~dim ~g =
+  let me_coord = my_coord ctx darr dim in
+  let root_coord = owner_coord darr dim g in
+  let team = Collectives.team_along ctx ~dim:(pdim_of darr dim) in
+  let counts = my_counts ctx darr in
+  let payload =
+    if me_coord = root_coord then begin
+      let pos = Layout.local_of_global (Dad.layout_at darr.Darray.dad ~dim ~rank:(Rctx.me ctx)) g in
+      Message.Arr (gather_dim_slices ctx darr.Darray.local ~dim ~counts [| pos |])
+    end
+    else Message.Empty
+  in
+  match Collectives.broadcast ctx team ~root:root_coord payload with
+  | Message.Arr slab -> slab
+  | _ -> Diag.bug "multicast: protocol error"
+
+let transfer ctx (darr : Darray.t) ~dim ~gsrc ~gdest =
+  let me_coord = my_coord ctx darr dim in
+  let src_coord = owner_coord darr dim gsrc in
+  let dest_coord = owner_coord darr dim gdest in
+  let team = Collectives.team_along ctx ~dim:(pdim_of darr dim) in
+  let counts = my_counts ctx darr in
+  let payload =
+    if me_coord = src_coord then begin
+      let pos = Layout.local_of_global (Dad.layout_at darr.Darray.dad ~dim ~rank:(Rctx.me ctx)) gsrc in
+      Some (Message.Arr (gather_dim_slices ctx darr.Darray.local ~dim ~counts [| pos |]))
+    end
+    else None
+  in
+  match Collectives.transfer ctx team ~src:src_coord ~dest:dest_coord payload with
+  | Some (Message.Arr slab) -> Some slab
+  | Some _ -> Diag.bug "transfer: protocol error"
+  | None -> None
+
+let overlap_shift ctx (darr : Darray.t) ~dim ~amount =
+  if amount = 0 then ()
+  else begin
+    let dad = darr.Darray.dad in
+    let d = (Dad.dims dad).(dim) in
+    let me = Rctx.me ctx in
+    let counts = my_counts ctx darr in
+    let n = counts.(dim) in
+    let w = abs amount in
+    (match Dad.layout_at dad ~dim ~rank:me with
+    | Layout.Prog { step = 1; _ } -> ()
+    | _ -> Diag.bug "overlap_shift: layout of %s dim %d is not contiguous" (Dad.name dad) (dim + 1));
+    if (amount > 0 && d.Dad.ghost_hi < w) || (amount < 0 && d.Dad.ghost_lo < w) then
+      Diag.bug "overlap_shift: ghost area of %s dim %d narrower than shift %d" (Dad.name dad)
+        (dim + 1) amount;
+    let pd = pdim_of darr dim in
+    let team = Collectives.team_along ctx ~dim:pd in
+    let coord = my_coord ctx darr dim in
+    let m = Array.length team in
+    (* amount > 0: data flows from coordinate c+1 to c (B(i+c) reads ahead) *)
+    let send_to, recv_from = if amount > 0 then (coord - 1, coord + 1) else (coord + 1, coord - 1) in
+    let slab_positions =
+      (* the w boundary slices the neighbour needs *)
+      if amount > 0 then Array.init (min w n) Fun.id
+      else Array.init (min w n) (fun i -> n - (min w n) + i)
+    in
+    if send_to >= 0 && send_to < m && n > 0 then
+      Rctx.send ctx ~dest:team.(send_to) ~tag:Tags.shift
+        (Message.Arr (gather_dim_slices ctx darr.Darray.local ~dim ~counts slab_positions));
+    if recv_from >= 0 && recv_from < m then begin
+      (* only expect data if the neighbour owns anything *)
+      let neighbour_counts = Dad.local_counts dad ~rank:team.(recv_from) in
+      if neighbour_counts.(dim) > 0 then begin
+        let msg = Rctx.recv ctx ~src:team.(recv_from) ~tag:Tags.shift in
+        let slab = Message.arr msg in
+        let ghost_positions =
+          let k = slab.Ndarray.extents.(dim) in
+          if amount > 0 then Array.init k (fun i -> n + i) else Array.init k (fun i -> -k + i)
+        in
+        scatter_dim_slices ctx ~dst:darr.Darray.local ~dim ~origin:0 ghost_positions slab
+      end
+    end
+  end
+
+(* Exchange along one grid dimension: every coordinate wants the global
+   dim-indices given by [wants coord] (in its local order).  Both sides of
+   every pair derive their lists locally — the want-function is common
+   knowledge, as with the paper's invertible subscripts — and slabs move in
+   one vectorized message per communicating pair.  Wanted positions
+   without an owner (outside the array) are left zero. *)
+let exchange_wants ctx (darr : Darray.t) ~dim ~wants =
+  let dad = darr.Darray.dad in
+  let d = (Dad.dims dad).(dim) in
+  let me = Rctx.me ctx in
+  let pd = pdim_of darr dim in
+  let team = Collectives.team_along ctx ~dim:pd in
+  let coord = my_coord ctx darr dim in
+  let counts = my_counts ctx darr in
+  let m = Array.length team in
+  let my_wants = wants coord in
+  Rctx.charge_iops ctx (3 * Array.length my_wants);
+  let owner_of g = if g >= 0 && g < d.Dad.extent then Some (owner_coord darr dim g) else None in
+  let mylay = Dad.layout_at dad ~dim ~rank:me in
+  (* send first: for each peer, the slices of mine that it wants, in its order *)
+  for c = 0 to m - 1 do
+    if c <> coord then begin
+      let positions =
+        Array.to_seq (wants c)
+        |> Seq.filter_map (fun g ->
+               match owner_of g with
+               | Some o when o = coord -> Some (Layout.local_of_global mylay g)
+               | _ -> None)
+        |> Array.of_seq
+      in
+      if Array.length positions > 0 then
+        Rctx.send ctx ~dest:team.(c) ~tag:Tags.shift
+          (Message.Arr (gather_dim_slices ctx darr.Darray.local ~dim ~counts positions))
+    end
+  done;
+  (* result temporary, filled locally then from incoming messages *)
+  let extents = Array.copy counts in
+  extents.(dim) <- Array.length my_wants;
+  let tmp = Ndarray.create (Ndarray.kind darr.Darray.local) extents in
+  let local_positions = ref [] and local_sources = ref [] in
+  let from_peer = Array.make m [] in
+  Array.iteri
+    (fun i g ->
+      match owner_of g with
+      | Some c when c = coord ->
+          local_positions := (i + 1) :: !local_positions;
+          local_sources := Layout.local_of_global mylay g :: !local_sources
+      | Some c -> from_peer.(c) <- (i + 1) :: from_peer.(c)
+      | None -> ())
+    my_wants;
+  if !local_positions <> [] then
+    scatter_dim_slices ctx ~dst:tmp ~dim ~origin:1
+      (Array.of_list (List.rev !local_positions))
+      (gather_dim_slices ctx darr.Darray.local ~dim ~counts
+         (Array.of_list (List.rev !local_sources)));
+  for c = 0 to m - 1 do
+    if c <> coord && from_peer.(c) <> [] then begin
+      let msg = Rctx.recv ctx ~src:team.(c) ~tag:Tags.shift in
+      scatter_dim_slices ctx ~dst:tmp ~dim ~origin:1 (Array.of_list (List.rev from_peer.(c))) (Message.arr msg)
+    end
+  done;
+  tmp
+
+let temporary_shift ctx (darr : Darray.t) ~dim ~amount =
+  let dad = darr.Darray.dad in
+  let pd = pdim_of darr dim in
+  let team = Collectives.team_along ctx ~dim:pd in
+  let wants c =
+    let l = Dad.layout_at dad ~dim ~rank:team.(c) in
+    Array.init (Layout.count l) (fun i -> Layout.global_of_local l i + amount)
+  in
+  exchange_wants ctx darr ~dim ~wants
+
+let multicast_shift ctx (darr : Darray.t) ~mdim ~g ~sdim ~amount =
+  (* the owner row of [g] shifts among itself, then broadcasts the combined
+     slab: one tree instead of shift-everywhere + broadcast *)
+  let me_coord = my_coord ctx darr mdim in
+  let root_coord = owner_coord darr mdim g in
+  let team = Collectives.team_along ctx ~dim:(pdim_of darr mdim) in
+  let payload =
+    if me_coord = root_coord then begin
+      let shifted = temporary_shift ctx darr ~dim:sdim ~amount in
+      let pos =
+        Layout.local_of_global (Dad.layout_at darr.Darray.dad ~dim:mdim ~rank:(Rctx.me ctx)) g
+      in
+      (* restrict the shifted temporary to the broadcast slice *)
+      let lo = Array.map (fun lb -> lb) shifted.Ndarray.lb in
+      let extents = Array.copy shifted.Ndarray.extents in
+      lo.(mdim) <- lo.(mdim) + pos;
+      extents.(mdim) <- 1;
+      Message.Arr (Ndarray.get_box shifted ~lo ~extents)
+    end
+    else Message.Empty
+  in
+  match Collectives.broadcast ctx team ~root:root_coord payload with
+  | Message.Arr slab -> slab
+  | _ -> Diag.bug "multicast_shift: protocol error"
+
+let concat ctx (darr : Darray.t) = Darray.gather_global ctx darr

@@ -1,0 +1,52 @@
+(** Structured communication primitives (§5.1, Table 1).
+
+    All primitives are collective over the processor-grid dimension that
+    the named array dimension is distributed on; every grid processor must
+    call them in the same program order (inactive processors participate
+    with empty roles).  Results are {e temporaries} shaped like this
+    processor's owned box of the array, with broadcast/transferred
+    dimensions collapsed to extent 1; the generated loop indexes them with
+    its local loop indices.
+
+    Global indices ([g], [gsrc], ...) are 0-based positions in the array
+    dimension (the caller converts from Fortran indices). *)
+
+open F90d_base
+
+val multicast : Rctx.t -> Darray.t -> dim:int -> g:int -> Ndarray.t
+(** Broadcast the slice [dim = g] from its owner along the grid dimension:
+    result has extent 1 in [dim], the owned box elsewhere. *)
+
+val transfer : Rctx.t -> Darray.t -> dim:int -> gsrc:int -> gdest:int -> Ndarray.t option
+(** One-to-one: processors owning [gsrc] send the slice to those owning
+    [gdest] (pointwise along the other grid dimensions).  [Some slab] on
+    receivers, [None] elsewhere. *)
+
+val overlap_shift : Rctx.t -> Darray.t -> dim:int -> amount:int -> unit
+(** Shift boundary slices into ghost cells in place ([amount > 0] fetches
+    from the next coordinate).  Requires a BLOCK-contiguous layout and
+    ghost widths of at least [|amount|] — the compiler guarantees both. *)
+
+val exchange_wants :
+  Rctx.t -> Darray.t -> dim:int -> wants:(int -> int array) -> Ndarray.t
+(** Generic exchange along the grid dimension of [dim]: coordinate [c]
+    receives the slices for global dim-indices [wants c] (in that order;
+    out-of-range entries are left zero).  The want-function is common
+    knowledge, so both sides of every pair are derived locally and data
+    moves in one vectorized message per pair.  Building block of
+    {!temporary_shift} and of CSHIFT/EOSHIFT. *)
+
+val temporary_shift : Rctx.t -> Darray.t -> dim:int -> amount:int -> Ndarray.t
+(** General shift into a temporary: position [l] along [dim] holds the
+    value of global index [g_l + amount] (zero when outside the array;
+    the loop bounds never read those).  Works for any distribution and
+    shift amount; one vectorized message per communicating pair. *)
+
+val multicast_shift :
+  Rctx.t -> Darray.t -> mdim:int -> g:int -> sdim:int -> amount:int -> Ndarray.t
+(** Fused multicast + shift (§5.3.1, example 3): the owner row performs the
+    shift among itself, then broadcasts — saving the temporary copies and
+    message unpacking of running the two primitives over the full grid. *)
+
+val concat : Rctx.t -> Darray.t -> Ndarray.t
+(** The concatenation primitive: the full global array, replicated. *)

@@ -1,0 +1,19 @@
+(** Message-tag namespace of the run-time library.
+
+    Matching in the engine is FIFO per (source, tag), and SPMD programs
+    issue communication in identical program order on every node, so tags
+    exist for protocol clarity and debuggability rather than correctness. *)
+
+val transfer : int
+val broadcast : int
+val reduce : int
+val gatherv : int
+val shift : int
+val schedule_counts : int
+val schedule_indices : int
+val exec_data : int
+val redistribute : int
+val concat : int
+
+val family_name : int -> string
+(** Human name of a tag's hundreds-family, for statistics breakdowns. *)

@@ -1,0 +1,1 @@
+test/test_base.ml: Affine Alcotest Array F90d_base List Ndarray QCheck QCheck_alcotest Scalar Util

@@ -1,0 +1,1 @@
+test/test_commdet.ml: Alcotest Array Ast F90d_commdet F90d_frontend List Option Parser Pattern Sema

@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Array Driver F90d F90d_base F90d_exec F90d_machine F90d_opt Float Format List Model Ndarray Printf Scalar Stats

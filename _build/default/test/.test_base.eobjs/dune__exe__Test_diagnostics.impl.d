@@ -1,0 +1,1 @@
+test/test_diagnostics.ml: Alcotest Diag Driver F90d F90d_base Loc Printf Str

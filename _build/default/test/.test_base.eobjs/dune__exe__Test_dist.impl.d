@@ -1,0 +1,1 @@
+test/test_dist.ml: Affine Alcotest Array Bounds Dad Distrib F90d_base F90d_dist F90d_machine Gen Grid Layout List Ndarray QCheck QCheck_alcotest Scalar Util

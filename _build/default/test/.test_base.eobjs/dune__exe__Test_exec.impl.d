@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Driver F90d F90d_base F90d_exec Format List Ndarray Scalar Str String

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Affine Alcotest Array Ast Diag F90d_base F90d_dist F90d_frontend Format Lexer List Normalize Parser Printf Scalar Sema Token

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Engine F90d_base F90d_machine List Message Model QCheck QCheck_alcotest Scalar Stats Topology

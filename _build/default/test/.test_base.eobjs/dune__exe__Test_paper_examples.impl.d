@@ -1,0 +1,1 @@
+test/test_paper_examples.ml: Alcotest Driver F90d F90d_base F90d_ir F90d_machine Ndarray Scalar Str

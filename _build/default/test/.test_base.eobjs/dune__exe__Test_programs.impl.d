@@ -1,0 +1,1 @@
+test/test_programs.ml: Alcotest Array Baselines Driver F90d F90d_base F90d_exec F90d_ir F90d_machine F90d_opt Float List Model Ndarray Printf Programs QCheck QCheck_alcotest Scalar Str Topology

@@ -1,0 +1,235 @@
+open F90d_frontend
+open F90d_commdet
+
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+
+(* A unit environment with the standard mapping of the paper's §5.3.1
+   examples: A, B aligned to TEMPL(BLOCK, BLOCK) on P(2, 2), plus some
+   extra shapes. *)
+let env =
+  Sema.main_env
+    (Sema.analyze
+       (Parser.parse ~file:"t"
+          {|
+      PROGRAM T
+      INTEGER, PARAMETER :: N = 16
+      INTEGER S, D
+      REAL A(16, 16), B(16, 16)
+      REAL X(16), Y(16), R(16), CYC(16)
+      REAL G(16, 16)
+      INTEGER V(16)
+      REAL AFF(33)
+C$    PROCESSORS P(2, 2)
+C$    TEMPLATE TEMPL(16, 16)
+C$    TEMPLATE T1(16)
+C$    TEMPLATE T33(33)
+C$    ALIGN A(I, J) WITH TEMPL(I, J)
+C$    ALIGN B(I, J) WITH TEMPL(I, J)
+C$    ALIGN X(I) WITH T1(I)
+C$    ALIGN Y(I) WITH T1(I)
+C$    ALIGN V(I) WITH T1(I)
+C$    ALIGN AFF(I) WITH T33(I)
+C$    ALIGN G(I, J) WITH T1(J)
+C$    DISTRIBUTE TEMPL(BLOCK, BLOCK)
+C$    DISTRIBUTE T1(BLOCK)
+C$    DISTRIBUTE T33(BLOCK)
+C$    DISTRIBUTE CYC(CYCLIC)
+      END
+      |}))
+
+let plan_of ~vars ?mask lhs rhs =
+  let parse = Parser.parse_expr_string in
+  let vars =
+    List.map
+      (fun (v, lo, hi) -> (v, { Ast.lo = parse lo; hi = parse hi; st = None }))
+      vars
+  in
+  Pattern.analyze_forall env ~vars ~mask:(Option.map parse mask) ~lhs:(parse lhs)
+    ~rhs:(parse rhs)
+
+let rhs_plan plan name =
+  match
+    List.find_opt (fun ((r : Ast.ref_), _) -> r.Ast.base = name) plan.Pattern.refs
+  with
+  | Some (_, p) -> p
+  | None -> Alcotest.failf "no plan recorded for %s" name
+
+let plan_kind = function
+  | Pattern.Direct -> "direct"
+  | Pattern.Structured _ -> "structured"
+  | Pattern.Precomp_read -> "precomp"
+  | Pattern.Gather -> "gather"
+  | Pattern.Concat -> "concat"
+
+let lhs_kind plan =
+  match plan.Pattern.lhs with
+  | Pattern.Lhs_canonical _ -> "canonical"
+  | Pattern.Lhs_replicated -> "replicated"
+  | Pattern.Lhs_postcomp -> "postcomp"
+  | Pattern.Lhs_scatter -> "scatter"
+
+let tag_at plan name d =
+  match rhs_plan plan name with
+  | Pattern.Structured tags -> tags.(d)
+  | p -> Alcotest.failf "%s is %s, not structured" name (plan_kind p)
+
+(* the paper's §5.3.1 example 1: FORALL(I=1:N) A(I,8)=B(I,3) *)
+let test_paper_transfer_example () =
+  let plan = plan_of ~vars:[ ("I", "1", "16") ] "A(I, 8)" "B(I, 3)" in
+  checks "lhs" "canonical" (lhs_kind plan);
+  (match plan.Pattern.lhs with
+  | Pattern.Lhs_canonical { guards; _ } ->
+      Alcotest.(check int) "guard on dim 2" 1 (List.length guards)
+  | _ -> ());
+  (match tag_at plan "B" 0 with
+  | Pattern.No_comm -> ()
+  | _ -> Alcotest.fail "dim 1 should be no-comm");
+  match tag_at plan "B" 1 with
+  | Pattern.Transfer _ -> ()
+  | _ -> Alcotest.fail "dim 2 should be transfer"
+
+(* example 2: FORALL(I,J) A(I,J)=B(I,3) -> multicast *)
+let test_paper_multicast_example () =
+  let plan =
+    plan_of ~vars:[ ("I", "1", "16"); ("J", "1", "16") ] "A(I, J)" "B(I, 3)"
+  in
+  match tag_at plan "B" 1 with
+  | Pattern.Multicast _ -> ()
+  | _ -> Alcotest.fail "dim 2 should be multicast"
+
+(* example 3: FORALL(I,J) A(I,J)=B(3,J+S) -> multicast + temporary shift *)
+let test_paper_multicast_shift_example () =
+  let plan =
+    plan_of ~vars:[ ("I", "1", "16"); ("J", "1", "14") ] "A(I, J)" "B(3, J+S)"
+  in
+  (match tag_at plan "B" 0 with
+  | Pattern.Multicast _ -> ()
+  | _ -> Alcotest.fail "dim 1 should be multicast");
+  match tag_at plan "B" 1 with
+  | Pattern.Temp_shift _ -> ()
+  | _ -> Alcotest.fail "dim 2 should be temporary shift"
+
+let test_jacobi_overlap () =
+  let plan = plan_of ~vars:[ ("I", "2", "15") ] "X(I)" "Y(I-1) + Y(I+1)" in
+  let tags =
+    List.filter_map
+      (fun ((r : Ast.ref_), p) ->
+        if r.Ast.base = "Y" then
+          match p with Pattern.Structured t -> Some t.(0) | _ -> None
+        else None)
+      plan.Pattern.refs
+  in
+  checkb "two overlap shifts" true
+    (match tags with
+    | [ Pattern.Overlap a; Pattern.Overlap b ] -> (a = -1 && b = 1) || (a = 1 && b = -1)
+    | _ -> false)
+
+let test_canonical_no_comm () =
+  let plan = plan_of ~vars:[ ("I", "1", "16") ] "X(I)" "Y(I) * 2.0" in
+  checks "direct" "direct" (plan_kind (rhs_plan plan "Y"))
+
+let test_invertible_precomp () =
+  let plan = plan_of ~vars:[ ("I", "1", "16") ] "X(I)" "AFF(2*I + 1)" in
+  checks "precomp" "precomp" (plan_kind (rhs_plan plan "AFF"))
+
+let test_vector_gather () =
+  let plan = plan_of ~vars:[ ("I", "1", "16") ] "X(I)" "Y(V(I))" in
+  checks "gather" "gather" (plan_kind (rhs_plan plan "Y"));
+  (* the indirection array itself is aligned: direct *)
+  checks "V direct" "direct" (plan_kind (rhs_plan plan "V"))
+
+let test_vector_lhs_scatter () =
+  let plan = plan_of ~vars:[ ("I", "1", "16") ] "X(V(I))" "Y(I)" in
+  checks "lhs" "scatter" (lhs_kind plan);
+  (* under even iterations the rhs reads through an inspector *)
+  checks "rhs precomp" "precomp" (plan_kind (rhs_plan plan "Y"))
+
+let test_affine_lhs_postcomp () =
+  let plan = plan_of ~vars:[ ("I", "1", "16") ] "AFF(2*I)" "X(I)" in
+  checks "lhs" "postcomp" (lhs_kind plan)
+
+let test_unknown_two_vars () =
+  let plan =
+    plan_of ~vars:[ ("I", "1", "4"); ("J", "0", "3") ] "X(I)" "Y(I + J)"
+  in
+  checks "gather for i+j" "gather" (plan_kind (rhs_plan plan "Y"))
+
+let test_misaligned_distributions () =
+  (* CYC is cyclic, X is block: same subscript but layouts differ *)
+  let plan = plan_of ~vars:[ ("I", "1", "16") ] "X(I)" "CYC(I)" in
+  checks "misaligned -> inspector" "precomp" (plan_kind (rhs_plan plan "CYC"))
+
+let test_replicated_lhs_const_multicast () =
+  (* the Gaussian-elimination shape: G has a replicated first dimension, so the pivot column
+     G(:, 5) is a slice an owner can multicast (the refinement over the
+     paper's line 11) *)
+  let plan = plan_of ~vars:[ ("I", "1", "16") ] "R(I)" "G(I, 5)" in
+  checks "lhs replicated" "replicated" (lhs_kind plan);
+  match tag_at plan "G" 1 with
+  | Pattern.Multicast _ -> ()
+  | _ -> Alcotest.fail "constant subscript should multicast the slice"
+
+let test_replicated_lhs_fully_distributed_concat () =
+  (* when the rhs varies over a distributed dimension the whole array is
+     concatenated (the paper's line 11 fallback) *)
+  let plan = plan_of ~vars:[ ("I", "1", "16") ] "R(I)" "A(I, 5)" in
+  checks "concat fallback" "concat" (plan_kind (rhs_plan plan "A"))
+
+let test_replicated_lhs_varying_concat () =
+  let plan = plan_of ~vars:[ ("I", "1", "16") ] "R(I)" "X(I) + 1.0" in
+  checks "concat" "concat" (plan_kind (rhs_plan plan "X"))
+
+let test_mask_refs_planned () =
+  let plan =
+    plan_of ~vars:[ ("I", "1", "16") ] ~mask:"Y(I) > 0.0" "X(I)" "1.0"
+  in
+  checks "mask ref direct" "direct" (plan_kind (rhs_plan plan "Y"))
+
+let test_scalar_subscript_shift () =
+  let plan = plan_of ~vars:[ ("I", "1", "10") ] "X(I)" "Y(I + S)" in
+  match tag_at plan "Y" 0 with
+  | Pattern.Temp_shift _ -> ()
+  | _ -> Alcotest.fail "i+s should be a temporary shift"
+
+let test_large_const_shift_demoted () =
+  (* |c| beyond the overlap bound falls back to temporary shift *)
+  let plan = plan_of ~vars:[ ("I", "1", "8") ] "X(I)" "Y(I + 7)" in
+  match tag_at plan "Y" 0 with
+  | Pattern.Temp_shift _ -> ()
+  | _ -> Alcotest.fail "wide shift should use a temporary"
+
+let () =
+  Alcotest.run "f90d_commdet"
+    [
+      ( "paper examples",
+        [
+          Alcotest.test_case "transfer (ex.1)" `Quick test_paper_transfer_example;
+          Alcotest.test_case "multicast (ex.2)" `Quick test_paper_multicast_example;
+          Alcotest.test_case "multicast_shift (ex.3)" `Quick test_paper_multicast_shift_example;
+          Alcotest.test_case "jacobi overlap" `Quick test_jacobi_overlap;
+        ] );
+      ( "table 1",
+        [
+          Alcotest.test_case "no comm" `Quick test_canonical_no_comm;
+          Alcotest.test_case "i+s temp shift" `Quick test_scalar_subscript_shift;
+          Alcotest.test_case "wide shift demotes" `Quick test_large_const_shift_demoted;
+        ] );
+      ( "table 2",
+        [
+          Alcotest.test_case "invertible precomp" `Quick test_invertible_precomp;
+          Alcotest.test_case "vector gather" `Quick test_vector_gather;
+          Alcotest.test_case "vector lhs scatter" `Quick test_vector_lhs_scatter;
+          Alcotest.test_case "affine lhs postcomp" `Quick test_affine_lhs_postcomp;
+          Alcotest.test_case "unknown i+j" `Quick test_unknown_two_vars;
+          Alcotest.test_case "misaligned layouts" `Quick test_misaligned_distributions;
+        ] );
+      ( "replication",
+        [
+          Alcotest.test_case "const -> multicast" `Quick test_replicated_lhs_const_multicast;
+          Alcotest.test_case "2-D distributed -> concat" `Quick
+            test_replicated_lhs_fully_distributed_concat;
+          Alcotest.test_case "varying -> concat" `Quick test_replicated_lhs_varying_concat;
+          Alcotest.test_case "mask references" `Quick test_mask_refs_planned;
+        ] );
+    ]

@@ -1,0 +1,164 @@
+(* Diagnostic quality: the compiler must reject programs outside the
+   supported subset with located, comprehensible errors rather than
+   failing downstream. *)
+
+open F90d_base
+open F90d
+
+let checkb = Alcotest.(check bool)
+
+let expect_error ?(substring = "") src =
+  match Driver.compile src with
+  | _ -> Alcotest.failf "expected a compile-time diagnostic for:\n%s" src
+  | exception Diag.Error (loc, msg) ->
+      if substring <> "" then
+        checkb
+          (Printf.sprintf "message %S mentions %S" msg substring)
+          true
+          (try
+             ignore (Str.search_forward (Str.regexp_string substring) msg 0);
+             true
+           with Not_found -> false);
+      (* the front end should point into the source *)
+      ignore loc
+
+let expect_runtime_error ?(nprocs = 2) src =
+  match Driver.run ~nprocs (Driver.compile src) with
+  | _ -> Alcotest.failf "expected a runtime diagnostic for:\n%s" src
+  | exception Diag.Error _ -> ()
+
+let test_unknown_template () =
+  expect_error ~substring:"unknown template"
+    {|
+    PROGRAM T
+    REAL A(8)
+C$  ALIGN A(I) WITH NOPE(I)
+    END
+    |}
+
+let test_nonaffine_align () =
+  expect_error ~substring:"non-affine"
+    {|
+    PROGRAM T
+    REAL A(8)
+C$  TEMPLATE TT(64)
+C$  ALIGN A(I) WITH TT(I*I)
+C$  DISTRIBUTE TT(BLOCK)
+    END
+    |}
+
+let test_distribute_rank_mismatch () =
+  expect_error ~substring:"rank"
+    {|
+    PROGRAM T
+C$  TEMPLATE TT(8, 8)
+C$  DISTRIBUTE TT(BLOCK)
+    END
+    |}
+
+let test_parameter_needs_value () =
+  expect_error ~substring:"PARAMETER"
+    {|
+    PROGRAM T
+    INTEGER, PARAMETER :: N
+    END
+    |}
+
+let test_where_non_assignment () =
+  expect_error ~substring:"WHERE"
+    {|
+    PROGRAM T
+    REAL A(8)
+    WHERE (A > 0)
+      PRINT *, 'no'
+    END WHERE
+    END
+    |}
+
+let test_nonconforming_section () =
+  expect_error ~substring:"conform"
+    {|
+    PROGRAM T
+    REAL A(8), B(4, 4)
+    A(1:8) = B
+    END
+    |}
+
+let test_undeclared_variable_runtime () =
+  expect_runtime_error
+    {|
+    PROGRAM T
+    REAL X
+    X = Y + 1
+    END
+    |}
+
+let test_call_arity () =
+  expect_runtime_error
+    {|
+    PROGRAM T
+    REAL X
+    CALL S(X, X)
+    END
+    SUBROUTINE S(A)
+    REAL A
+    END
+    |}
+
+let test_transformational_in_forall () =
+  expect_runtime_error
+    {|
+    PROGRAM T
+    REAL A(8), B(8)
+C$  DISTRIBUTE A(BLOCK)
+    FORALL (I = 1:8) A(I) = SUM(B)
+    END
+    |}
+
+let test_grid_size_mismatch () =
+  let compiled =
+    Driver.compile
+      {|
+      PROGRAM T
+      REAL A(8)
+C$    PROCESSORS P(3)
+C$    DISTRIBUTE A(BLOCK)
+      END
+      |}
+  in
+  match Driver.run ~nprocs:4 compiled with
+  | _ -> Alcotest.fail "expected grid/machine mismatch"
+  | exception Diag.Error (_, msg) ->
+      checkb "mentions machine size" true
+        (try
+           ignore (Str.search_forward (Str.regexp_string "machine") msg 0);
+           true
+         with Not_found -> false)
+
+let test_located_syntax_error () =
+  match Driver.compile "PROGRAM T\nX = (1 +\nEND" with
+  | _ -> Alcotest.fail "expected syntax error"
+  | exception Diag.Error (loc, _) ->
+      Alcotest.(check int) "error on line 2 or 3" 0 (if loc.Loc.line >= 2 then 0 else 1)
+
+let () =
+  Alcotest.run "f90d_diagnostics"
+    [
+      ( "compile-time",
+        [
+          Alcotest.test_case "unknown template" `Quick test_unknown_template;
+          Alcotest.test_case "non-affine align" `Quick test_nonaffine_align;
+          Alcotest.test_case "distribute rank" `Quick test_distribute_rank_mismatch;
+          Alcotest.test_case "parameter value" `Quick test_parameter_needs_value;
+          Alcotest.test_case "where body" `Quick test_where_non_assignment;
+          Alcotest.test_case "non-conforming section" `Quick test_nonconforming_section;
+          Alcotest.test_case "located syntax error" `Quick test_located_syntax_error;
+        ] );
+      ( "run-time",
+        [
+          Alcotest.test_case "undeclared variable" `Quick test_undeclared_variable_runtime;
+          Alcotest.test_case "call arity" `Quick test_call_arity;
+          Alcotest.test_case "reduction in forall" `Quick test_transformational_in_forall;
+          Alcotest.test_case "grid size mismatch" `Quick test_grid_size_mismatch;
+        ] );
+    ]

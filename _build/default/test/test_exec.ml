@@ -1,0 +1,281 @@
+(* Execution-semantics corner cases of the SPMD interpreter: processor
+   masking via guards, even iteration partitioning, whole-array intrinsic
+   movement through the compiler, CYCLIC(k) distributions, sequential
+   control flow, and scalar coercions. *)
+
+open F90d_base
+open F90d
+
+let checkb = Alcotest.(check bool)
+
+let compile_run ?flags ?(nprocs = 4) src = Driver.run ~nprocs (Driver.compile ?flags src)
+
+let check_reals r name expected =
+  let got = Driver.final r name in
+  let want = Ndarray.of_reals [| Array.length expected |] expected in
+  if not (Ndarray.approx_equal ~eps:1e-9 got want) then
+    Alcotest.failf "%s: got %s want %s" name
+      (Format.asprintf "%a" Ndarray.pp got)
+      (Format.asprintf "%a" Ndarray.pp want)
+
+let test_guard_masks_processors () =
+  (* writes to a single owned column: only one processor iterates, but all
+     join the collective phases *)
+  let r =
+    compile_run
+      {|
+      PROGRAM G1
+      REAL A(4, 8), B(4, 8)
+C$    TEMPLATE T(8)
+C$    ALIGN A(I, J) WITH T(J)
+C$    ALIGN B(I, J) WITH T(J)
+C$    DISTRIBUTE T(BLOCK)
+      FORALL (I = 1:4, J = 1:8) B(I, J) = 10*I + J
+      FORALL (I = 1:4) A(I, 7) = B(I, 2)
+      END
+      |}
+  in
+  let a = Driver.final r "A" in
+  for i = 1 to 4 do
+    for j = 1 to 8 do
+      let expect = if j = 7 then float_of_int ((10 * i) + 2) else 0. in
+      Alcotest.(check (float 1e-9)) "A" expect (Scalar.to_real (Ndarray.get a [| i; j |]))
+    done
+  done
+
+let test_even_partition_counts () =
+  (* non-canonical lhs: every processor computes a block of iterations and
+     the results land via postcomp_write; total writes must cover exactly
+     the image *)
+  let r =
+    compile_run ~nprocs:3
+      {|
+      PROGRAM G2
+      REAL A(18), B(6)
+C$    DISTRIBUTE A(BLOCK)
+C$    ALIGN B(I) WITH A(*)
+C$    DISTRIBUTE B(BLOCK)
+      FORALL (I = 1:6) B(I) = I + 0.25
+      FORALL (I = 1:6) A(3*I) = B(I)
+      END
+      |}
+  in
+  let a = Driver.final r "A" in
+  for g = 1 to 18 do
+    let expect = if g mod 3 = 0 then (float_of_int (g / 3)) +. 0.25 else 0. in
+    Alcotest.(check (float 1e-9)) "A" expect (Scalar.to_real (Ndarray.get a [| g |]))
+  done
+
+let test_cyclic_k_distribution () =
+  let r =
+    compile_run
+      {|
+      PROGRAM G3
+      REAL A(16), B(16)
+C$    TEMPLATE T(16)
+C$    ALIGN A(I) WITH T(I)
+C$    ALIGN B(I) WITH T(I)
+C$    DISTRIBUTE T(CYCLIC(2))
+      FORALL (I = 1:16) B(I) = 3*I
+      FORALL (I = 1:16) A(I) = B(I) + 1
+      END
+      |}
+  in
+  check_reals r "A" (Array.init 16 (fun i -> float_of_int ((3 * (i + 1)) + 1)))
+
+let test_movers_through_compiler () =
+  let r =
+    compile_run
+      {|
+      PROGRAM G4
+      REAL A(8), E(8), V(8), S2(3, 8), RS(4, 2)
+      LOGICAL M(8)
+      REAL F(8), U(8)
+C$    TEMPLATE T(8)
+C$    ALIGN A(I) WITH T(I)
+C$    ALIGN E(I) WITH T(I)
+C$    ALIGN V(I) WITH T(I)
+C$    ALIGN M(I) WITH T(I)
+C$    ALIGN F(I) WITH T(I)
+C$    ALIGN U(I) WITH T(I)
+C$    ALIGN S2(J, I) WITH T(I)
+C$    DISTRIBUTE T(BLOCK)
+      FORALL (I = 1:8) A(I) = I
+      FORALL (I = 1:8) M(I) = MOD(I, 2) == 1
+      FORALL (I = 1:8) F(I) = -I
+      E = EOSHIFT(A, 2, -1.0)
+      V = PACK(A, M)
+      U = UNPACK(V, M, F)
+      S2 = SPREAD(A, 1, 3)
+      RS = RESHAPE(A, 8)
+      END
+      |}
+  in
+  check_reals r "E" [| 3.; 4.; 5.; 6.; 7.; 8.; -1.; -1. |];
+  check_reals r "V" [| 1.; 3.; 5.; 7.; 0.; 0.; 0.; 0. |];
+  check_reals r "U" [| 1.; -2.; 3.; -4.; 5.; -6.; 7.; -8. |];
+  let s2 = Driver.final r "S2" in
+  for j = 1 to 3 do
+    for i = 1 to 8 do
+      Alcotest.(check (float 1e-9)) "spread" (float_of_int i)
+        (Scalar.to_real (Ndarray.get s2 [| j; i |]))
+    done
+  done;
+  let rs = Driver.final r "RS" in
+  (* column-major reshape of 1..8 into 4x2 *)
+  Alcotest.(check (float 1e-9)) "reshape(1,1)" 1. (Scalar.to_real (Ndarray.get rs [| 1; 1 |]));
+  Alcotest.(check (float 1e-9)) "reshape(4,2)" 8. (Scalar.to_real (Ndarray.get rs [| 4; 2 |]))
+
+let test_negative_stride_do () =
+  let r =
+    compile_run
+      {|
+      PROGRAM G5
+      INTEGER K
+      REAL A(6)
+      DO K = 6, 1, -1
+        A(K) = 7 - K
+      END DO
+      END
+      |}
+  in
+  check_reals r "A" [| 6.; 5.; 4.; 3.; 2.; 1. |]
+
+let test_while_and_nested_if () =
+  let r =
+    compile_run
+      {|
+      PROGRAM G6
+      INTEGER K
+      REAL S
+      S = 0.0
+      K = 1
+      DO WHILE (K <= 10)
+        IF (MOD(K, 2) == 0) THEN
+          IF (K > 5) THEN
+            S = S + K
+          END IF
+        END IF
+        K = K + 1
+      END DO
+      END
+      |}
+  in
+  checkb "6+8+10" true (Scalar.equal (Driver.final_scalar r "S") (Scalar.Real 24.))
+
+let test_integer_coercion () =
+  let r =
+    compile_run
+      {|
+      PROGRAM G7
+      INTEGER K
+      REAL X
+      X = 7.9
+      K = X / 2.0
+      END
+      |}
+  in
+  (* INTEGER = REAL truncates *)
+  checkb "coerced" true (Scalar.equal (Driver.final_scalar r "K") (Scalar.Int 3))
+
+let test_forall_descending_range () =
+  let r =
+    compile_run
+      {|
+      PROGRAM G8
+      REAL A(8)
+C$    DISTRIBUTE A(BLOCK)
+      FORALL (I = 8:1:-1) A(I) = I*I
+      END
+      |}
+  in
+  check_reals r "A" (Array.init 8 (fun i -> float_of_int ((i + 1) * (i + 1))))
+
+let test_empty_iteration_space () =
+  (* K-dependent empty ranges must be harmless (the GE first step) *)
+  let r =
+    compile_run
+      {|
+      PROGRAM G9
+      INTEGER K
+      REAL A(8), B(8)
+C$    DISTRIBUTE A(BLOCK)
+C$    ALIGN B(I) WITH A(I)
+      FORALL (I = 1:8) B(I) = I
+      DO K = 1, 3
+        FORALL (I = 1:K-1) A(I) = B(I) + 100
+      END DO
+      END
+      |}
+  in
+  check_reals r "A" [| 101.; 102.; 0.; 0.; 0.; 0.; 0.; 0. |]
+
+let test_subroutine_local_arrays () =
+  (* callee-local distributed arrays live only for the call *)
+  let r =
+    compile_run
+      {|
+      PROGRAM G10
+      REAL X(8), S
+C$    DISTRIBUTE X(BLOCK)
+      FORALL (I = 1:8) X(I) = I
+      CALL NORM(X, S)
+      END
+
+      SUBROUTINE NORM(A, OUT)
+      REAL A(8), OUT
+      REAL SQ(8)
+C$    DISTRIBUTE A(BLOCK)
+C$    ALIGN SQ(I) WITH A(I)
+      FORALL (I = 1:8) SQ(I) = A(I)*A(I)
+      OUT = SQRT(SUM(SQ))
+      END
+      |}
+  in
+  let expect = sqrt (float_of_int (8 * 9 * 17 / 6)) in
+  Alcotest.(check (float 1e-9)) "norm" expect (Scalar.to_real (Driver.final_scalar r "S"))
+
+let test_print_array_and_scalars () =
+  let r =
+    compile_run
+      {|
+      PROGRAM G11
+      REAL A(3)
+C$    DISTRIBUTE A(BLOCK)
+      FORALL (I = 1:3) A(I) = I * 1.5
+      PRINT *, 'A:', A
+      PRINT *, 'n=', 3, 'done'
+      END
+      |}
+  in
+  let out = r.Driver.outcome.F90d_exec.Interp.output in
+  checkb "array printed" true
+    (try
+       ignore (Str.search_forward (Str.regexp_string "1.5; 3; 4.5") out 0);
+       true
+     with Not_found -> false);
+  checkb "two lines" true (List.length (String.split_on_char '\n' (String.trim out)) = 2)
+
+let () =
+  Alcotest.run "f90d_exec"
+    [
+      ( "partitioning",
+        [
+          Alcotest.test_case "guards mask processors" `Quick test_guard_masks_processors;
+          Alcotest.test_case "even partitioning" `Quick test_even_partition_counts;
+          Alcotest.test_case "cyclic(k)" `Quick test_cyclic_k_distribution;
+          Alcotest.test_case "descending forall" `Quick test_forall_descending_range;
+          Alcotest.test_case "empty ranges" `Quick test_empty_iteration_space;
+        ] );
+      ( "movers",
+        [ Alcotest.test_case "eoshift/pack/unpack/spread/reshape" `Quick test_movers_through_compiler ]
+      );
+      ( "control",
+        [
+          Alcotest.test_case "negative stride DO" `Quick test_negative_stride_do;
+          Alcotest.test_case "while + nested if" `Quick test_while_and_nested_if;
+          Alcotest.test_case "integer coercion" `Quick test_integer_coercion;
+          Alcotest.test_case "subroutine locals" `Quick test_subroutine_local_arrays;
+          Alcotest.test_case "print" `Quick test_print_array_and_scalars;
+        ] );
+    ]

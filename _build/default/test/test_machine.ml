@@ -1,0 +1,209 @@
+open F90d_base
+open F90d_machine
+
+let check = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-12))
+let checkb = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Model / Topology                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_transfer_time () =
+  let m = Model.ipsc860 in
+  checkf "one hop" (m.Model.alpha +. (100. *. m.Model.beta))
+    (Model.transfer_time m ~bytes:100 ~hops:1);
+  checkf "three hops"
+    (m.Model.alpha +. (100. *. m.Model.beta) +. (2. *. m.Model.hop))
+    (Model.transfer_time m ~bytes:100 ~hops:3)
+
+let test_hypercube_hops () =
+  check "self" 0 (Topology.hops Hypercube ~nprocs:16 5 5);
+  check "one bit" 1 (Topology.hops Hypercube ~nprocs:16 0 8);
+  check "all bits" 4 (Topology.hops Hypercube ~nprocs:16 0 15);
+  check "symmetric" (Topology.hops Hypercube ~nprocs:16 3 12) (Topology.hops Hypercube ~nprocs:16 12 3)
+
+let test_mesh_hops () =
+  (* 4x4 mesh: 0 and 5 differ by (1,1) *)
+  check "diagonal" 2 (Topology.hops Mesh ~nprocs:16 0 5);
+  check "full" 1 (Topology.hops Full ~nprocs:16 0 5)
+
+let test_embedding_identity_cases () =
+  checkb "non-pow2 grid" true (Topology.grid_embedding Hypercube ~nprocs:12 [| 3; 4 |] = None);
+  checkb "full" true (Topology.grid_embedding Full ~nprocs:16 [| 4; 4 |] = None);
+  match Topology.grid_embedding Hypercube ~nprocs:8 [| 8 |] with
+  | None -> Alcotest.fail "expected gray embedding"
+  | Some phys ->
+      (* a ring embedding: consecutive ranks at distance 1 *)
+      for r = 0 to 6 do
+        check "ring step" 1 (Topology.hops Hypercube ~nprocs:8 phys.(r) phys.(r + 1))
+      done
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_ping_pong () =
+  let cfg = Engine.config ~model:Model.ipsc860 2 in
+  let report =
+    Engine.run cfg (fun ctx ->
+        match Engine.rank ctx with
+        | 0 ->
+            Engine.send ctx ~dest:1 ~tag:7 (Message.Scalar (Scalar.Int 41));
+            let m = Engine.recv ctx ~src:1 ~tag:8 in
+            Scalar.to_int (Message.scalar m)
+        | _ ->
+            let m = Engine.recv ctx ~src:0 ~tag:7 in
+            Engine.send ctx ~dest:0 ~tag:8 (Message.Scalar (Scalar.Int (Scalar.to_int (Message.scalar m) + 1)));
+            0)
+  in
+  check "roundtrip value" 42 report.Engine.results.(0);
+  check "messages" 2 report.Engine.stats.Stats.messages;
+  check "bytes" 16 report.Engine.stats.Stats.bytes;
+  (* two sequential 8-byte sends; elapsed = 2 * (alpha + 8*beta) *)
+  let m = Model.ipsc860 in
+  checkf "elapsed" (2. *. (m.Model.alpha +. (8. *. m.Model.beta))) report.Engine.elapsed
+
+let test_clock_semantics () =
+  (* receiver that is already late pays no extra wait *)
+  let cfg = Engine.config ~model:Model.ipsc860 2 in
+  let report =
+    Engine.run cfg (fun ctx ->
+        match Engine.rank ctx with
+        | 0 ->
+            Engine.send ctx ~dest:1 ~tag:1 (Message.Scalar (Scalar.Real 1.));
+            Engine.time ctx
+        | _ ->
+            Engine.advance ctx 1.0;
+            let _ = Engine.recv ctx ~src:0 ~tag:1 in
+            Engine.time ctx)
+  in
+  checkf "late receiver keeps its clock" 1.0 report.Engine.results.(1);
+  checkb "sender finished before receiver" true (report.Engine.results.(0) < 1.0)
+
+let test_fifo_order () =
+  let cfg = Engine.config 2 in
+  let report =
+    Engine.run cfg (fun ctx ->
+        match Engine.rank ctx with
+        | 0 ->
+            List.iter
+              (fun i -> Engine.send ctx ~dest:1 ~tag:3 (Message.Scalar (Scalar.Int i)))
+              [ 1; 2; 3 ];
+            []
+        | _ ->
+            List.map
+              (fun _ -> Scalar.to_int (Message.scalar (Engine.recv ctx ~src:0 ~tag:3)))
+              [ (); (); () ])
+  in
+  Alcotest.(check (list int)) "FIFO per (src,tag)" [ 1; 2; 3 ] report.Engine.results.(1)
+
+let test_tag_matching () =
+  (* receives in the opposite order of the sends: matching is by tag *)
+  let cfg = Engine.config 2 in
+  let report =
+    Engine.run cfg (fun ctx ->
+        match Engine.rank ctx with
+        | 0 ->
+            Engine.send ctx ~dest:1 ~tag:1 (Message.Scalar (Scalar.Int 10));
+            Engine.send ctx ~dest:1 ~tag:2 (Message.Scalar (Scalar.Int 20));
+            (0, 0)
+        | _ ->
+            let b = Scalar.to_int (Message.scalar (Engine.recv ctx ~src:0 ~tag:2)) in
+            let a = Scalar.to_int (Message.scalar (Engine.recv ctx ~src:0 ~tag:1)) in
+            (a, b))
+  in
+  Alcotest.(check (pair int int)) "out-of-order tags" (10, 20) report.Engine.results.(1)
+
+let test_deadlock () =
+  let cfg = Engine.config 2 in
+  match
+    Engine.run cfg (fun ctx -> ignore (Engine.recv ctx ~src:(1 - Engine.rank ctx) ~tag:9))
+  with
+  | _ -> Alcotest.fail "expected deadlock"
+  | exception Engine.Deadlock _ -> ()
+
+let test_exception_propagation () =
+  let cfg = Engine.config 2 in
+  match
+    Engine.run cfg (fun ctx -> if Engine.rank ctx = 1 then failwith "node crash" else ())
+  with
+  | _ -> Alcotest.fail "expected failure"
+  | exception Failure msg -> Alcotest.(check string) "message" "node crash" msg
+
+let test_all_to_all () =
+  let p = 8 in
+  let cfg = Engine.config ~topology:Hypercube p in
+  let report =
+    Engine.run cfg (fun ctx ->
+        let me = Engine.rank ctx in
+        for d = 0 to p - 1 do
+          if d <> me then Engine.send ctx ~dest:d ~tag:me (Message.Scalar (Scalar.Int (100 + me)))
+        done;
+        let acc = ref 0 in
+        for s = 0 to p - 1 do
+          if s <> me then
+            acc := !acc + Scalar.to_int (Message.scalar (Engine.recv ctx ~src:s ~tag:s))
+        done;
+        !acc)
+  in
+  let expected me = (7 * 100) + (((p - 1) * p / 2) - me) in
+  Array.iteri (fun me v -> check "sum" (expected me) v) report.Engine.results;
+  check "messages" (p * (p - 1)) report.Engine.stats.Stats.messages
+
+let test_charges () =
+  let cfg = Engine.config ~model:Model.ncube2 1 in
+  let report =
+    Engine.run cfg (fun ctx ->
+        Engine.charge_flops ctx 1000;
+        Engine.charge_iops ctx 100;
+        Engine.charge_copy_bytes ctx 10;
+        Engine.time ctx)
+  in
+  let m = Model.ncube2 in
+  checkf "charged"
+    ((1000. *. m.Model.flop) +. (100. *. m.Model.iop) +. (10. *. m.Model.memcpy))
+    report.Engine.results.(0)
+
+let prop_arrival_monotone =
+  QCheck.Test.make ~name:"elapsed >= each processor clock >= 0" ~count:100
+    QCheck.(pair (int_range 1 8) (int_range 0 50))
+    (fun (p, work) ->
+      let cfg = Engine.config ~model:Model.ipsc860 ~topology:Topology.Hypercube p in
+      let report =
+        Engine.run cfg (fun ctx ->
+            Engine.charge_flops ctx (work * (1 + Engine.rank ctx));
+            if Engine.rank ctx > 0 then
+              Engine.send ctx ~dest:0 ~tag:1 (Message.Scalar (Scalar.Int 1))
+            else
+              for s = 1 to p - 1 do
+                ignore (Engine.recv ctx ~src:s ~tag:1)
+              done)
+      in
+      Array.for_all (fun c -> c >= 0. && c <= report.Engine.elapsed) report.Engine.clocks)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_arrival_monotone ]
+
+let () =
+  Alcotest.run "f90d_machine"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "transfer_time" `Quick test_transfer_time;
+          Alcotest.test_case "hypercube hops" `Quick test_hypercube_hops;
+          Alcotest.test_case "mesh/full hops" `Quick test_mesh_hops;
+          Alcotest.test_case "embeddings" `Quick test_embedding_identity_cases;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "ping-pong" `Quick test_ping_pong;
+          Alcotest.test_case "clock semantics" `Quick test_clock_semantics;
+          Alcotest.test_case "FIFO order" `Quick test_fifo_order;
+          Alcotest.test_case "tag matching" `Quick test_tag_matching;
+          Alcotest.test_case "deadlock detection" `Quick test_deadlock;
+          Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
+          Alcotest.test_case "all-to-all" `Quick test_all_to_all;
+          Alcotest.test_case "compute charges" `Quick test_charges;
+        ] );
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,159 @@
+(* The paper's worked examples (§5.3.1), compiled verbatim: the generated
+   Fortran 77+MP must contain the same calls the paper prints, and the
+   programs must execute correctly.  Also: collectives on a one-processor
+   machine (every tree degenerates to a no-op). *)
+
+open F90d_base
+open F90d
+
+let checkb = Alcotest.(check bool)
+
+let contains hay needle =
+  try
+    ignore (Str.search_forward (Str.regexp_string needle) hay 0);
+    true
+  with Not_found -> false
+
+(* All three §5.3.1 examples share the paper's mapping:
+   PROCESSORS(P,Q); A, B aligned to TEMPL(BLOCK, BLOCK). *)
+let preamble =
+  {|
+      PROGRAM PAPER531
+      INTEGER, PARAMETER :: N = 8
+      INTEGER, PARAMETER :: M = 8
+      INTEGER S
+      REAL A(8, 8), B(8, 8)
+C$    PROCESSORS P(2, 2)
+C$    TEMPLATE TEMPL(8, 8)
+C$    ALIGN A(I, J) WITH TEMPL(I, J)
+C$    ALIGN B(I, J) WITH TEMPL(I, J)
+C$    DISTRIBUTE TEMPL(BLOCK, BLOCK)
+      S = 1
+      FORALL (I = 1:N, J = 1:M) B(I, J) = 10*I + J
+|}
+
+let emit body =
+  let compiled = Driver.compile (preamble ^ body ^ "\n      END\n") in
+  (compiled, F90d_ir.Emit_f77.emit_program compiled.Driver.c_ir)
+
+let test_example1_transfer () =
+  (* FORALL(I=1:N) A(I,8)=B(I,3): one column of grid processors
+     communicates with another (paper's Figure 4a) *)
+  let compiled, text = emit "      FORALL (I = 1:N) A(I, 8) = B(I, 3)" in
+  checkb "emits transfer with both endpoints" true
+    (contains text "call transfer(B, B_DAD, TMP");
+  checkb "source is column 3" true (contains text "source=global_to_proc(3)");
+  checkb "dest is column 8" true (contains text "dest=global_to_proc(8)");
+  checkb "set_BOUND before the loop" true (contains text "call set_BOUND(lb1, ub1, st1, 1, N, 1");
+  let r = Driver.run ~nprocs:4 compiled in
+  let a = Driver.final r "A" in
+  for i = 1 to 8 do
+    Alcotest.(check (float 1e-9)) "A(I,8)=B(I,3)"
+      (float_of_int ((10 * i) + 3))
+      (Scalar.to_real (Ndarray.get a [| i; 8 |]))
+  done
+
+let test_example2_multicast () =
+  (* FORALL(I,J) A(I,J)=B(I,3): broadcast along dimension 2 of the grid
+     (paper's Figure 4b) *)
+  let compiled, text = emit "      FORALL (I = 1:N, J = 1:M) A(I, J) = B(I, 3)" in
+  checkb "emits multicast along dim 2" true
+    (contains text "call multicast(B, B_DAD, TMP");
+  checkb "root is the owner of column 3" true (contains text "source_proc=global_to_proc(3)");
+  let r = Driver.run ~nprocs:4 compiled in
+  let a = Driver.final r "A" in
+  for i = 1 to 8 do
+    for j = 1 to 8 do
+      Alcotest.(check (float 1e-9)) "A(I,J)=B(I,3)"
+        (float_of_int ((10 * i) + 3))
+        (Scalar.to_real (Ndarray.get a [| i; j |]))
+    done
+  done
+
+let test_example3_multicast_shift () =
+  (* FORALL(I,J) A(I,J)=B(3,J+S): the fused multicast_shift primitive *)
+  let compiled, text = emit "      FORALL (I = 1:N, J = 1:M-1) A(I, J) = B(3, J+S)" in
+  checkb "emits the fused primitive" true (contains text "call multicast_shift(B, B_DAD, TMP");
+  checkb "shift amount is the scalar" true (contains text "shift=S");
+  let r = Driver.run ~nprocs:4 compiled in
+  let a = Driver.final r "A" in
+  for i = 1 to 8 do
+    for j = 1 to 7 do
+      Alcotest.(check (float 1e-9)) "A(I,J)=B(3,J+S)"
+        (float_of_int (30 + j + 1))
+        (Scalar.to_real (Ndarray.get a [| i; j |]))
+    done
+  done
+
+let test_paper_jacobi_statement () =
+  (* §4 Example 1's canonical-form relaxation statement compiles to
+     overlap shifts in both dimensions and runs correctly *)
+  let src =
+    {|
+      PROGRAM JREX
+      INTEGER, PARAMETER :: N = 8
+      REAL A(8, 8), B(8, 8)
+C$    PROCESSORS P(2, 2)
+C$    TEMPLATE T(8, 8)
+C$    ALIGN A(I, J) WITH T(I, J)
+C$    ALIGN B(I, J) WITH T(I, J)
+C$    DISTRIBUTE T(BLOCK, BLOCK)
+      FORALL (I = 1:N, J = 1:N) A(I, J) = I + J
+      FORALL (I = 2:N-1, J = 2:N-1)
+        B(I, J) = 0.25*(A(I-1, J) + A(I+1, J) + A(I, J-1) + A(I, J+1))
+      END FORALL
+      END
+|}
+  in
+  let compiled = Driver.compile src in
+  let text = F90d_ir.Emit_f77.emit_program compiled.Driver.c_ir in
+  checkb "overlap shifts in dim 1" true (contains text "call overlap_shift(A, A_DAD, width=1, dim=1)");
+  checkb "overlap shifts in dim 2" true (contains text "call overlap_shift(A, A_DAD, width=1, dim=2)");
+  let r = Driver.run ~nprocs:4 compiled in
+  let b = Driver.final r "B" in
+  for i = 2 to 7 do
+    for j = 2 to 7 do
+      (* the 5-point average of i+j is i+j *)
+      Alcotest.(check (float 1e-9)) "relaxation" (float_of_int (i + j))
+        (Scalar.to_real (Ndarray.get b [| i; j |]))
+    done
+  done
+
+let test_single_processor_degenerate () =
+  (* every collective must degenerate gracefully on one processor *)
+  let r =
+    Driver.run ~nprocs:1
+      (Driver.compile
+         {|
+      PROGRAM ONE
+      REAL A(6), B(6), S
+      INTEGER V(6)
+C$    DISTRIBUTE A(BLOCK)
+C$    ALIGN B(I) WITH A(I)
+C$    ALIGN V(I) WITH A(I)
+      FORALL (I = 1:6) B(I) = I
+      FORALL (I = 1:6) V(I) = 7 - I
+      FORALL (I = 1:5) A(I) = B(I+1)
+      FORALL (I = 1:6) A(I) = A(I) + B(V(I))
+      S = SUM(A)
+      B = CSHIFT(A, 2)
+      END
+      |})
+  in
+  Alcotest.(check int) "no messages on one processor" 0 r.Driver.stats.F90d_machine.Stats.messages;
+  checkb "sum computed" true (Scalar.to_real (Driver.final_scalar r "S") > 0.)
+
+let () =
+  Alcotest.run "f90d_paper_examples"
+    [
+      ( "section 5.3.1",
+        [
+          Alcotest.test_case "example 1: transfer" `Quick test_example1_transfer;
+          Alcotest.test_case "example 2: multicast" `Quick test_example2_multicast;
+          Alcotest.test_case "example 3: multicast_shift" `Quick test_example3_multicast_shift;
+        ] );
+      ( "section 4",
+        [ Alcotest.test_case "jacobi canonical form" `Quick test_paper_jacobi_statement ] );
+      ( "degenerate",
+        [ Alcotest.test_case "single processor" `Quick test_single_processor_degenerate ] );
+    ]
