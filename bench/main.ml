@@ -6,14 +6,23 @@
        fig3 | fig5 | table4 | fig6 | table1 | table2 | table3
        ablation | dist | portability | micro
 
+   Flags (after the experiment name):
+     --json [PATH]   write machine-readable results to PATH (default
+                     BENCH_<experiment>.json); supported for table4 and fig5
+     --jobs N        verify and time the domain-parallel engine with N
+                     worker domains (default: the F90D_JOBS environment
+                     variable, else sequential only)
+
    Problem sizes can be scaled down for quick runs:
-     F90D_TABLE4_N=255 dune exec bench/main.exe -- table4 *)
+     F90D_TABLE4_N=255 dune exec bench/main.exe -- table4
+   (default 511; the paper's Table 4 uses 1023, which takes minutes of
+   host time per engine pass) *)
 
 open F90d
 open F90d_machine
 
 let table4_n =
-  match Sys.getenv_opt "F90D_TABLE4_N" with Some s -> int_of_string s | None -> 1023
+  match Sys.getenv_opt "F90D_TABLE4_N" with Some s -> int_of_string s | None -> 511
 
 let section title =
   Printf.printf "\n==================================================================\n";
@@ -21,16 +30,83 @@ let section title =
   Printf.printf "==================================================================\n"
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable output (--json): a minimal JSON value printer so    *)
+(* perf numbers are trackable across commits without new dependencies.  *)
+(* ------------------------------------------------------------------ *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let b = Buffer.create (String.length s + 2) in
+    String.iter
+      (function
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let rec emit b indent = function
+    | Null -> Buffer.add_string b "null"
+    | Bool v -> Buffer.add_string b (if v then "true" else "false")
+    | Int i -> Buffer.add_string b (string_of_int i)
+    | Float f ->
+        (* %.17g round-trips doubles, keeping "bit-identical" claims honest *)
+        Buffer.add_string b (Printf.sprintf "%.17g" f)
+    | Str s ->
+        Buffer.add_char b '"';
+        Buffer.add_string b (escape s);
+        Buffer.add_char b '"'
+    | List vs ->
+        let pad = String.make indent ' ' in
+        Buffer.add_string b "[";
+        List.iteri
+          (fun k v ->
+            Buffer.add_string b (if k = 0 then "\n" else ",\n");
+            Buffer.add_string b (pad ^ "  ");
+            emit b (indent + 2) v)
+          vs;
+        if vs <> [] then Buffer.add_string b ("\n" ^ pad);
+        Buffer.add_string b "]"
+    | Obj fields ->
+        let pad = String.make indent ' ' in
+        Buffer.add_string b "{";
+        List.iteri
+          (fun k (key, v) ->
+            Buffer.add_string b (if k = 0 then "\n" else ",\n");
+            Buffer.add_string b (pad ^ "  \"" ^ escape key ^ "\": ");
+            emit b (indent + 2) v)
+          fields;
+        if fields <> [] then Buffer.add_string b ("\n" ^ pad);
+        Buffer.add_string b "}"
+
+  let write path v =
+    let b = Buffer.create 4096 in
+    emit b 0 v;
+    Buffer.add_char b '\n';
+    let oc = open_out path in
+    output_string oc (Buffer.contents b);
+    close_out oc;
+    Printf.printf "\n[wrote %s]\n" path
+end
+
+(* ------------------------------------------------------------------ *)
 (* Figure 5: Gaussian elimination on 16 nodes, iPSC/860 vs nCUBE/2     *)
 (* ------------------------------------------------------------------ *)
 
-let fig5 () =
-  section
-    "Figure 5: compiler-generated Gaussian elimination on 16 nodes\n\
-     (execution time in seconds vs problem size, N x (N+1) real)";
+let run_fig5 () =
   let sizes = [ 50; 100; 150; 200; 250; 300 ] in
-  Printf.printf "%8s  %12s  %12s  %8s\n" "N" "iPSC/860" "nCUBE/2" "ratio";
-  List.iter
+  List.map
     (fun n ->
       let compiled = Driver.compile (Programs.gauss ~n) in
       let time model =
@@ -38,9 +114,17 @@ let fig5 () =
            compiled)
           .Driver.elapsed
       in
-      let ti = time Model.ipsc860 and tn = time Model.ncube2 in
-      Printf.printf "%8d  %12.3f  %12.3f  %8.2f\n%!" n ti tn (tn /. ti))
-    sizes;
+      (n, time Model.ipsc860, time Model.ncube2))
+    sizes
+
+let fig5 rows =
+  section
+    "Figure 5: compiler-generated Gaussian elimination on 16 nodes\n\
+     (execution time in seconds vs problem size, N x (N+1) real)";
+  Printf.printf "%8s  %12s  %12s  %8s\n" "N" "iPSC/860" "nCUBE/2" "ratio";
+  List.iter
+    (fun (n, ti, tn) -> Printf.printf "%8d  %12.3f  %12.3f  %8.2f\n%!" n ti tn (tn /. ti))
+    rows;
   print_newline ();
   Printf.printf
     "paper's shape: both curves grow ~N^3; nCUBE/2 roughly 2x slower than\n\
@@ -53,24 +137,54 @@ let fig5 () =
 let paper_hand = [ (1, 623.16); (2, 446.60); (4, 235.37); (8, 134.89); (16, 79.48) ]
 let paper_f90d = [ (1, 618.79); (2, 451.93); (4, 261.87); (8, 147.25); (16, 87.44) ]
 
-let run_table4 () =
+type t4row = {
+  t4_p : int;
+  t4_hand : float;  (* simulated, hand-written baseline *)
+  t4_f90d : float;  (* simulated, compiler-generated *)
+  t4_stats : Stats.t;
+  t4_wall_seq : float;  (* host seconds, sequential engine *)
+  t4_wall_par : float option;  (* host seconds, run_parallel (with --jobs) *)
+  t4_par_identical : bool;  (* parallel report bit-identical to sequential *)
+}
+
+let run_table4 ~jobs () =
   let n = table4_n in
   let compiled = Driver.compile (Programs.gauss ~n) in
-  let rows =
-    List.map
-      (fun p ->
-        let r =
-          Driver.run ~collect_finals:false ~model:Model.ipsc860 ~topology:Topology.Hypercube
-            ~nprocs:p compiled
-        in
-        let h = Baselines.run_hand_gauss ~nprocs:p ~n () in
-        (p, h.Baselines.elapsed, r.Driver.elapsed, r.Driver.stats))
-      [ 1; 2; 4; 8; 16 ]
+  let run ~jobs p =
+    Driver.run ~collect_finals:false ~model:Model.ipsc860 ~topology:Topology.Hypercube ~jobs
+      ~nprocs:p compiled
   in
-  rows
+  List.map
+    (fun p ->
+      let t0 = Unix.gettimeofday () in
+      let r = run ~jobs:1 p in
+      let wall_seq = Unix.gettimeofday () -. t0 in
+      let wall_par, identical =
+        if jobs > 1 then begin
+          let t0 = Unix.gettimeofday () in
+          let rp = run ~jobs p in
+          let wall = Unix.gettimeofday () -. t0 in
+          ( Some wall,
+            rp.Driver.elapsed = r.Driver.elapsed
+            && rp.Driver.clocks = r.Driver.clocks
+            && Stats.per_tag rp.Driver.stats = Stats.per_tag r.Driver.stats )
+        end
+        else (None, true)
+      in
+      let h = Baselines.run_hand_gauss ~nprocs:p ~n () in
+      {
+        t4_p = p;
+        t4_hand = h.Baselines.elapsed;
+        t4_f90d = r.Driver.elapsed;
+        t4_stats = r.Driver.stats;
+        t4_wall_seq = wall_seq;
+        t4_wall_par = wall_par;
+        t4_par_identical = identical;
+      })
+    [ 1; 2; 4; 8; 16 ]
 
 let table4 rows4 =
-  let rows = List.map (fun (p, h, c, _) -> (p, h, c)) rows4 in
+  let rows = List.map (fun r -> (r.t4_p, r.t4_hand, r.t4_f90d)) rows4 in
   section
     (Printf.sprintf
        "Table 4: hand-written vs compiler-generated Gaussian elimination\n\
@@ -84,13 +198,26 @@ let table4 rows4 =
         (f90d /. hand) ph pf (pf /. ph))
     rows;
   (match List.rev rows4 with
-  | (_, _, _, stats) :: _ ->
+  | { t4_stats = stats; _ } :: _ ->
       Printf.printf "\ncommunication breakdown of the compiled code at 16 PEs:\n";
       List.iter
         (fun (name, msgs, bytes) ->
           Printf.printf "  %-24s %8d messages  %12d bytes\n" name msgs bytes)
         (Stats.breakdown stats ~name_of:F90d_runtime.Tags.family_name)
   | [] -> ());
+  (if List.exists (fun r -> r.t4_wall_par <> None) rows4 then begin
+     Printf.printf "\ndomain-parallel engine (host seconds per run):\n";
+     Printf.printf "%4s  %10s  %10s  %8s  %s\n" "PEs" "seq wall" "par wall" "speedup" "identical";
+     List.iter
+       (fun r ->
+         match r.t4_wall_par with
+         | Some wp ->
+             Printf.printf "%4d  %10.2f  %10.2f  %8.2f  %s\n" r.t4_p r.t4_wall_seq wp
+               (r.t4_wall_seq /. wp)
+               (if r.t4_par_identical then "yes" else "NO!")
+         | None -> ())
+       rows4
+   end);
   print_newline ();
   Printf.printf
     "paper's shape: compiler-generated within ~10%% of hand-written; the gap\n\
@@ -101,7 +228,7 @@ let table4 rows4 =
 (* ------------------------------------------------------------------ *)
 
 let fig6 rows4 =
-  let rows = List.map (fun (p, h, c, _) -> (p, h, c)) rows4 in
+  let rows = List.map (fun r -> (r.t4_p, r.t4_hand, r.t4_f90d)) rows4 in
   section "Figure 6: speed-up against the sequential code (same runs as Table 4)";
   let seq_hand = match rows with (_, h, _) :: _ -> h | [] -> 1. in
   Printf.printf "%4s  %14s  %14s  |  %12s  %12s\n" "PEs" "hand-written" "compiler" "paper-hand"
@@ -435,31 +562,132 @@ let micro () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* JSON emitters                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let json_table4 ~jobs ~host_wall rows4 =
+  Json.Obj
+    [
+      ("experiment", Json.Str "table4");
+      ("program", Json.Str "gauss");
+      ("problem_size", Json.Int table4_n);
+      ("model", Json.Str Model.ipsc860.Model.name);
+      ("topology", Json.Str (Topology.name Topology.Hypercube));
+      ("jobs", Json.Int jobs);
+      ("host_cores", Json.Int (Domain.recommended_domain_count ()));
+      ("host_wall_total_s", Json.Float host_wall);
+      ( "rows",
+        Json.List
+          (List.map
+             (fun r ->
+               Json.Obj
+                 [
+                   ("nprocs", Json.Int r.t4_p);
+                   ("hand_elapsed_s", Json.Float r.t4_hand);
+                   ("f90d_elapsed_s", Json.Float r.t4_f90d);
+                   ("host_wall_seq_s", Json.Float r.t4_wall_seq);
+                   ( "host_wall_par_s",
+                     match r.t4_wall_par with Some w -> Json.Float w | None -> Json.Null );
+                   ("parallel_identical", Json.Bool r.t4_par_identical);
+                   ("messages", Json.Int r.t4_stats.Stats.messages);
+                   ("bytes", Json.Int r.t4_stats.Stats.bytes);
+                   ("recv_wait_s", Json.Float r.t4_stats.Stats.recv_wait);
+                   ("sched_builds", Json.Int r.t4_stats.Stats.sched_builds);
+                   ("sched_hits", Json.Int r.t4_stats.Stats.sched_hits);
+                 ])
+             rows4) );
+    ]
+
+let json_fig5 ~host_wall rows =
+  Json.Obj
+    [
+      ("experiment", Json.Str "fig5");
+      ("program", Json.Str "gauss");
+      ("nprocs", Json.Int 16);
+      ("topology", Json.Str (Topology.name Topology.Hypercube));
+      ("host_wall_total_s", Json.Float host_wall);
+      ( "rows",
+        Json.List
+          (List.map
+             (fun (n, ti, tn) ->
+               Json.Obj
+                 [
+                   ("problem_size", Json.Int n);
+                   ("ipsc860_elapsed_s", Json.Float ti);
+                   ("ncube2_elapsed_s", Json.Float tn);
+                 ])
+             rows) );
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
 let () =
-  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let argv = Array.to_list Sys.argv in
+  let what, flags =
+    match argv with
+    | _ :: w :: rest when String.length w > 0 && w.[0] <> '-' -> (w, rest)
+    | _ :: rest -> ("all", rest)
+    | [] -> ("all", [])
+  in
+  let json_path = ref None and jobs = ref (Driver.default_jobs ()) in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: p :: rest when String.length p > 0 && p.[0] <> '-' ->
+        json_path := Some p;
+        parse rest
+    | "--json" :: rest ->
+        json_path := Some (Printf.sprintf "BENCH_%s.json" what);
+        parse rest
+    | "--jobs" :: n :: rest ->
+        (jobs := try max 1 (int_of_string n) with _ -> 1);
+        parse rest
+    | other :: _ ->
+        Printf.eprintf "unknown flag '%s' (--json [PATH] | --jobs N)\n" other;
+        exit 1
+  in
+  parse flags;
+  let jobs = !jobs in
   let t0 = Unix.gettimeofday () in
+  let warn_json () =
+    match !json_path with
+    | Some _ ->
+        Printf.eprintf "warning: --json is only supported for table4 and fig5; ignoring\n"
+    | None -> ()
+  in
   (match what with
-  | "fig5" -> fig5 ()
-  | "table4" -> table4 (run_table4 ())
-  | "fig6" -> fig6 (run_table4 ())
-  | "table1" -> table1 ()
-  | "table2" -> table2 ()
-  | "table3" -> table3 ()
-  | "micro" -> micro ()
-  | "ablation" -> ablation ()
-  | "dist" -> dist_choice ()
-  | "portability" -> portability ()
-  | "fig3" -> fig3 ()
+  | "fig5" ->
+      let rows = run_fig5 () in
+      fig5 rows;
+      Option.iter
+        (fun p -> Json.write p (json_fig5 ~host_wall:(Unix.gettimeofday () -. t0) rows))
+        !json_path
+  | "table4" ->
+      let rows = run_table4 ~jobs () in
+      table4 rows;
+      Option.iter
+        (fun p -> Json.write p (json_table4 ~jobs ~host_wall:(Unix.gettimeofday () -. t0) rows))
+        !json_path
+  | "fig6" ->
+      warn_json ();
+      fig6 (run_table4 ~jobs ())
+  | "table1" -> warn_json (); table1 ()
+  | "table2" -> warn_json (); table2 ()
+  | "table3" -> warn_json (); table3 ()
+  | "micro" -> warn_json (); micro ()
+  | "ablation" -> warn_json (); ablation ()
+  | "dist" -> warn_json (); dist_choice ()
+  | "portability" -> warn_json (); portability ()
+  | "fig3" -> warn_json (); fig3 ()
   | "all" ->
+      warn_json ();
       table1 ();
       table2 ();
       table3 ();
       fig3 ();
-      fig5 ();
-      let rows = run_table4 () in
+      fig5 (run_fig5 ());
+      let rows = run_table4 ~jobs () in
       table4 rows;
       fig6 rows;
       ablation ();

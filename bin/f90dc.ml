@@ -28,7 +28,7 @@ let model_of_name = function
   | "ideal" -> F90d_machine.Model.ideal
   | other -> raise (Invalid_argument ("unknown machine model: " ^ other))
 
-let run_cmd source demo nprocs machine emit no_opt show_finals trace =
+let run_cmd source demo nprocs jobs machine emit no_opt show_finals trace =
   try
     if trace then begin
       Logs.set_reporter (Logs.format_reporter ());
@@ -51,7 +51,7 @@ let run_cmd source demo nprocs machine emit no_opt show_finals trace =
         else F90d_machine.Topology.Full
       in
       let result =
-        F90d.Driver.run ~collect_finals:show_finals ~model ~topology ~nprocs compiled
+        F90d.Driver.run ~collect_finals:show_finals ~model ~topology ?jobs ~nprocs compiled
       in
       print_string result.F90d.Driver.outcome.F90d_exec.Interp.output;
       Printf.printf "--- %d processors on %s ---\n" nprocs model.F90d_machine.Model.name;
@@ -83,6 +83,13 @@ let nprocs =
   let doc = "Number of simulated processors." in
   Arg.(value & opt int 4 & info [ "p"; "nprocs" ] ~docv:"P" ~doc)
 
+let jobs =
+  let doc =
+    "Worker domains for the host-parallel engine (results are bit-identical to the \
+     sequential engine).  Defaults to the F90D_JOBS environment variable, else 1."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let machine =
   let doc = "Machine model: ipsc860, ncube2 or ideal." in
   Arg.(value & opt string "ipsc860" & info [ "machine" ] ~docv:"MODEL" ~doc)
@@ -109,6 +116,7 @@ let cmd =
   Cmd.v info
     Term.(
       ret
-        (const run_cmd $ source $ demo $ nprocs $ machine $ emit $ no_opt $ show_finals $ trace))
+        (const run_cmd $ source $ demo $ nprocs $ jobs $ machine $ emit $ no_opt $ show_finals
+       $ trace))
 
 let () = exit (Cmd.eval cmd)

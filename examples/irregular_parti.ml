@@ -5,21 +5,19 @@
 
      dune exec examples/irregular_parti.exe *)
 
-open F90d_runtime
-
 let n = 48
 
 let () =
   let source = F90d.Programs.irregular ~n in
 
   (* with schedule reuse (default): the inspectors run once *)
-  Schedule.clear_cache ();
   let with_reuse =
     F90d.Driver.run ~collect_finals:true ~nprocs:4 (F90d.Driver.compile source)
   in
-  let builds, hits = Schedule.cache_stats () in
+  let stats = with_reuse.F90d.Driver.stats in
   Printf.printf "with reuse   : %4d messages, %d schedule builds, %d cache hits\n"
-    with_reuse.F90d.Driver.stats.F90d_machine.Stats.messages builds hits;
+    stats.F90d_machine.Stats.messages stats.F90d_machine.Stats.sched_builds
+    stats.F90d_machine.Stats.sched_hits;
 
   (* without: every time step re-runs the preprocessing communication *)
   let without =

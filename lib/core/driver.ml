@@ -25,17 +25,22 @@ type run_result = {
   stats : Stats.t;
 }
 
-let run ?(collect_finals = true) ?(model = Model.ideal) ?(topology = Topology.Full) ~nprocs
-    compiled =
-  Schedule.clear_cache ();
+let default_jobs () =
+  match Sys.getenv_opt "F90D_JOBS" with
+  | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 1)
+  | None -> 1
+
+let run ?(collect_finals = true) ?(model = Model.ideal) ?(topology = Topology.Full) ?jobs
+    ~nprocs compiled =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
   let dims = Sema.grid_dims compiled.c_env ~nprocs in
   let phys_of_rank = Topology.grid_embedding topology ~nprocs dims in
   let grid = Grid.make ?phys_of_rank dims in
   let cfg = Engine.config ~model ~topology nprocs in
-  let report =
-    Engine.run cfg (fun eng ->
-        F90d_exec.Interp.node_main ~collect_finals compiled.c_ir (Rctx.make eng grid))
+  let node eng =
+    F90d_exec.Interp.node_main ~collect_finals compiled.c_ir (Rctx.make eng grid)
   in
+  let report = if jobs > 1 then Engine.run_parallel ~jobs cfg node else Engine.run cfg node in
   (* rank 0 of the grid carries the program output *)
   let root_phys = Grid.phys_of_rank grid 0 in
   {

@@ -28,17 +28,27 @@ type run_result = {
   stats : Stats.t;
 }
 
+val default_jobs : unit -> int
+(** Worker-domain count from the [F90D_JOBS] environment variable
+    (minimum 1); 1 — the sequential engine — when unset or unparsable. *)
+
 val run :
   ?collect_finals:bool ->
   ?model:Model.t ->
   ?topology:Topology.t ->
+  ?jobs:int ->
   nprocs:int ->
   compiled ->
   run_result
 (** Instantiate the processor grid (PROCESSORS directive, or a 1-D grid of
     the whole machine), embed it in the topology, and execute.  Defaults:
-    ideal model, fully connected.  The global schedule cache is cleared at
-    entry so runs are independent. *)
+    ideal model, fully connected.  [jobs] selects the execution engine:
+    [jobs > 1] runs node programs on that many worker domains
+    ({!F90d_machine.Engine.run_parallel} — reports are bit-identical to
+    the sequential engine); the default comes from the [F90D_JOBS]
+    environment variable, falling back to the sequential engine.  Run-time
+    state (mailboxes, statistics, schedule caches) is per-run, so
+    consecutive runs are fully independent. *)
 
 val final : run_result -> string -> F90d_base.Ndarray.t
 (** A gathered final array by name (requires [collect_finals]). *)

@@ -38,9 +38,10 @@ let rec ev n c1 c2 c3 =
 
 exception Fallback
 
-let run_count = ref 0
-let runs () = !run_count
-let reset_runs () = run_count := 0
+(* counted atomically: kernels run concurrently under Engine.run_parallel *)
+let run_count = Atomic.make 0
+let runs () = Atomic.get run_count
+let reset_runs () = Atomic.set run_count 0
 
 (* Linear form over the loop counters: value = base + sum coefs.(k)*c_k. *)
 type lin = { base : int; coefs : int array }
@@ -294,6 +295,6 @@ let try_run ~env ~me ~scalar_lookup ~darr_of ~temp_of ~values ~(f : Ir.forall) =
         done
       done
     done;
-    incr run_count;
+    Atomic.incr run_count;
     true
   with Fallback -> false

@@ -10,12 +10,21 @@ let config ?(model = Model.ideal) ?(topology = Topology.Full) nprocs =
 
 exception Deadlock of string
 
+(* Shared machine state, laid out so that a rank's fiber slice only ever
+   touches rank-private slots: clocks.(me), rank_stats.(me) and
+   outboxes.(me).  Mailboxes are sharded by destination rank and keyed by
+   (src, tag) channel; they are mutated exclusively by the (sequential)
+   scheduler when it drains outboxes and pops messages for delivery, so
+   the same state supports both the sequential and the domain-parallel
+   engine without locks on the data path. *)
 type shared = {
   cfg : config;
   clocks : float array;
-  (* mailbox: (dest, src, tag) -> FIFO of messages *)
-  mail : (int * int * int, Message.t Queue.t) Hashtbl.t;
-  stats : Stats.t;
+  mail : (int * int, Message.t Queue.t) Hashtbl.t array;
+  (* mail.(dest): (src, tag) -> FIFO of undelivered messages *)
+  outboxes : (int * Message.t) Queue.t array;
+  (* outboxes.(src): (dest, msg) sends not yet moved into a mailbox *)
+  rank_stats : Stats.rank array;
 }
 
 type ctx = { me : int; sh : shared }
@@ -27,6 +36,7 @@ let rank ctx = ctx.me
 let nprocs ctx = ctx.sh.cfg.nprocs
 let model ctx = ctx.sh.cfg.model
 let time ctx = ctx.sh.clocks.(ctx.me)
+let rank_stats ctx = ctx.sh.rank_stats.(ctx.me)
 
 let advance ctx dt =
   if dt < 0. then Diag.bug "engine: negative time advance";
@@ -36,12 +46,13 @@ let charge_flops ctx n = advance ctx (float_of_int n *. (model ctx).Model.flop)
 let charge_iops ctx n = advance ctx (float_of_int n *. (model ctx).Model.iop)
 let charge_copy_bytes ctx n = advance ctx (float_of_int n *. (model ctx).Model.memcpy)
 
-let mailbox sh key =
-  match Hashtbl.find_opt sh.mail key with
+let channel sh ~dest key =
+  let box = sh.mail.(dest) in
+  match Hashtbl.find_opt box key with
   | Some q -> q
   | None ->
       let q = Queue.create () in
-      Hashtbl.add sh.mail key q;
+      Hashtbl.add box key q;
       q
 
 let send ctx ~dest ~tag payload =
@@ -53,17 +64,15 @@ let send ctx ~dest ~tag payload =
   advance ctx (m.Model.alpha +. (float_of_int bytes *. m.Model.beta));
   let hops = Topology.hops sh.cfg.topology ~nprocs:sh.cfg.nprocs ctx.me dest in
   let arrival = time ctx +. (float_of_int (max 0 (hops - 1)) *. m.Model.hop) in
-  Stats.record_send ~tag sh.stats ~rank:ctx.me ~bytes;
-  Queue.add
-    { Message.src = ctx.me; tag; payload; bytes; arrival }
-    (mailbox sh (dest, ctx.me, tag))
+  Stats.record_send ~tag sh.rank_stats.(ctx.me) ~bytes;
+  Queue.add (dest, { Message.src = ctx.me; tag; payload; bytes; arrival }) sh.outboxes.(ctx.me)
 
 let recv ctx ~src ~tag =
   let msg = perform (Wait_recv (ctx.me, src, tag)) in
   let sh = ctx.sh in
   let before = time ctx in
   if msg.Message.arrival > before then begin
-    Stats.record_wait sh.stats (msg.Message.arrival -. before);
+    Stats.record_wait sh.rank_stats.(ctx.me) (msg.Message.arrival -. before);
     sh.clocks.(ctx.me) <- msg.Message.arrival
   end;
   msg
@@ -76,59 +85,49 @@ type 'a fiber_state =
   | Finished of 'a
   | Failed of exn * Printexc.raw_backtrace
 
-let run cfg main =
-  let sh =
-    {
-      cfg;
-      clocks = Array.make cfg.nprocs 0.;
-      mail = Hashtbl.create 64;
-      stats = Stats.create cfg.nprocs;
-    }
-  in
-  let states = Array.make cfg.nprocs Not_started in
-  (* Run one fiber slice: either start a fiber or resume a blocked one whose
-     message is available.  Returns true if any progress was made. *)
-  let deliver key =
-    match Hashtbl.find_opt sh.mail key with
-    | Some q when not (Queue.is_empty q) -> Some (Queue.pop q)
-    | _ -> None
-  in
-  let handle me thunk =
-    match_with thunk ()
-      {
-        retc = (fun v -> states.(me) <- Finished v);
-        exnc = (fun e -> states.(me) <- Failed (e, Printexc.get_raw_backtrace ()));
-        effc =
-          (fun (type a) (eff : a Effect.t) ->
-            match eff with
-            | Wait_recv key ->
-                Some
-                  (fun (k : (a, unit) continuation) -> states.(me) <- Blocked (key, k))
-            | _ -> None);
-      }
-  in
-  let progress = ref true in
-  let all_done () =
-    Array.for_all (function Finished _ | Failed _ -> true | _ -> false) states
-  in
-  while (not (all_done ())) && !progress do
-    progress := false;
-    for me = 0 to cfg.nprocs - 1 do
-      match states.(me) with
-      | Not_started ->
-          progress := true;
-          let ctx = { me; sh } in
-          handle me (fun () -> main ctx)
-      | Blocked (key, k) -> (
-          match deliver key with
-          | Some msg ->
-              progress := true;
-              (* the fiber's original deep handler updates [states.(me)] *)
-              continue k msg
-          | None -> ())
-      | Finished _ | Failed _ -> ()
-    done
+let make_shared cfg =
+  {
+    cfg;
+    clocks = Array.make cfg.nprocs 0.;
+    mail = Array.init cfg.nprocs (fun _ -> Hashtbl.create 16);
+    outboxes = Array.init cfg.nprocs (fun _ -> Queue.create ());
+    rank_stats = Array.init cfg.nprocs (fun _ -> Stats.rank_create ());
+  }
+
+(* Move rank [me]'s pending sends into the destination mailboxes, in send
+   order (each channel has a single producer, so per-channel FIFO order is
+   preserved no matter how slices interleave).  Returns the destination
+   ranks that received mail. *)
+let drain_outbox sh me =
+  let ob = sh.outboxes.(me) in
+  let touched = ref [] in
+  while not (Queue.is_empty ob) do
+    let dest, msg = Queue.pop ob in
+    Queue.add msg (channel sh ~dest (msg.Message.src, msg.Message.tag));
+    if not (List.mem dest !touched) then touched := dest :: !touched
   done;
+  !touched
+
+let take sh (dest, src, tag) =
+  match Hashtbl.find_opt sh.mail.(dest) (src, tag) with
+  | Some q when not (Queue.is_empty q) -> Some (Queue.pop q)
+  | _ -> None
+
+(* Run one slice of rank [me]: from [thunk] until the fiber blocks on
+   Wait_recv, returns or raises.  The deep handler owns states.(me). *)
+let handler states me =
+  {
+    retc = (fun v -> states.(me) <- Finished v);
+    exnc = (fun e -> states.(me) <- Failed (e, Printexc.get_raw_backtrace ()));
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Wait_recv key ->
+            Some (fun (k : (a, unit) continuation) -> states.(me) <- Blocked (key, k))
+        | _ -> None);
+  }
+
+let finish (sh : shared) states =
   (* Propagate the first failure, if any. *)
   Array.iteri
     (fun _ st ->
@@ -136,11 +135,15 @@ let run cfg main =
       | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
       | _ -> ())
     states;
-  if not (all_done ()) then begin
+  let all_done =
+    Array.for_all (function Finished _ | Failed _ -> true | _ -> false) states
+  in
+  if not all_done then begin
     let blocked =
       Array.to_seq states
       |> Seq.filter_map (function
-           | Blocked ((me, src, tag), _) -> Some (Printf.sprintf "p%d waiting on (src=%d,tag=%d)" me src tag)
+           | Blocked ((me, src, tag), _) ->
+               Some (Printf.sprintf "p%d waiting on (src=%d,tag=%d)" me src tag)
            | _ -> None)
       |> List.of_seq
     in
@@ -154,4 +157,133 @@ let run cfg main =
       states
   in
   let elapsed = Array.fold_left Float.max 0. sh.clocks in
-  { results; elapsed; clocks = Array.copy sh.clocks; stats = sh.stats }
+  { results; elapsed; clocks = Array.copy sh.clocks; stats = Stats.merge sh.rank_stats }
+
+let run cfg main =
+  let sh = make_shared cfg in
+  let states = Array.make cfg.nprocs Not_started in
+  let progress = ref true in
+  let all_done () =
+    Array.for_all (function Finished _ | Failed _ -> true | _ -> false) states
+  in
+  while (not (all_done ())) && !progress do
+    progress := false;
+    for me = 0 to cfg.nprocs - 1 do
+      (match states.(me) with
+      | Not_started ->
+          progress := true;
+          let ctx = { me; sh } in
+          match_with (fun () -> main ctx) () (handler states me)
+      | Blocked (key, k) -> (
+          match take sh key with
+          | Some msg ->
+              progress := true;
+              (* the fiber's original deep handler updates [states.(me)] *)
+              continue k msg
+          | None -> ())
+      | Finished _ | Failed _ -> ());
+      ignore (drain_outbox sh me)
+    done
+  done;
+  finish sh states
+
+(* ------------------------------------------------------------------ *)
+(* Domain-parallel execution                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A minimal blocking queue: the only synchronization in the parallel
+   engine.  Pushes and pops establish the happens-before edges that make
+   a rank's private slots (clocks, stats, outbox, fiber state) visible to
+   the coordinator after each slice and back. *)
+module Bqueue = struct
+  type 'a t = { q : 'a Queue.t; m : Mutex.t; c : Condition.t }
+
+  let create () = { q = Queue.create (); m = Mutex.create (); c = Condition.create () }
+
+  let push t x =
+    Mutex.lock t.m;
+    Queue.add x t.q;
+    Condition.signal t.c;
+    Mutex.unlock t.m
+
+  let pop t =
+    Mutex.lock t.m;
+    while Queue.is_empty t.q do
+      Condition.wait t.c t.m
+    done;
+    let x = Queue.pop t.q in
+    Mutex.unlock t.m;
+    x
+end
+
+type job = Slice of (unit -> unit) | Stop
+
+(* Loosely synchronous SPMD execution (§2, §8): between communication
+   points node programs are independent, so each slice — resume until the
+   fiber blocks on a receive or finishes — runs on a pool of worker
+   domains.  The coordinator alone moves messages from outboxes into the
+   sharded mailboxes and decides which blocked fiber a message unblocks.
+   Channels are exact-match (src, tag) FIFOs with a single producer and a
+   single consumer, so every receive consumes the same message as under
+   the sequential engine regardless of slice interleaving; clocks and
+   statistics are rank-private; hence reports are bit-identical. *)
+let run_parallel ?jobs cfg main =
+  let jobs =
+    match jobs with Some j -> j | None -> Domain.recommended_domain_count ()
+  in
+  if jobs <= 1 || cfg.nprocs <= 1 then run cfg main
+  else begin
+    let sh = make_shared cfg in
+    let states = Array.make cfg.nprocs Not_started in
+    let tasks = Bqueue.create () in
+    let completions = Bqueue.create () in
+    let nworkers = min jobs cfg.nprocs in
+    let worker () =
+      let rec loop () =
+        match Bqueue.pop tasks with
+        | Stop -> ()
+        | Slice f ->
+            f ();
+            loop ()
+      in
+      loop ()
+    in
+    let domains = Array.init nworkers (fun _ -> Domain.spawn worker) in
+    let running = Array.make cfg.nprocs false in
+    let in_flight = ref 0 in
+    let dispatch me f =
+      running.(me) <- true;
+      incr in_flight;
+      Bqueue.push tasks
+        (Slice
+           (fun () ->
+             f ();
+             Bqueue.push completions me))
+    in
+    let consider me =
+      if not running.(me) then
+        match states.(me) with
+        | Blocked (key, k) -> (
+            match take sh key with
+            | Some msg -> dispatch me (fun () -> continue k msg)
+            | None -> ())
+        | _ -> ()
+    in
+    for me = 0 to cfg.nprocs - 1 do
+      let ctx = { me; sh } in
+      dispatch me (fun () -> match_with (fun () -> main ctx) () (handler states me))
+    done;
+    while !in_flight > 0 do
+      let me = Bqueue.pop completions in
+      running.(me) <- false;
+      decr in_flight;
+      let touched = drain_outbox sh me in
+      consider me;
+      List.iter (fun dest -> if dest <> me then consider dest) touched
+    done;
+    for _ = 1 to nworkers do
+      Bqueue.push tasks Stop
+    done;
+    Array.iter Domain.join domains;
+    finish sh states
+  end

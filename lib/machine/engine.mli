@@ -47,6 +47,10 @@ val charge_flops : ctx -> int -> unit
 val charge_iops : ctx -> int -> unit
 val charge_copy_bytes : ctx -> int -> unit
 
+val rank_stats : ctx -> Stats.rank
+(** This processor's private statistics collector (the run-time system
+    records schedule-cache builds/hits through it). *)
+
 (** {2 Driving the machine} *)
 
 type 'a report = {
@@ -60,3 +64,13 @@ val run : config -> (ctx -> 'a) -> 'a report
 (** Runs the SPMD program to completion.  Any exception raised by a node
     program is re-raised after the machine stops; unsatisfiable receives
     raise {!Deadlock}. *)
+
+val run_parallel : ?jobs:int -> config -> (ctx -> 'a) -> 'a report
+(** Like {!run}, but executes fiber slices — from resume until the fiber
+    blocks on a receive or finishes — on a pool of [jobs] worker domains
+    ([Domain.recommended_domain_count] by default; [jobs <= 1] falls back
+    to {!run}).  A sequential coordinator performs all message delivery
+    and unblocking decisions, and every (src, tag) channel is an
+    exact-match FIFO with one producer and one consumer, so the report
+    (results, [elapsed], [clocks], [stats]) is bit-identical to the
+    sequential engine's. *)

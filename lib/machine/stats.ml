@@ -1,31 +1,79 @@
+(* Each simulated processor accumulates into its own [rank] collector, so
+   node programs running concurrently on real domains never share a
+   mutable statistics record; [merge] folds the collectors into the
+   read-only per-run view the harness and the tests consume. *)
+
+type rank = {
+  mutable r_messages : int;
+  mutable r_bytes : int;
+  mutable r_recv_wait : float;
+  r_by_tag : (int, int * int) Hashtbl.t;
+  mutable r_sched_builds : int;
+  mutable r_sched_hits : int;
+}
+
 type t = {
-  mutable messages : int;
-  mutable bytes : int;
-  mutable recv_wait : float;
+  messages : int;
+  bytes : int;
+  recv_wait : float;
   per_rank_messages : int array;
   per_rank_bytes : int array;
   by_tag : (int, int * int) Hashtbl.t;
+  sched_builds : int;
+  sched_hits : int;
 }
 
-let create nprocs =
+let rank_create () =
   {
-    messages = 0;
-    bytes = 0;
-    recv_wait = 0.;
-    per_rank_messages = Array.make nprocs 0;
-    per_rank_bytes = Array.make nprocs 0;
-    by_tag = Hashtbl.create 16;
+    r_messages = 0;
+    r_bytes = 0;
+    r_recv_wait = 0.;
+    r_by_tag = Hashtbl.create 16;
+    r_sched_builds = 0;
+    r_sched_hits = 0;
   }
 
-let record_send ?(tag = 0) t ~rank ~bytes =
-  t.messages <- t.messages + 1;
-  t.bytes <- t.bytes + bytes;
-  t.per_rank_messages.(rank) <- t.per_rank_messages.(rank) + 1;
-  t.per_rank_bytes.(rank) <- t.per_rank_bytes.(rank) + bytes;
-  let m, b = Option.value (Hashtbl.find_opt t.by_tag tag) ~default:(0, 0) in
-  Hashtbl.replace t.by_tag tag (m + 1, b + bytes)
+let record_send ?(tag = 0) r ~bytes =
+  r.r_messages <- r.r_messages + 1;
+  r.r_bytes <- r.r_bytes + bytes;
+  let m, b = Option.value (Hashtbl.find_opt r.r_by_tag tag) ~default:(0, 0) in
+  Hashtbl.replace r.r_by_tag tag (m + 1, b + bytes)
 
-let record_wait t dt = t.recv_wait <- t.recv_wait +. dt
+let record_wait r dt = r.r_recv_wait <- r.r_recv_wait +. dt
+let record_sched_build r = r.r_sched_builds <- r.r_sched_builds + 1
+let record_sched_hit r = r.r_sched_hits <- r.r_sched_hits + 1
+
+let merge ranks =
+  let by_tag = Hashtbl.create 16 in
+  let messages = ref 0 and bytes = ref 0 and recv_wait = ref 0. in
+  let builds = ref 0 and hits = ref 0 in
+  Array.iter
+    (fun r ->
+      messages := !messages + r.r_messages;
+      bytes := !bytes + r.r_bytes;
+      recv_wait := !recv_wait +. r.r_recv_wait;
+      builds := !builds + r.r_sched_builds;
+      hits := !hits + r.r_sched_hits;
+      Hashtbl.iter
+        (fun tag (m, b) ->
+          let m0, b0 = Option.value (Hashtbl.find_opt by_tag tag) ~default:(0, 0) in
+          Hashtbl.replace by_tag tag (m0 + m, b0 + b))
+        r.r_by_tag)
+    ranks;
+  {
+    messages = !messages;
+    bytes = !bytes;
+    recv_wait = !recv_wait;
+    per_rank_messages = Array.map (fun r -> r.r_messages) ranks;
+    per_rank_bytes = Array.map (fun r -> r.r_bytes) ranks;
+    by_tag;
+    sched_builds = !builds;
+    sched_hits = !hits;
+  }
+
+let per_tag t =
+  Hashtbl.fold (fun tag mb acc -> (tag, mb) :: acc) t.by_tag []
+  |> List.sort (fun (t1, _) (t2, _) -> compare t1 t2)
 
 (* message tags are namespaced by hundreds (see F90d_runtime.Tags) *)
 let tag_family tag = tag / 100 * 100

@@ -2,21 +2,42 @@
     benchmark harness and by tests that assert message counts (e.g. that
     schedule reuse removes preprocessing messages).
 
+    Recording is sharded: each simulated processor owns a private {!rank}
+    collector (written only by that processor's fiber, so the parallel
+    engine needs no locking around statistics), and the engine {!merge}s
+    the collectors into the read-only totals record {!t} when the run
+    completes.
+
     Sends are also accounted per message-tag family so benches can print
     a breakdown by communication primitive. *)
 
+type rank
+(** One processor's private statistics collector. *)
+
 type t = {
-  mutable messages : int;
-  mutable bytes : int;
-  mutable recv_wait : float;  (** total time receivers spent blocked *)
+  messages : int;
+  bytes : int;
+  recv_wait : float;  (** total time receivers spent blocked *)
   per_rank_messages : int array;
   per_rank_bytes : int array;
   by_tag : (int, int * int) Hashtbl.t;  (** tag -> (messages, bytes) *)
+  sched_builds : int;  (** inspector schedules built (see {!F90d_runtime.Schedule}) *)
+  sched_hits : int;  (** schedule-cache hits *)
 }
 
-val create : int -> t
-val record_send : ?tag:int -> t -> rank:int -> bytes:int -> unit
-val record_wait : t -> float -> unit
+val rank_create : unit -> rank
+val record_send : ?tag:int -> rank -> bytes:int -> unit
+val record_wait : rank -> float -> unit
+val record_sched_build : rank -> unit
+val record_sched_hit : rank -> unit
+
+val merge : rank array -> t
+(** Fold per-processor collectors (indexed by physical rank) into the
+    per-run totals. *)
+
+val per_tag : t -> (int * (int * int)) list
+(** [(tag, (messages, bytes))] sorted by tag — a canonical form for
+    equality checks between runs. *)
 
 val breakdown : t -> name_of:(int -> string) -> (string * int * int) list
 (** (family name, messages, bytes) per tag family (tags grouped by

@@ -2,13 +2,19 @@ open F90d_base
 open F90d_dist
 open F90d_machine
 
-type t = { eng : Engine.ctx; grid : Grid.t }
+type cache_entry = ..
+
+type t = {
+  eng : Engine.ctx;
+  grid : Grid.t;
+  sched_cache : (string, cache_entry) Hashtbl.t;
+}
 
 let make eng grid =
   if Grid.size grid <> Engine.nprocs eng then
     Diag.bug "rctx: grid size %d does not cover the machine (%d nodes)" (Grid.size grid)
       (Engine.nprocs eng);
-  { eng; grid }
+  { eng; grid; sched_cache = Hashtbl.create 16 }
 
 let engine t = t.eng
 let grid t = t.grid
@@ -16,6 +22,9 @@ let me t = Grid.rank_of_phys t.grid (Engine.rank t.eng)
 let nprocs t = Grid.size t.grid
 let my_coords t = Grid.coords_of_rank t.grid (me t)
 let time t = Engine.time t.eng
+
+let cache_find t key = Hashtbl.find_opt t.sched_cache key
+let cache_store t key entry = Hashtbl.replace t.sched_cache key entry
 
 let send t ~dest ~tag payload =
   Engine.send t.eng ~dest:(Grid.phys_of_rank t.grid dest) ~tag payload

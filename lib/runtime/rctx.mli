@@ -7,8 +7,19 @@
 
 type t
 
+type cache_entry = ..
+(** Per-processor, per-run memo slot.  Each module that caches run-time
+    state (e.g. {!Schedule}) extends this variant with its own
+    constructor; keeping the table inside the context means concurrent
+    ranks, and back-to-back runs with different programs or machine
+    sizes, can never observe each other's entries. *)
+
 val make : F90d_machine.Engine.ctx -> F90d_dist.Grid.t -> t
-(** The grid must exactly cover the machine ([Grid.size = nprocs]). *)
+(** The grid must exactly cover the machine ([Grid.size = nprocs]).  The
+    context owns a fresh (empty) cache. *)
+
+val cache_find : t -> string -> cache_entry option
+val cache_store : t -> string -> cache_entry -> unit
 
 val engine : t -> F90d_machine.Engine.ctx
 val grid : t -> F90d_dist.Grid.t

@@ -132,7 +132,7 @@ let pack ctx src positions =
 
 let unpack ctx dst positions values =
   Array.iteri (fun i p -> Ndarray.set_flat dst p (Ndarray.get_flat values i)) positions;
-  Rctx.charge_copy_bytes ctx (4 * Array.length positions)
+  Rctx.charge_copy_bytes ctx (Ndarray.elem_bytes values * Array.length positions)
 
 let exchange ctx sched ~src ~dst =
   List.iter
@@ -141,7 +141,7 @@ let exchange ctx sched ~src ~dst =
   Array.iteri
     (fun i p -> Ndarray.set_flat dst sched.self_dst.(i) (Ndarray.get_flat src p))
     sched.self_src;
-  Rctx.charge_copy_bytes ctx (4 * Array.length sched.self_src);
+  Rctx.charge_copy_bytes ctx (Ndarray.elem_bytes src * Array.length sched.self_src);
   List.iter
     (fun s ->
       let msg = Rctx.recv ctx ~src:s.peer ~tag:Tags.exec_data in
@@ -160,25 +160,21 @@ let write ctx sched (darr : Darray.t) tmp =
 (* Schedule reuse                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let cache : (string * int, t) Hashtbl.t = Hashtbl.create 64
-let builds = ref 0
-let hits = ref 0
+(* The cache lives inside the processor context (one per rank per run):
+   concurrent ranks never contend on it, and consecutive runs with
+   different programs, distributions or machine sizes cannot observe each
+   other's schedules.  Builds/hits are charged to the rank's statistics
+   collector and show up merged in the run report. *)
+
+type Rctx.cache_entry += Cached_schedule of t
 
 let cached ctx ~key builder =
-  let k = (key, Rctx.me ctx) in
-  match Hashtbl.find_opt cache k with
-  | Some s ->
-      incr hits;
+  match Rctx.cache_find ctx key with
+  | Some (Cached_schedule s) ->
+      Stats.record_sched_hit (Engine.rank_stats (Rctx.engine ctx));
       s
-  | None ->
-      incr builds;
+  | _ ->
+      Stats.record_sched_build (Engine.rank_stats (Rctx.engine ctx));
       let s = builder () in
-      Hashtbl.add cache k s;
+      Rctx.cache_store ctx key (Cached_schedule s);
       s
-
-let cache_stats () = (!builds, !hits)
-
-let clear_cache () =
-  Hashtbl.reset cache;
-  builds := 0;
-  hits := 0

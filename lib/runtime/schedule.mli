@@ -47,9 +47,8 @@ val write : Rctx.t -> t -> Darray.t -> F90d_base.Ndarray.t -> unit
 
 val cached : Rctx.t -> key:string -> (unit -> t) -> t
 (** Returns the cached schedule for [key] on this processor, building it
-    once.  The compiler emits stable keys for reusable inspectors. *)
-
-val cache_stats : unit -> int * int
-(** (builds, hits) since the last {!clear_cache}. *)
-
-val clear_cache : unit -> unit
+    once per run (the cache lives in the {!Rctx.t}, so runs and ranks are
+    isolated).  The compiler emits stable keys for reusable inspectors.
+    Builds and hits are recorded in the processor's {!F90d_machine.Stats}
+    collector and appear as [sched_builds]/[sched_hits] in the run
+    report. *)

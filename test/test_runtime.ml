@@ -299,22 +299,76 @@ let test_postcomp_write_local_build () =
     (results r)
 
 let test_schedule_cache () =
-  Schedule.clear_cache ();
   let grid_dims, _, dad_b, needs_for = parti_setup 5 11 3 in
-  ignore
-    (run_grid grid_dims (fun ctx ->
-         let b = Darray.init_global ctx dad_b init1 in
-         for _ = 1 to 4 do
-           let sched =
-             Schedule.cached ctx ~key:"test-sched" (fun () ->
-                 Schedule.build_read_comm ctx ~needs:(needs_for (Rctx.me ctx)))
-           in
-           ignore (Schedule.read ctx sched b)
-         done));
-  let builds, hits = Schedule.cache_stats () in
-  check "one build per proc" 3 builds;
-  check "three hits per proc" 9 hits;
-  Schedule.clear_cache ()
+  let r =
+    run_grid grid_dims (fun ctx ->
+        let b = Darray.init_global ctx dad_b init1 in
+        for _ = 1 to 4 do
+          let sched =
+            Schedule.cached ctx ~key:"test-sched" (fun () ->
+                Schedule.build_read_comm ctx ~needs:(needs_for (Rctx.me ctx)))
+          in
+          ignore (Schedule.read ctx sched b)
+        done)
+  in
+  check "one build per proc" 3 r.Engine.stats.Stats.sched_builds;
+  check "three hits per proc" 9 r.Engine.stats.Stats.sched_hits
+
+(* The executor charges memcpy per byte moved; the charge must use the
+   array's element size (8 B reals, 4 B integers), not a hard-coded 4*n.
+   With a model where only memcpy costs time, the elapsed clock pins the
+   charged byte count exactly. *)
+let test_exchange_charged_bytes () =
+  let memcpy_only = { Model.ideal with Model.name = "memcpy-only"; flop = 0.; iop = 0. } in
+  let init kind g =
+    match kind with
+    | Scalar.Kint -> Scalar.Int g.(0)
+    | _ -> Scalar.Real (float_of_int g.(0))
+  in
+  let mk_dad kind ~n ~p =
+    let grid = Grid.make [| p |] in
+    Dad.make ~name:"X" ~kind ~grid [| Dad.block_dim ~flb:1 ~extent:n ~pdim:0 ~p () |]
+  in
+  let pairs_for dad gidxs =
+    Array.map
+      (fun g ->
+        let g = [| g |] in
+        let owner = Dad.home_rank dad g in
+        let lidx = Option.get (Dad.local_indices dad ~rank:owner g) in
+        (owner, Dad.storage_flat dad ~rank:owner lidx))
+      gidxs
+  in
+  (* cross-rank: 2 ranks, each needs the peer's 4 elements, so each rank
+     packs 4 elements (4e bytes) and unpacks 4 (4e bytes): elapsed = 8e *)
+  let cross kind =
+    let dad = mk_dad kind ~n:8 ~p:2 in
+    let r =
+      run_grid ~model:memcpy_only [| 2 |] (fun ctx ->
+          let b = Darray.init_global ctx dad (init kind) in
+          let peer = 1 - Rctx.me ctx in
+          let needs = pairs_for dad (Array.init 4 (fun i -> (peer * 4) + i + 1)) in
+          let sched = Schedule.build_read_comm ctx ~needs in
+          ignore (Schedule.read ctx sched b))
+    in
+    r.Engine.elapsed
+  in
+  (* self path: 1 rank reads its own 8 elements through the schedule's
+     self-copy: elapsed = 8e *)
+  let self kind =
+    let dad = mk_dad kind ~n:8 ~p:1 in
+    let r =
+      run_grid ~model:memcpy_only [| 1 |] (fun ctx ->
+          let b = Darray.init_global ctx dad (init kind) in
+          let needs = pairs_for dad (Array.init 8 (fun i -> i + 1)) in
+          let sched = Schedule.build_read_comm ctx ~needs in
+          ignore (Schedule.read ctx sched b))
+    in
+    r.Engine.elapsed
+  in
+  Alcotest.(check (float 0.)) "float64 exchange: 8 elems * 8 B" 64. (cross Scalar.Kreal);
+  Alcotest.(check (float 0.)) "int32 exchange: 8 elems * 4 B" 32. (cross Scalar.Kint);
+  Alcotest.(check (float 0.)) "float64 self-copy: 8 elems * 8 B" 64. (self Scalar.Kreal);
+  Alcotest.(check (float 0.)) "int32 self-copy: 8 elems * 4 B" 32. (self Scalar.Kint)
 
 (* ------------------------------------------------------------------ *)
 (* Structured primitives                                               *)
@@ -691,7 +745,6 @@ let test_matmul_summa_vs_replicated () =
 (* ------------------------------------------------------------------ *)
 
 let test_redistribute_roundtrip () =
-  Schedule.clear_cache ();
   let dad_b = dad1 ~name:"RB" ~form:`Block ~n:17 ~p:4 () in
   let dad_c = dad1 ~name:"RC" ~form:`Cyclic ~n:17 ~p:4 () in
   let r =
@@ -704,11 +757,9 @@ let test_redistribute_roundtrip () =
   let expected = Ndarray.init Scalar.Kreal [| 17 |] init1 in
   let gc, gb = (results r).(0) in
   checkb "block->cyclic" true (Ndarray.approx_equal gc expected);
-  checkb "roundtrip" true (Ndarray.approx_equal gb expected);
-  Schedule.clear_cache ()
+  checkb "roundtrip" true (Ndarray.approx_equal gb expected)
 
 let test_redistribute_no_preprocessing_messages () =
-  Schedule.clear_cache ();
   (* schedule1-style: data messages only; with P=4 block->cyclic, each pair
      exchanges at most one message *)
   let dad_b = dad1 ~name:"RB2" ~form:`Block ~n:16 ~p:4 () in
@@ -718,14 +769,13 @@ let test_redistribute_no_preprocessing_messages () =
         let a = Darray.init_global ctx dad_b init1 in
         ignore (Redistribute.redistribute ctx a dad_c))
   in
-  checkb "at most P*(P-1) data messages" true (r.Engine.stats.Stats.messages <= 12);
-  Schedule.clear_cache ()
+  checkb "at most P*(P-1) data messages" true (r.Engine.stats.Stats.messages <= 12)
 
 let prop_redistribute_roundtrip =
   QCheck.Test.make ~name:"redistribute: random src/dst forms preserve contents" ~count:40
     QCheck.(quad (int_range 1 30) (int_range 1 4) (int_range 0 2) (int_range 0 2))
     (fun (n, p, f1, f2) ->
-      Schedule.clear_cache ();
+
       let form i = List.nth [ `Block; `Cyclic; `Bc ] i in
       let mk name f =
         let grid = Grid.make [| p |] in
@@ -825,6 +875,8 @@ let () =
           Alcotest.test_case "scatter" `Quick test_scatter_roundtrip;
           Alcotest.test_case "postcomp_write" `Quick test_postcomp_write_local_build;
           Alcotest.test_case "schedule cache" `Quick test_schedule_cache;
+          Alcotest.test_case "charged bytes use element size" `Quick
+            test_exchange_charged_bytes;
         ] );
       ( "structured",
         [
