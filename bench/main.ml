@@ -12,6 +12,10 @@
      --jobs N        verify and time the domain-parallel engine with N
                      worker domains (default: the F90D_JOBS environment
                      variable, else sequential only)
+     --trace [PATH]  (table4 only) re-run the 16-PE Gaussian elimination
+                     with tracing on and write a Chrome trace_event JSON
+                     to PATH (default BENCH_table4_trace.json); load it in
+                     chrome://tracing or https://ui.perfetto.dev
 
    Problem sizes can be scaled down for quick runs:
      F90D_TABLE4_N=255 dune exec bench/main.exe -- table4
@@ -222,6 +226,27 @@ let table4 rows4 =
   Printf.printf
     "paper's shape: compiler-generated within ~10%% of hand-written; the gap\n\
      grows with P because of the extra O(log P) broadcast per elimination step.\n"
+
+(* Traced re-run of the Table 4 16-PE point: writes a Chrome trace and
+   prints the critical-path summary so the trace and the table can be
+   read side by side. *)
+let table4_trace ~path () =
+  let n = table4_n in
+  let compiled = Driver.compile (Programs.gauss ~n) in
+  let r =
+    Driver.run ~collect_finals:false ~model:Model.ipsc860 ~topology:Topology.Hypercube
+      ~trace:true ~nprocs:16 compiled
+  in
+  let tr = Option.get r.Driver.trace in
+  let oc = open_out path in
+  output_string oc (F90d_trace.Trace.to_chrome_json tr);
+  close_out oc;
+  Printf.printf "\n[wrote %s: %d events over 16 ranks]\n" path (F90d_trace.Trace.total_events tr);
+  let segs = F90d_trace.Analyze.critical_path tr in
+  let wires = List.filter (fun s -> s.F90d_trace.Analyze.sg_kind <> F90d_trace.Analyze.Local) segs in
+  Printf.printf
+    "critical path: %.6f s (= elapsed %.6f s), %d segments, %d message hops\n"
+    (F90d_trace.Analyze.total segs) r.Driver.elapsed (List.length segs) (List.length wires)
 
 (* ------------------------------------------------------------------ *)
 (* Figure 6: speedups                                                  *)
@@ -631,7 +656,7 @@ let () =
     | _ :: rest -> ("all", rest)
     | [] -> ("all", [])
   in
-  let json_path = ref None and jobs = ref (Driver.default_jobs ()) in
+  let json_path = ref None and jobs = ref (Driver.default_jobs ()) and trace_path = ref None in
   let rec parse = function
     | [] -> ()
     | "--json" :: p :: rest when String.length p > 0 && p.[0] <> '-' ->
@@ -640,11 +665,17 @@ let () =
     | "--json" :: rest ->
         json_path := Some (Printf.sprintf "BENCH_%s.json" what);
         parse rest
+    | "--trace" :: p :: rest when String.length p > 0 && p.[0] <> '-' ->
+        trace_path := Some p;
+        parse rest
+    | "--trace" :: rest ->
+        trace_path := Some "BENCH_table4_trace.json";
+        parse rest
     | "--jobs" :: n :: rest ->
         (jobs := try max 1 (int_of_string n) with _ -> 1);
         parse rest
     | other :: _ ->
-        Printf.eprintf "unknown flag '%s' (--json [PATH] | --jobs N)\n" other;
+        Printf.eprintf "unknown flag '%s' (--json [PATH] | --jobs N | --trace [PATH])\n" other;
         exit 1
   in
   parse flags;
@@ -656,8 +687,14 @@ let () =
         Printf.eprintf "warning: --json is only supported for table4 and fig5; ignoring\n"
     | None -> ()
   in
+  let warn_trace () =
+    match !trace_path with
+    | Some _ -> Printf.eprintf "warning: --trace is only supported for table4; ignoring\n"
+    | None -> ()
+  in
   (match what with
   | "fig5" ->
+      warn_trace ();
       let rows = run_fig5 () in
       fig5 rows;
       Option.iter
@@ -668,20 +705,23 @@ let () =
       table4 rows;
       Option.iter
         (fun p -> Json.write p (json_table4 ~jobs ~host_wall:(Unix.gettimeofday () -. t0) rows))
-        !json_path
+        !json_path;
+      Option.iter (fun p -> table4_trace ~path:p ()) !trace_path
   | "fig6" ->
       warn_json ();
+      warn_trace ();
       fig6 (run_table4 ~jobs ())
-  | "table1" -> warn_json (); table1 ()
-  | "table2" -> warn_json (); table2 ()
-  | "table3" -> warn_json (); table3 ()
-  | "micro" -> warn_json (); micro ()
-  | "ablation" -> warn_json (); ablation ()
-  | "dist" -> warn_json (); dist_choice ()
-  | "portability" -> warn_json (); portability ()
-  | "fig3" -> warn_json (); fig3 ()
+  | "table1" -> warn_json (); warn_trace (); table1 ()
+  | "table2" -> warn_json (); warn_trace (); table2 ()
+  | "table3" -> warn_json (); warn_trace (); table3 ()
+  | "micro" -> warn_json (); warn_trace (); micro ()
+  | "ablation" -> warn_json (); warn_trace (); ablation ()
+  | "dist" -> warn_json (); warn_trace (); dist_choice ()
+  | "portability" -> warn_json (); warn_trace (); portability ()
+  | "fig3" -> warn_json (); warn_trace (); fig3 ()
   | "all" ->
       warn_json ();
+      warn_trace ();
       table1 ();
       table2 ();
       table3 ();

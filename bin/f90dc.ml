@@ -28,9 +28,9 @@ let model_of_name = function
   | "ideal" -> F90d_machine.Model.ideal
   | other -> raise (Invalid_argument ("unknown machine model: " ^ other))
 
-let run_cmd source demo nprocs jobs machine emit no_opt show_finals trace =
+let run_cmd source demo nprocs jobs machine emit no_opt show_finals trace profile log_comm =
   try
-    if trace then begin
+    if log_comm then begin
       Logs.set_reporter (Logs.format_reporter ());
       Logs.Src.set_level F90d_exec.Interp.log_src (Some Logs.Debug)
     end;
@@ -50,8 +50,10 @@ let run_cmd source demo nprocs jobs machine emit no_opt show_finals trace =
         if F90d_base.Util.is_pow2 nprocs then F90d_machine.Topology.Hypercube
         else F90d_machine.Topology.Full
       in
+      let tracing = trace <> None || profile in
       let result =
-        F90d.Driver.run ~collect_finals:show_finals ~model ~topology ?jobs ~nprocs compiled
+        F90d.Driver.run ~collect_finals:show_finals ~model ~topology ?jobs ~trace:tracing
+          ~nprocs compiled
       in
       print_string result.F90d.Driver.outcome.F90d_exec.Interp.output;
       Printf.printf "--- %d processors on %s ---\n" nprocs model.F90d_machine.Model.name;
@@ -59,6 +61,18 @@ let run_cmd source demo nprocs jobs machine emit no_opt show_finals trace =
       Printf.printf "messages       : %d (%d bytes)\n"
         result.F90d.Driver.stats.F90d_machine.Stats.messages
         result.F90d.Driver.stats.F90d_machine.Stats.bytes;
+      (match (result.F90d.Driver.trace, trace) with
+      | Some tr, Some file ->
+          Out_channel.with_open_text file (fun oc ->
+              Out_channel.output_string oc (F90d_trace.Trace.to_chrome_json tr));
+          Printf.printf "trace          : %s (%d events)\n" file
+            (F90d_trace.Trace.total_events tr)
+      | _ -> ());
+      (match result.F90d.Driver.trace with
+      | Some tr when profile ->
+          print_string
+            (F90d_trace.Analyze.render_profile tr ~name_of:F90d_runtime.Tags.family_name)
+      | _ -> ());
       if show_finals then
         List.iter
           (fun (name, arr) ->
@@ -107,8 +121,22 @@ let show_finals =
   Arg.(value & flag & info [ "show-arrays" ] ~doc)
 
 let trace =
-  let doc = "Trace every communication primitive as the node programs execute." in
-  Arg.(value & flag & info [ "trace" ] ~doc)
+  let doc =
+    "Record every send, receive, collective and compute span and write the run's trace to \
+     $(docv) in Chrome trace_event JSON (load in chrome://tracing or https://ui.perfetto.dev)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let profile =
+  let doc =
+    "Print a communication profile (per-primitive/per-tag time and bytes, critical path) \
+     after the run."
+  in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
+let log_comm =
+  let doc = "Log every communication primitive to stderr as the node programs execute." in
+  Arg.(value & flag & info [ "log-comm" ] ~doc)
 
 let cmd =
   let doc = "Fortran 90D/HPF compiler for (simulated) distributed-memory MIMD computers" in
@@ -117,6 +145,6 @@ let cmd =
     Term.(
       ret
         (const run_cmd $ source $ demo $ nprocs $ jobs $ machine $ emit $ no_opt $ show_finals
-       $ trace))
+       $ trace $ profile $ log_comm))
 
 let () = exit (Cmd.eval cmd)

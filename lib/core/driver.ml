@@ -23,20 +23,32 @@ type run_result = {
   elapsed : float;
   clocks : float array;
   stats : Stats.t;
+  trace : F90d_trace.Trace.t option;
 }
+
+let parse_jobs s =
+  match int_of_string_opt (String.trim s) with
+  | Some n when n >= 1 -> Ok n
+  | Some _ -> Error (Printf.sprintf "F90D_JOBS=%S is not positive; using 1" s)
+  | None -> Error (Printf.sprintf "F90D_JOBS=%S is not an integer; using 1" s)
 
 let default_jobs () =
   match Sys.getenv_opt "F90D_JOBS" with
-  | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 1)
   | None -> 1
+  | Some s -> (
+      match parse_jobs s with
+      | Ok n -> n
+      | Error msg ->
+          Printf.eprintf "f90d: warning: %s\n%!" msg;
+          1)
 
 let run ?(collect_finals = true) ?(model = Model.ideal) ?(topology = Topology.Full) ?jobs
-    ~nprocs compiled =
+    ?(trace = false) ~nprocs compiled =
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
   let dims = Sema.grid_dims compiled.c_env ~nprocs in
   let phys_of_rank = Topology.grid_embedding topology ~nprocs dims in
   let grid = Grid.make ?phys_of_rank dims in
-  let cfg = Engine.config ~model ~topology nprocs in
+  let cfg = Engine.config ~model ~topology ~tracing:trace nprocs in
   let node eng =
     F90d_exec.Interp.node_main ~collect_finals compiled.c_ir (Rctx.make eng grid)
   in
@@ -48,6 +60,7 @@ let run ?(collect_finals = true) ?(model = Model.ideal) ?(topology = Topology.Fu
     elapsed = report.Engine.elapsed;
     clocks = report.Engine.clocks;
     stats = report.Engine.stats;
+    trace = report.Engine.trace;
   }
 
 let final result name =

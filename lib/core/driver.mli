@@ -26,17 +26,24 @@ type run_result = {
   elapsed : float;  (** simulated parallel execution time, seconds *)
   clocks : float array;
   stats : Stats.t;
+  trace : F90d_trace.Trace.t option;  (** [Some] iff [run ~trace:true] *)
 }
 
+val parse_jobs : string -> (int, string) result
+(** Parse an [F90D_JOBS] value: [Ok n] for an integer [>= 1], otherwise
+    [Error msg] where [msg] is a one-line warning naming the bad value. *)
+
 val default_jobs : unit -> int
-(** Worker-domain count from the [F90D_JOBS] environment variable
-    (minimum 1); 1 — the sequential engine — when unset or unparsable. *)
+(** Worker-domain count from the [F90D_JOBS] environment variable; 1 —
+    the sequential engine — when unset.  An unparsable or non-positive
+    value emits a one-line warning on stderr and falls back to 1. *)
 
 val run :
   ?collect_finals:bool ->
   ?model:Model.t ->
   ?topology:Topology.t ->
   ?jobs:int ->
+  ?trace:bool ->
   nprocs:int ->
   compiled ->
   run_result

@@ -516,7 +516,7 @@ let exec_comm st (f : Ir.forall) ~ranges ~guard_vals ~frame_access ftemps (c : I
 (* FORALL execution                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let exec_forall st (f : Ir.forall) =
+let exec_forall_body st (f : Ir.forall) =
   let ranges =
     List.map
       (fun (_, (rg : Ast.range)) ->
@@ -621,6 +621,18 @@ let exec_forall st (f : Ir.forall) =
       in
       Schedule.write st.ctx sched lhs_darr tmp
 
+(* Statement-level compute span: names the FORALL by its left-hand side
+   so a trace reads like the source program. *)
+let exec_forall st (f : Ir.forall) =
+  let tr = Rctx.trace st.ctx in
+  if not (F90d_trace.Trace.enabled tr) then exec_forall_body st f
+  else begin
+    F90d_trace.Trace.span_begin tr ~t:(Rctx.time st.ctx)
+      ("forall " ^ f.Ir.f_lhs.Ast.base) ~cat:"compute";
+    exec_forall_body st f;
+    F90d_trace.Trace.span_end tr ~t:(Rctx.time st.ctx)
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Statements                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -657,7 +669,7 @@ let adopt st (src : Darray.t) dad =
   end
   else Redistribute.redistribute st.ctx src dad
 
-let exec_mover st ~target ~(call : Ast.ref_) loc =
+let exec_mover_body st ~target ~(call : Ast.ref_) loc =
   let args =
     List.map
       (function
@@ -709,6 +721,16 @@ let exec_mover st ~target ~(call : Ast.ref_) loc =
     | _ -> Diag.error ~loc "unsupported intrinsic call %s" call.Ast.base
   in
   Hashtbl.replace st.arrays target (adopt st result target_dad)
+
+let exec_mover st ~target ~(call : Ast.ref_) loc =
+  let tr = Rctx.trace st.ctx in
+  if not (F90d_trace.Trace.enabled tr) then exec_mover_body st ~target ~call loc
+  else begin
+    F90d_trace.Trace.span_begin tr ~t:(Rctx.time st.ctx)
+      (call.Ast.base ^ " -> " ^ target) ~cat:"compute";
+    exec_mover_body st ~target ~call loc;
+    F90d_trace.Trace.span_end tr ~t:(Rctx.time st.ctx)
+  end
 
 let instantiate_dads (u : Ir.unit_ir) ~grid =
   let dads = Hashtbl.create 8 in

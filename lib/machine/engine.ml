@@ -2,11 +2,13 @@ open F90d_base
 open Effect
 open Effect.Deep
 
-type config = { nprocs : int; model : Model.t; topology : Topology.t }
+open F90d_trace
 
-let config ?(model = Model.ideal) ?(topology = Topology.Full) nprocs =
+type config = { nprocs : int; model : Model.t; topology : Topology.t; tracing : bool }
+
+let config ?(model = Model.ideal) ?(topology = Topology.Full) ?(tracing = false) nprocs =
   if nprocs < 1 then Diag.bug "engine: nprocs %d < 1" nprocs;
-  { nprocs; model; topology }
+  { nprocs; model; topology; tracing }
 
 exception Deadlock of string
 
@@ -25,6 +27,9 @@ type shared = {
   outboxes : (int * Message.t) Queue.t array;
   (* outboxes.(src): (dest, msg) sends not yet moved into a mailbox *)
   rank_stats : Stats.rank array;
+  traces : Trace.handle array;
+  (* traces.(me): rank-private event recorder (all Trace.disabled when
+     cfg.tracing is off, making every recording call a no-op) *)
 }
 
 type ctx = { me : int; sh : shared }
@@ -37,10 +42,12 @@ let nprocs ctx = ctx.sh.cfg.nprocs
 let model ctx = ctx.sh.cfg.model
 let time ctx = ctx.sh.clocks.(ctx.me)
 let rank_stats ctx = ctx.sh.rank_stats.(ctx.me)
+let trace ctx = ctx.sh.traces.(ctx.me)
 
 let advance ctx dt =
   if dt < 0. then Diag.bug "engine: negative time advance";
-  ctx.sh.clocks.(ctx.me) <- ctx.sh.clocks.(ctx.me) +. dt
+  ctx.sh.clocks.(ctx.me) <- ctx.sh.clocks.(ctx.me) +. dt;
+  Trace.computed ctx.sh.traces.(ctx.me) dt
 
 let charge_flops ctx n = advance ctx (float_of_int n *. (model ctx).Model.flop)
 let charge_iops ctx n = advance ctx (float_of_int n *. (model ctx).Model.iop)
@@ -60,11 +67,15 @@ let send ctx ~dest ~tag payload =
   if dest < 0 || dest >= sh.cfg.nprocs then Diag.bug "engine: send to rank %d" dest;
   let bytes = Message.payload_bytes payload in
   let m = sh.cfg.model in
-  (* blocking csend: the sender is busy for startup + transfer *)
-  advance ctx (m.Model.alpha +. (float_of_int bytes *. m.Model.beta));
+  (* blocking csend: the sender is busy for startup + transfer (charged
+     directly, not through [advance], so traced compute time counts only
+     computation) *)
+  let t0 = time ctx in
+  sh.clocks.(ctx.me) <- t0 +. m.Model.alpha +. (float_of_int bytes *. m.Model.beta);
   let hops = Topology.hops sh.cfg.topology ~nprocs:sh.cfg.nprocs ctx.me dest in
   let arrival = time ctx +. (float_of_int (max 0 (hops - 1)) *. m.Model.hop) in
   Stats.record_send ~tag sh.rank_stats.(ctx.me) ~bytes;
+  Trace.send sh.traces.(ctx.me) ~t0 ~t1:(time ctx) ~dest ~tag ~bytes ~arrival;
   Queue.add (dest, { Message.src = ctx.me; tag; payload; bytes; arrival }) sh.outboxes.(ctx.me)
 
 let recv ctx ~src ~tag =
@@ -75,9 +86,16 @@ let recv ctx ~src ~tag =
     Stats.record_wait sh.rank_stats.(ctx.me) (msg.Message.arrival -. before);
     sh.clocks.(ctx.me) <- msg.Message.arrival
   end;
+  Trace.recv sh.traces.(ctx.me) ~t0:before ~t1:(time ctx) ~src ~tag ~arrival:msg.Message.arrival;
   msg
 
-type 'a report = { results : 'a array; elapsed : float; clocks : float array; stats : Stats.t }
+type 'a report = {
+  results : 'a array;
+  elapsed : float;
+  clocks : float array;
+  stats : Stats.t;
+  trace : Trace.t option;  (* Some iff cfg.tracing *)
+}
 
 type 'a fiber_state =
   | Not_started
@@ -92,6 +110,9 @@ let make_shared cfg =
     mail = Array.init cfg.nprocs (fun _ -> Hashtbl.create 16);
     outboxes = Array.init cfg.nprocs (fun _ -> Queue.create ());
     rank_stats = Array.init cfg.nprocs (fun _ -> Stats.rank_create ());
+    traces =
+      (if cfg.tracing then Array.init cfg.nprocs (fun me -> Trace.rank_create ~me)
+       else Array.make cfg.nprocs Trace.disabled);
   }
 
 (* Move rank [me]'s pending sends into the destination mailboxes, in send
@@ -139,11 +160,28 @@ let finish (sh : shared) states =
     Array.for_all (function Finished _ | Failed _ -> true | _ -> false) states
   in
   if not all_done then begin
+    (* Diagnosable without a debugger: alongside the awaited (src, tag)
+       channel, show what actually IS pending in the blocked rank's
+       mailbox, so tag or source mismatches are visible in the message. *)
+    let pending_of me =
+      Hashtbl.fold
+        (fun (src, tag) q acc ->
+          if Queue.is_empty q then acc else (src, tag, Queue.length q) :: acc)
+        sh.mail.(me) []
+      |> List.sort compare
+      |> List.map (fun (src, tag, n) ->
+             if n = 1 then Printf.sprintf "(src=%d,tag=%d)" src tag
+             else Printf.sprintf "(src=%d,tag=%d)x%d" src tag n)
+    in
     let blocked =
       Array.to_seq states
       |> Seq.filter_map (function
            | Blocked ((me, src, tag), _) ->
-               Some (Printf.sprintf "p%d waiting on (src=%d,tag=%d)" me src tag)
+               Some
+                 (Printf.sprintf "p%d waiting on (src=%d,tag=%d), mailbox has %s" me src tag
+                    (match pending_of me with
+                    | [] -> "nothing"
+                    | l -> String.concat " " l))
            | _ -> None)
       |> List.of_seq
     in
@@ -157,7 +195,10 @@ let finish (sh : shared) states =
       states
   in
   let elapsed = Array.fold_left Float.max 0. sh.clocks in
-  { results; elapsed; clocks = Array.copy sh.clocks; stats = Stats.merge sh.rank_stats }
+  let trace =
+    if sh.cfg.tracing then Some (Trace.merge ~clocks:sh.clocks sh.traces) else None
+  in
+  { results; elapsed; clocks = Array.copy sh.clocks; stats = Stats.merge sh.rank_stats; trace }
 
 let run cfg main =
   let sh = make_shared cfg in

@@ -17,15 +17,24 @@ type config = {
   nprocs : int;
   model : Model.t;
   topology : Topology.t;
+  tracing : bool;
 }
 
-val config : ?model:Model.t -> ?topology:Topology.t -> int -> config
-(** Defaults: {!Model.ideal}, [Full] crossbar. *)
+val config : ?model:Model.t -> ?topology:Topology.t -> ?tracing:bool -> int -> config
+(** Defaults: {!Model.ideal}, [Full] crossbar, tracing off.  With
+    [~tracing:true] every send, receive, collective span and compute
+    charge is recorded into per-rank {!F90d_trace.Trace} buffers and the
+    merged trace is returned in the report; with tracing off every
+    recording call is a no-op and the run is unchanged. *)
 
 type ctx
 (** A processor's view of the machine, passed to node programs. *)
 
 exception Deadlock of string
+(** The payload lists, for every blocked processor, the awaited
+    [(src, tag)] channel {e and} the channels actually pending in its
+    mailbox — enough to diagnose tag/source mismatches from the message
+    alone. *)
 
 (** {2 Node-program API} *)
 
@@ -51,6 +60,11 @@ val rank_stats : ctx -> Stats.rank
 (** This processor's private statistics collector (the run-time system
     records schedule-cache builds/hits through it). *)
 
+val trace : ctx -> F90d_trace.Trace.handle
+(** This processor's private trace recorder ({!F90d_trace.Trace.disabled}
+    when the config has tracing off).  The run-time system and the
+    interpreter record collective/inspector/compute spans through it. *)
+
 (** {2 Driving the machine} *)
 
 type 'a report = {
@@ -58,6 +72,7 @@ type 'a report = {
   elapsed : float;  (** max over final clocks: parallel execution time *)
   clocks : float array;
   stats : Stats.t;
+  trace : F90d_trace.Trace.t option;  (** [Some] iff the config enables tracing *)
 }
 
 val run : config -> (ctx -> 'a) -> 'a report

@@ -7,6 +7,21 @@ type team = int array
 let team_all ctx = Array.init (Rctx.nprocs ctx) Fun.id
 let team_along ctx ~dim = Grid.ranks_along (Rctx.grid ctx) ~rank:(Rctx.me ctx) ~dim
 
+(* Wrap a primitive in a named trace span: [t0] at entry, [t1] when the
+   last local send/receive of the tree completes.  [bytes_of] is only
+   evaluated when tracing is on, so disabled tracing costs one branch. *)
+let spanned ctx name ~bytes_of f =
+  let tr = Rctx.trace ctx in
+  if not (F90d_trace.Trace.enabled tr) then f ()
+  else begin
+    F90d_trace.Trace.span_begin tr ~t:(Rctx.time ctx) name ~cat:"collective";
+    let r = f () in
+    F90d_trace.Trace.span_end tr ~t:(Rctx.time ctx) ~bytes:(bytes_of ());
+    r
+  end
+
+let payload_bytes_opt = function Some p -> Message.payload_bytes p | None -> 0
+
 let index_in team rank =
   let rec go i =
     if i >= Array.length team then Diag.bug "collectives: rank %d not in team" rank
@@ -18,6 +33,7 @@ let index_in team rank =
 let my_index ctx team = index_in team (Rctx.me ctx)
 
 let transfer ctx team ~src ~dest payload =
+  spanned ctx "transfer" ~bytes_of:(fun () -> payload_bytes_opt payload) @@ fun () ->
   let vr = my_index ctx team in
   if src = dest then
     if vr = src then begin
@@ -36,6 +52,7 @@ let transfer ctx team ~src ~dest payload =
   else None
 
 let broadcast ctx team ~root payload =
+  spanned ctx "broadcast" ~bytes_of:(fun () -> Message.payload_bytes payload) @@ fun () ->
   let m = Array.length team in
   let vr = Util.modulo (my_index ctx team - root) m in
   let p = ref payload in
@@ -53,6 +70,7 @@ let broadcast ctx team ~root payload =
   !p
 
 let reduce ctx team ~root ~combine payload =
+  spanned ctx "reduce" ~bytes_of:(fun () -> Message.payload_bytes payload) @@ fun () ->
   let m = Array.length team in
   let vr = Util.modulo (my_index ctx team - root) m in
   let acc = ref payload in
@@ -76,11 +94,13 @@ let reduce ctx team ~root ~combine payload =
   if vr = 0 then Some !acc else None
 
 let allreduce ctx team ~combine payload =
+  spanned ctx "allreduce" ~bytes_of:(fun () -> Message.payload_bytes payload) @@ fun () ->
   match reduce ctx team ~root:0 ~combine payload with
   | Some p -> broadcast ctx team ~root:0 p
   | None -> broadcast ctx team ~root:0 Message.Empty
 
 let gather ctx team ~root payload =
+  spanned ctx "gather" ~bytes_of:(fun () -> Message.payload_bytes payload) @@ fun () ->
   let m = Array.length team in
   let vr = Util.modulo (my_index ctx team - root) m in
   (* accumulate the segment [vr, vr + span) of team-ordered payloads *)
@@ -109,6 +129,7 @@ let gather ctx team ~root payload =
   else None
 
 let allgather ctx team payload =
+  spanned ctx "allgather" ~bytes_of:(fun () -> Message.payload_bytes payload) @@ fun () ->
   match gather ctx team ~root:0 payload with
   | Some arr -> (
       match broadcast ctx team ~root:0 (Message.List (Array.to_list arr)) with
@@ -120,6 +141,7 @@ let allgather ctx team payload =
       | _ -> Diag.bug "allgather: broadcast protocol error")
 
 let shift_edge ctx team ~delta payload =
+  spanned ctx "shift_edge" ~bytes_of:(fun () -> Message.payload_bytes payload) @@ fun () ->
   let m = Array.length team in
   let vr = my_index ctx team in
   if delta = 0 then Some payload
@@ -133,6 +155,7 @@ let shift_edge ctx team ~delta payload =
   end
 
 let shift_circular ctx team ~delta payload =
+  spanned ctx "shift_circular" ~bytes_of:(fun () -> Message.payload_bytes payload) @@ fun () ->
   let m = Array.length team in
   let d = Util.modulo delta m in
   if d = 0 then payload
@@ -144,4 +167,5 @@ let shift_circular ctx team ~delta payload =
   end
 
 let barrier ctx team =
+  spanned ctx "barrier" ~bytes_of:(fun () -> 0) @@ fun () ->
   ignore (allreduce ctx team ~combine:(fun _ _ -> Message.Empty) Message.Empty)

@@ -25,6 +25,7 @@ let time t = Engine.time t.eng
 
 let cache_find t key = Hashtbl.find_opt t.sched_cache key
 let cache_store t key entry = Hashtbl.replace t.sched_cache key entry
+let trace t = Engine.trace t.eng
 
 let send t ~dest ~tag payload =
   Engine.send t.eng ~dest:(Grid.phys_of_rank t.grid dest) ~tag payload

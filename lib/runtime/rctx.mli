@@ -21,6 +21,9 @@ val make : F90d_machine.Engine.ctx -> F90d_dist.Grid.t -> t
 val cache_find : t -> string -> cache_entry option
 val cache_store : t -> string -> cache_entry -> unit
 
+val trace : t -> F90d_trace.Trace.handle
+(** This processor's trace recorder (no-op handle when tracing is off). *)
+
 val engine : t -> F90d_machine.Engine.ctx
 val grid : t -> F90d_dist.Grid.t
 

@@ -33,12 +33,29 @@ let seq_pos seq _flat = seq
 (* Preprocessing-loop cost: a few index operations per element inspected. *)
 let charge_inspector ctx n = Rctx.charge_iops ctx (3 * n)
 
+(* Inspector builds and executor exchanges as named trace spans (no-ops
+   when tracing is off). *)
+let spanned ctx name ~cat ~bytes_of f =
+  let tr = Rctx.trace ctx in
+  if not (F90d_trace.Trace.enabled tr) then f ()
+  else begin
+    F90d_trace.Trace.span_begin tr ~t:(Rctx.time ctx) name ~cat;
+    let r = f () in
+    F90d_trace.Trace.span_end tr ~t:(Rctx.time ctx) ~bytes:(bytes_of r);
+    r
+  end
+
+let sched_bytes elem s =
+  let seg_positions segs = List.fold_left (fun acc g -> acc + Array.length g.positions) 0 segs in
+  elem * (seg_positions s.out_segs + seg_positions s.in_segs + Array.length s.self_src)
+
 let split_self ctx segs =
   let me = Rctx.me ctx in
   let self = List.find_opt (fun s -> s.peer = me) segs in
   (List.filter (fun s -> s.peer <> me) segs, match self with Some s -> s.positions | None -> [||])
 
 let build_read_local ctx ~needs ~peer_needs =
+  spanned ctx "inspector:read_local" ~cat:"inspector" ~bytes_of:(fun _ -> 0) @@ fun () ->
   charge_inspector ctx (Array.length needs);
   let me = Rctx.me ctx in
   let in_all = group_by_peer ctx needs ~pos_of:seq_pos in
@@ -92,6 +109,7 @@ let remote_flats_for pairs peer =
   |> Array.of_seq
 
 let build_read_comm ctx ~needs =
+  spanned ctx "inspector:read_comm" ~cat:"inspector" ~bytes_of:(fun _ -> 0) @@ fun () ->
   charge_inspector ctx (Array.length needs);
   let me = Rctx.me ctx in
   let in_all = group_by_peer ctx needs ~pos_of:seq_pos in
@@ -101,6 +119,7 @@ let build_read_comm ctx ~needs =
   { out_segs = segs_of_incoming incoming; in_segs; self_src; self_dst; tmp_size = Array.length needs }
 
 let build_write_local ctx ~writes ~peer_writes =
+  spanned ctx "inspector:write_local" ~cat:"inspector" ~bytes_of:(fun _ -> 0) @@ fun () ->
   charge_inspector ctx (Array.length writes);
   let me = Rctx.me ctx in
   let out_all = group_by_peer ctx writes ~pos_of:seq_pos in
@@ -116,6 +135,7 @@ let build_write_local ctx ~writes ~peer_writes =
   { out_segs; in_segs = !in_segs; self_src; self_dst; tmp_size = Array.length writes }
 
 let build_write_comm ctx ~writes =
+  spanned ctx "inspector:write_comm" ~cat:"inspector" ~bytes_of:(fun _ -> 0) @@ fun () ->
   charge_inspector ctx (Array.length writes);
   let me = Rctx.me ctx in
   let out_all = group_by_peer ctx writes ~pos_of:seq_pos in
@@ -135,6 +155,9 @@ let unpack ctx dst positions values =
   Rctx.charge_copy_bytes ctx (Ndarray.elem_bytes values * Array.length positions)
 
 let exchange ctx sched ~src ~dst =
+  spanned ctx "executor:exchange" ~cat:"executor"
+    ~bytes_of:(fun _ -> sched_bytes (Ndarray.elem_bytes src) sched)
+  @@ fun () ->
   List.iter
     (fun s -> Rctx.send ctx ~dest:s.peer ~tag:Tags.exec_data (Message.Arr (pack ctx src s.positions)))
     sched.out_segs;
@@ -169,12 +192,17 @@ let write ctx sched (darr : Darray.t) tmp =
 type Rctx.cache_entry += Cached_schedule of t
 
 let cached ctx ~key builder =
+  let tr = Rctx.trace ctx in
   match Rctx.cache_find ctx key with
   | Some (Cached_schedule s) ->
       Stats.record_sched_hit (Engine.rank_stats (Rctx.engine ctx));
+      if F90d_trace.Trace.enabled tr then
+        F90d_trace.Trace.mark tr ~t:(Rctx.time ctx) ("schedule hit " ^ key) ~cat:"schedule";
       s
   | _ ->
       Stats.record_sched_build (Engine.rank_stats (Rctx.engine ctx));
+      if F90d_trace.Trace.enabled tr then
+        F90d_trace.Trace.mark tr ~t:(Rctx.time ctx) ("schedule build " ^ key) ~cat:"schedule";
       let s = builder () in
       Rctx.cache_store ctx key (Cached_schedule s);
       s

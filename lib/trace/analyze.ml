@@ -1,0 +1,204 @@
+open F90d_base
+
+(* ------------------------------------------------------------------ *)
+(* Per-tag / per-primitive profile (the paper's Table-4 shape)         *)
+(* ------------------------------------------------------------------ *)
+
+type prow = {
+  p_tag : int;
+  p_msgs : int;
+  p_bytes : int;
+  p_send_s : float;  (* sender busy time: alpha + bytes*beta, summed *)
+  p_wait_s : float;  (* receiver blocked time *)
+}
+
+let per_tag_profile tr =
+  let acc = Hashtbl.create 16 in
+  let get tag =
+    match Hashtbl.find_opt acc tag with
+    | Some r -> r
+    | None ->
+        let r = ref { p_tag = tag; p_msgs = 0; p_bytes = 0; p_send_s = 0.; p_wait_s = 0. } in
+        Hashtbl.add acc tag r;
+        r
+  in
+  for rank = 0 to Trace.nprocs tr - 1 do
+    Array.iter
+      (fun (ev : Trace.event) ->
+        match ev.Trace.kind with
+        | Trace.Send { tag; bytes; _ } ->
+            let r = get tag in
+            r :=
+              {
+                !r with
+                p_msgs = !r.p_msgs + 1;
+                p_bytes = !r.p_bytes + bytes;
+                p_send_s = !r.p_send_s +. (ev.Trace.t1 -. ev.Trace.t0);
+              }
+        | Trace.Recv { tag; _ } ->
+            let r = get tag in
+            r := { !r with p_wait_s = !r.p_wait_s +. (ev.Trace.t1 -. ev.Trace.t0) }
+        | _ -> ())
+      (Trace.events tr ~rank)
+  done;
+  Hashtbl.fold (fun _ r rows -> !r :: rows) acc []
+  |> List.sort (fun a b -> compare a.p_tag b.p_tag)
+
+(* Tag families are namespaced by hundreds, matching Stats.breakdown. *)
+let tag_family tag = tag / 100 * 100
+
+let breakdown tr ~name_of =
+  let fams = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      let f = tag_family r.p_tag in
+      let m, b, s, w =
+        Option.value (Hashtbl.find_opt fams f) ~default:(0, 0, 0., 0.)
+      in
+      Hashtbl.replace fams f (m + r.p_msgs, b + r.p_bytes, s +. r.p_send_s, w +. r.p_wait_s))
+    (per_tag_profile tr);
+  Hashtbl.fold (fun f (m, b, s, w) acc -> (name_of f, m, b, s, w) :: acc) fams []
+  |> List.sort (fun (_, m1, _, _, _) (_, m2, _, _, _) -> compare m2 m1)
+
+(* ------------------------------------------------------------------ *)
+(* Critical path                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The elapsed time of a run is the final clock of its slowest
+   processor.  Walking backwards from there: the clock of a processor at
+   time t was last bound either by local work since t = 0 (no receive
+   ever blocked it) or by the latest blocking receive completing at
+   t' <= t — the interval [t', t] is locally-charged work, the receive's
+   arrival chains to the matching send on the source processor
+   (exact-match FIFO channels pair the k-th receive with the k-th send),
+   and the interval [send completion, arrival] is wire time.  Segments
+   tile [0, elapsed] exactly, so their durations sum to the elapsed
+   time: the chain *is* what determines report.elapsed. *)
+
+type seg_kind = Local | Wire of { src : int; tag : int; bytes : int }
+type segment = { sg_rank : int; sg_t0 : float; sg_t1 : float; sg_kind : seg_kind }
+
+let critical_path tr =
+  let n = Trace.nprocs tr in
+  (* per-channel send events, in send order *)
+  let sends : (int * int * int, Trace.event array) Hashtbl.t = Hashtbl.create 64 in
+  for src = 0 to n - 1 do
+    let per_chan = Hashtbl.create 16 in
+    Array.iter
+      (fun (ev : Trace.event) ->
+        match ev.Trace.kind with
+        | Trace.Send { dest; tag; _ } ->
+            let key = (src, dest, tag) in
+            Hashtbl.replace per_chan key
+              (ev :: Option.value (Hashtbl.find_opt per_chan key) ~default:[])
+        | _ -> ())
+      (Trace.events tr ~rank:src);
+    Hashtbl.iter (fun key l -> Hashtbl.replace sends key (Array.of_list (List.rev l))) per_chan
+  done;
+  (* per-rank blocking receives, in event order, each with its channel
+     occurrence index (counted over every receive on that channel) *)
+  let blocked =
+    Array.init n (fun rank ->
+        let count = Hashtbl.create 16 in
+        let out = ref [] in
+        Array.iter
+          (fun (ev : Trace.event) ->
+            match ev.Trace.kind with
+            | Trace.Recv { src; tag; _ } ->
+                let k = Option.value (Hashtbl.find_opt count (src, tag)) ~default:0 in
+                Hashtbl.replace count (src, tag) (k + 1);
+                if ev.Trace.t1 > ev.Trace.t0 then out := (ev, src, tag, k) :: !out
+            | _ -> ())
+          (Trace.events tr ~rank);
+        Array.of_list (List.rev !out))
+  in
+  let cursor = Array.map (fun a -> Array.length a - 1) blocked in
+  let clocks = Trace.clocks tr in
+  let rstar = ref 0 in
+  Array.iteri (fun r c -> if c > clocks.(!rstar) then rstar := r) clocks;
+  let segs = ref [] in
+  let rank = ref !rstar and t = ref (if n > 0 then clocks.(!rstar) else 0.) in
+  let running = ref (n > 0) in
+  while !running do
+    (* latest blocking receive on [!rank] completing at or before [!t];
+       receive completion times are monotone in event order, and
+       successive visits to a rank carry decreasing [!t], so a per-rank
+       cursor keeps the whole walk linear in the number of events *)
+    let i = ref cursor.(!rank) in
+    while !i >= 0 && (let ev, _, _, _ = blocked.(!rank).(!i) in ev.Trace.t1 > !t) do
+      decr i
+    done;
+    if !i < 0 then begin
+      cursor.(!rank) <- -1;
+      segs := { sg_rank = !rank; sg_t0 = 0.; sg_t1 = !t; sg_kind = Local } :: !segs;
+      running := false
+    end
+    else begin
+      let ev, src, tag, k = blocked.(!rank).(!i) in
+      cursor.(!rank) <- !i - 1;
+      segs := { sg_rank = !rank; sg_t0 = ev.Trace.t1; sg_t1 = !t; sg_kind = Local } :: !segs;
+      let snd_ev =
+        match Hashtbl.find_opt sends (src, !rank, tag) with
+        | Some arr when k < Array.length arr -> arr.(k)
+        | _ -> Diag.bug "trace: receive (src=%d,tag=%d) has no matching send" src tag
+      in
+      let bytes =
+        match snd_ev.Trace.kind with Trace.Send { bytes; _ } -> bytes | _ -> assert false
+      in
+      segs :=
+        { sg_rank = !rank; sg_t0 = snd_ev.Trace.t1; sg_t1 = ev.Trace.t1; sg_kind = Wire { src; tag; bytes } }
+        :: !segs;
+      rank := src;
+      t := snd_ev.Trace.t1
+    end
+  done;
+  !segs (* chronological: the walk pushed latest-first *)
+
+let total segs = List.fold_left (fun acc s -> acc +. (s.sg_t1 -. s.sg_t0)) 0. segs
+
+(* ------------------------------------------------------------------ *)
+(* Text rendering                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let render_profile tr ~name_of =
+  let b = Buffer.create 4096 in
+  Printf.bprintf b "communication profile (%d processors, %d events)\n" (Trace.nprocs tr)
+    (Trace.total_events tr);
+  Printf.bprintf b "%-26s %10s %14s %14s %14s\n" "primitive (tag family)" "messages" "bytes"
+    "send busy (s)" "recv wait (s)";
+  List.iter
+    (fun (name, m, by, s, w) ->
+      Printf.bprintf b "%-26s %10d %14d %14.6f %14.6f\n" name m by s w)
+    (breakdown tr ~name_of);
+  Printf.bprintf b "\nper-tag detail:\n";
+  Printf.bprintf b "%8s %10s %14s %14s %14s\n" "tag" "messages" "bytes" "send busy (s)"
+    "recv wait (s)";
+  List.iter
+    (fun r ->
+      Printf.bprintf b "%8d %10d %14d %14.6f %14.6f\n" r.p_tag r.p_msgs r.p_bytes r.p_send_s
+        r.p_wait_s)
+    (per_tag_profile tr);
+  Printf.bprintf b "\nper-rank compute (charged) vs final clock:\n";
+  let clocks = Trace.clocks tr in
+  for rank = 0 to Trace.nprocs tr - 1 do
+    Printf.bprintf b "  p%-3d compute %12.6f s   clock %12.6f s\n" rank
+      (Trace.compute_time tr ~rank) clocks.(rank)
+  done;
+  let cp = critical_path tr in
+  let local = List.filter (fun s -> s.sg_kind = Local) cp in
+  let wire = List.filter (fun s -> s.sg_kind <> Local) cp in
+  let sum = List.fold_left (fun acc s -> acc +. (s.sg_t1 -. s.sg_t0)) 0. in
+  Printf.bprintf b
+    "\ncritical path: %.6f s over %d segments (%d local = %.6f s, %d wire = %.6f s)\n"
+    (total cp) (List.length cp) (List.length local) (sum local) (List.length wire) (sum wire);
+  List.iter
+    (fun s ->
+      match s.sg_kind with
+      | Local ->
+          Printf.bprintf b "  p%-3d %12.6f .. %12.6f  local %12.6f s\n" s.sg_rank s.sg_t0
+            s.sg_t1 (s.sg_t1 -. s.sg_t0)
+      | Wire { src; tag; bytes } ->
+          Printf.bprintf b "  p%-3d %12.6f .. %12.6f  wire  %12.6f s (from p%d, tag %d, %d bytes)\n"
+            s.sg_rank s.sg_t0 s.sg_t1 (s.sg_t1 -. s.sg_t0) src tag bytes)
+    cp;
+  Buffer.contents b

@@ -1,0 +1,45 @@
+(** Analyses over a merged {!Trace.t}: a per-primitive communication
+    profile (the shape of the paper's Table 4) and the critical path
+    through the message DAG that determines the run's elapsed time. *)
+
+(** {2 Per-tag / per-primitive profile} *)
+
+type prow = {
+  p_tag : int;
+  p_msgs : int;
+  p_bytes : int;
+  p_send_s : float;  (** sender busy time ([alpha + bytes*beta], summed) *)
+  p_wait_s : float;  (** receiver blocked time *)
+}
+
+val per_tag_profile : Trace.t -> prow list
+(** One row per message tag, sorted by tag.  Message and byte totals
+    equal [Stats.per_tag] of the same run. *)
+
+val breakdown : Trace.t -> name_of:(int -> string) -> (string * int * int * float * float) list
+(** [(family name, messages, bytes, send busy s, recv wait s)] per tag
+    family (hundreds, matching [Stats.breakdown]), most messages
+    first. *)
+
+(** {2 Critical path} *)
+
+type seg_kind =
+  | Local  (** compute, copies and send overhead charged on [sg_rank] *)
+  | Wire of { src : int; tag : int; bytes : int }
+      (** in-flight time of the message from [src] that [sg_rank]
+          blocked on (non-zero only on multi-hop topologies) *)
+
+type segment = { sg_rank : int; sg_t0 : float; sg_t1 : float; sg_kind : seg_kind }
+
+val critical_path : Trace.t -> segment list
+(** The chain of segments bounding the slowest processor's final clock,
+    chronological.  Segments tile [0, elapsed] exactly: {!total} of the
+    result equals the run's elapsed time. *)
+
+val total : segment list -> float
+
+(** {2 Text rendering} *)
+
+val render_profile : Trace.t -> name_of:(int -> string) -> string
+(** Human-readable profile: per-family and per-tag tables, per-rank
+    compute vs clock, and the critical path. *)
