@@ -16,6 +16,12 @@
                      with tracing on and write a Chrome trace_event JSON
                      to PATH (default BENCH_table4_trace.json); load it in
                      chrome://tracing or https://ui.perfetto.dev
+     --profile-json [PATH]
+                     (table4 only) write the per-statement profile of the
+                     same traced 16-PE run (messages, bytes, send busy,
+                     recv wait, critical-path wire time, joined with the
+                     compile-time communication decision) to PATH
+                     (default BENCH_table4_profile.json)
 
    Problem sizes can be scaled down for quick runs:
      F90D_TABLE4_N=255 dune exec bench/main.exe -- table4
@@ -227,17 +233,21 @@ let table4 rows4 =
     "paper's shape: compiler-generated within ~10%% of hand-written; the gap\n\
      grows with P because of the extra O(log P) broadcast per elimination step.\n"
 
-(* Traced re-run of the Table 4 16-PE point: writes a Chrome trace and
-   prints the critical-path summary so the trace and the table can be
-   read side by side. *)
+(* One traced re-run of the Table 4 16-PE point, shared by --trace,
+   --profile-json and the hot-statement rows of --json. *)
+let traced16 =
+  lazy
+    (let compiled = Driver.compile (Programs.gauss ~n:table4_n) in
+     let r =
+       Driver.run ~collect_finals:false ~model:Model.ipsc860 ~topology:Topology.Hypercube
+         ~trace:true ~nprocs:16 compiled
+     in
+     (compiled, r, Option.get r.Driver.trace))
+
+(* Writes the Chrome trace and prints the critical-path summary so the
+   trace and the table can be read side by side. *)
 let table4_trace ~path () =
-  let n = table4_n in
-  let compiled = Driver.compile (Programs.gauss ~n) in
-  let r =
-    Driver.run ~collect_finals:false ~model:Model.ipsc860 ~topology:Topology.Hypercube
-      ~trace:true ~nprocs:16 compiled
-  in
-  let tr = Option.get r.Driver.trace in
+  let _, r, tr = Lazy.force traced16 in
   let oc = open_out path in
   output_string oc (F90d_trace.Trace.to_chrome_json tr);
   close_out oc;
@@ -247,6 +257,17 @@ let table4_trace ~path () =
   Printf.printf
     "critical path: %.6f s (= elapsed %.6f s), %d segments, %d message hops\n"
     (F90d_trace.Analyze.total segs) r.Driver.elapsed (List.length segs) (List.length wires)
+
+(* Per-statement profile (compile-time decision joined with measured
+   traffic) of the same traced run, as JSON. *)
+let table4_profile_json ~path () =
+  let compiled, _, tr = Lazy.force traced16 in
+  let oc = open_out path in
+  output_string oc (F90d_report.Report.profile_json compiled.Driver.c_ir tr);
+  close_out oc;
+  let hots = F90d_report.Report.hot_statements compiled.Driver.c_ir tr in
+  Printf.printf "[wrote %s: per-statement profile, %d statements]\n" path (List.length hots);
+  print_string (F90d_report.Report.hot_text ~top:5 hots)
 
 (* ------------------------------------------------------------------ *)
 (* Figure 6: speedups                                                  *)
@@ -443,7 +464,8 @@ C$    DISTRIBUTE T(BLOCK)
     let u = snd (List.hd compiled.Driver.c_ir.F90d_ir.Ir.p_units) in
     let fs =
       List.filter_map
-        (function F90d_ir.Ir.Forall f -> Some f | _ -> None)
+        (fun (s : F90d_ir.Ir.stmt) ->
+          match s.F90d_ir.Ir.s with F90d_ir.Ir.Forall f -> Some f | _ -> None)
         u.F90d_ir.Ir.u_body
     in
     match List.rev fs with
@@ -590,6 +612,27 @@ let micro () =
 (* JSON emitters                                                       *)
 (* ------------------------------------------------------------------ *)
 
+(* Top-k hot statements of the traced 16-PE run: each row joins the
+   compile-time decision (primitive + source line) with measured cost. *)
+let json_hot_statements ?(top = 5) () =
+  let compiled, _, tr = Lazy.force traced16 in
+  F90d_report.Report.hot_statements compiled.Driver.c_ir tr
+  |> List.filteri (fun i _ -> i < top)
+  |> List.map (fun (h : F90d_report.Report.hot) ->
+         Json.Obj
+           [
+             ("sid", Json.Int h.F90d_report.Report.h_sid);
+             ("source", Json.Str (F90d_base.Loc.file_line h.F90d_report.Report.h_loc));
+             ("stmt", Json.Str h.F90d_report.Report.h_desc);
+             ("decision", Json.Str h.F90d_report.Report.h_decision);
+             ("messages", Json.Int h.F90d_report.Report.h_msgs);
+             ("bytes", Json.Int h.F90d_report.Report.h_bytes);
+             ("send_busy_s", Json.Float h.F90d_report.Report.h_send_s);
+             ("recv_wait_s", Json.Float h.F90d_report.Report.h_wait_s);
+             ("critical_path_wire_s", Json.Float h.F90d_report.Report.h_cp_s);
+           ])
+  |> fun rows -> Json.List rows
+
 let json_table4 ~jobs ~host_wall rows4 =
   Json.Obj
     [
@@ -621,6 +664,7 @@ let json_table4 ~jobs ~host_wall rows4 =
                    ("sched_hits", Json.Int r.t4_stats.Stats.sched_hits);
                  ])
              rows4) );
+      ("hot_statements_16pe", json_hot_statements ());
     ]
 
 let json_fig5 ~host_wall rows =
@@ -657,6 +701,7 @@ let () =
     | [] -> ("all", [])
   in
   let json_path = ref None and jobs = ref (Driver.default_jobs ()) and trace_path = ref None in
+  let profile_path = ref None in
   let rec parse = function
     | [] -> ()
     | "--json" :: p :: rest when String.length p > 0 && p.[0] <> '-' ->
@@ -671,11 +716,20 @@ let () =
     | "--trace" :: rest ->
         trace_path := Some "BENCH_table4_trace.json";
         parse rest
+    | "--profile-json" :: p :: rest when String.length p > 0 && p.[0] <> '-' ->
+        profile_path := Some p;
+        parse rest
+    | "--profile-json" :: rest ->
+        profile_path := Some "BENCH_table4_profile.json";
+        parse rest
     | "--jobs" :: n :: rest ->
         (jobs := try max 1 (int_of_string n) with _ -> 1);
         parse rest
     | other :: _ ->
-        Printf.eprintf "unknown flag '%s' (--json [PATH] | --jobs N | --trace [PATH])\n" other;
+        Printf.eprintf
+          "unknown flag '%s' (--json [PATH] | --jobs N | --trace [PATH] | --profile-json \
+           [PATH])\n"
+          other;
         exit 1
   in
   parse flags;
@@ -692,9 +746,16 @@ let () =
     | Some _ -> Printf.eprintf "warning: --trace is only supported for table4; ignoring\n"
     | None -> ()
   in
+  let warn_profile () =
+    match !profile_path with
+    | Some _ ->
+        Printf.eprintf "warning: --profile-json is only supported for table4; ignoring\n"
+    | None -> ()
+  in
   (match what with
   | "fig5" ->
       warn_trace ();
+      warn_profile ();
       let rows = run_fig5 () in
       fig5 rows;
       Option.iter
@@ -706,22 +767,25 @@ let () =
       Option.iter
         (fun p -> Json.write p (json_table4 ~jobs ~host_wall:(Unix.gettimeofday () -. t0) rows))
         !json_path;
-      Option.iter (fun p -> table4_trace ~path:p ()) !trace_path
+      Option.iter (fun p -> table4_trace ~path:p ()) !trace_path;
+      Option.iter (fun p -> table4_profile_json ~path:p ()) !profile_path
   | "fig6" ->
       warn_json ();
       warn_trace ();
+      warn_profile ();
       fig6 (run_table4 ~jobs ())
-  | "table1" -> warn_json (); warn_trace (); table1 ()
-  | "table2" -> warn_json (); warn_trace (); table2 ()
-  | "table3" -> warn_json (); warn_trace (); table3 ()
-  | "micro" -> warn_json (); warn_trace (); micro ()
-  | "ablation" -> warn_json (); warn_trace (); ablation ()
-  | "dist" -> warn_json (); warn_trace (); dist_choice ()
-  | "portability" -> warn_json (); warn_trace (); portability ()
-  | "fig3" -> warn_json (); warn_trace (); fig3 ()
+  | "table1" -> warn_json (); warn_trace (); warn_profile (); table1 ()
+  | "table2" -> warn_json (); warn_trace (); warn_profile (); table2 ()
+  | "table3" -> warn_json (); warn_trace (); warn_profile (); table3 ()
+  | "micro" -> warn_json (); warn_trace (); warn_profile (); micro ()
+  | "ablation" -> warn_json (); warn_trace (); warn_profile (); ablation ()
+  | "dist" -> warn_json (); warn_trace (); warn_profile (); dist_choice ()
+  | "portability" -> warn_json (); warn_trace (); warn_profile (); portability ()
+  | "fig3" -> warn_json (); warn_trace (); warn_profile (); fig3 ()
   | "all" ->
       warn_json ();
       warn_trace ();
+      warn_profile ();
       table1 ();
       table2 ();
       table3 ();

@@ -28,7 +28,8 @@ let model_of_name = function
   | "ideal" -> F90d_machine.Model.ideal
   | other -> raise (Invalid_argument ("unknown machine model: " ^ other))
 
-let run_cmd source demo nprocs jobs machine emit no_opt show_finals trace profile log_comm =
+let run_cmd source demo nprocs jobs machine emit explain explain_json profile_json no_opt
+    show_finals trace profile log_comm =
   try
     if log_comm then begin
       Logs.set_reporter (Logs.format_reporter ());
@@ -44,13 +45,16 @@ let run_cmd source demo nprocs jobs machine emit no_opt show_finals trace profil
     let flags = if no_opt then F90d_opt.Passes.all_off else F90d_opt.Passes.all_on in
     let compiled = F90d.Driver.compile ~flags src in
     if emit then print_string (F90d_ir.Emit_f77.emit_program compiled.F90d.Driver.c_ir)
+    else if explain then print_string (F90d_report.Report.explain_text compiled.F90d.Driver.c_ir)
+    else if explain_json then
+      print_string (F90d_report.Report.explain_json compiled.F90d.Driver.c_ir)
     else begin
       let model = model_of_name machine in
       let topology =
         if F90d_base.Util.is_pow2 nprocs then F90d_machine.Topology.Hypercube
         else F90d_machine.Topology.Full
       in
-      let tracing = trace <> None || profile in
+      let tracing = trace <> None || profile || profile_json <> None in
       let result =
         F90d.Driver.run ~collect_finals:show_finals ~model ~topology ?jobs ~trace:tracing
           ~nprocs compiled
@@ -71,7 +75,18 @@ let run_cmd source demo nprocs jobs machine emit no_opt show_finals trace profil
       (match result.F90d.Driver.trace with
       | Some tr when profile ->
           print_string
-            (F90d_trace.Analyze.render_profile tr ~name_of:F90d_runtime.Tags.family_name)
+            (F90d_trace.Analyze.render_profile tr ~name_of:F90d_runtime.Tags.family_name);
+          print_newline ();
+          print_string
+            (F90d_report.Report.hot_text
+               (F90d_report.Report.hot_statements compiled.F90d.Driver.c_ir tr))
+      | _ -> ());
+      (match (result.F90d.Driver.trace, profile_json) with
+      | Some tr, Some file ->
+          Out_channel.with_open_text file (fun oc ->
+              Out_channel.output_string oc
+                (F90d_report.Report.profile_json compiled.F90d.Driver.c_ir tr));
+          Printf.printf "profile json   : %s\n" file
       | _ -> ());
       if show_finals then
         List.iter
@@ -112,6 +127,26 @@ let emit =
   let doc = "Emit the generated Fortran 77+MP node program instead of running." in
   Arg.(value & flag & info [ "emit-f77" ] ~doc)
 
+let explain =
+  let doc =
+    "Print the compilation report instead of running: per comm-bearing statement, the \
+     detected subscript patterns, the Table 1/2 classification with its reason, the \
+     distribution facts and the communication primitives emitted."
+  in
+  Arg.(value & flag & info [ "explain" ] ~doc)
+
+let explain_json =
+  let doc = "Like --explain, but emit the report as a JSON document on stdout." in
+  Arg.(value & flag & info [ "explain-json" ] ~doc)
+
+let profile_json =
+  let doc =
+    "Run with tracing and write the per-statement profile (messages, bytes, send-busy, \
+     recv-wait, critical-path share, joined with the compile-time decision) to $(docv) as \
+     JSON."
+  in
+  Arg.(value & opt (some string) None & info [ "profile-json" ] ~docv:"FILE" ~doc)
+
 let no_opt =
   let doc = "Disable the communication optimizations of the paper's section 7." in
   Arg.(value & flag & info [ "no-opt" ] ~doc)
@@ -144,7 +179,7 @@ let cmd =
   Cmd.v info
     Term.(
       ret
-        (const run_cmd $ source $ demo $ nprocs $ jobs $ machine $ emit $ no_opt $ show_finals
-       $ trace $ profile $ log_comm))
+        (const run_cmd $ source $ demo $ nprocs $ jobs $ machine $ emit $ explain
+       $ explain_json $ profile_json $ no_opt $ show_finals $ trace $ profile $ log_comm))
 
 let () = exit (Cmd.eval cmd)

@@ -8,3 +8,6 @@ let pp ppf t =
   else Format.fprintf ppf "%s:%d:%d" t.file t.line t.col
 
 let to_string t = Format.asprintf "%a" pp t
+
+let file_line t =
+  if t.line = 0 then "<no-loc>" else Printf.sprintf "%s:%d" t.file t.line

@@ -14,3 +14,7 @@ val pp : Format.formatter -> t -> unit
 (** Prints ["file:line:col"], or ["<no-loc>"] for {!none}. *)
 
 val to_string : t -> string
+
+val file_line : t -> string
+(** ["file:line"] without the column (provenance reports key statements by
+    source line), or ["<no-loc>"] for {!none}. *)

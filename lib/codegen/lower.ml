@@ -10,7 +10,67 @@ let fresh_temp () =
   incr temp_counter;
   !temp_counter
 
-let stmt_counter = ref 0
+(* Statement ids: program-unique, allocated in emission order (outer
+   statement before its body), reset per program.  sid 0 is reserved for
+   "<runtime>" — code executing outside any statement. *)
+let sid_counter = ref 0
+
+let fresh_sid () =
+  incr sid_counter;
+  !sid_counter
+
+(* Per-unit provenance/explain accumulator. *)
+type acc = {
+  uname : string;
+  mutable prov : Ir.prov list;  (* reversed *)
+  mutable explain : Ir.explain list;  (* reversed *)
+}
+
+let new_sid acc ~loc ~desc =
+  let sid = fresh_sid () in
+  acc.prov <- { Ir.pv_sid = sid; pv_loc = loc; pv_unit = acc.uname; pv_desc = desc } :: acc.prov;
+  sid
+
+let render_expr e = Format.asprintf "%a" Ast.pp_expr e
+let render_ref (r : Ast.ref_) = render_expr (Ast.mk (Ast.Ref r))
+
+let truncate n s = if String.length s <= n then s else String.sub s 0 (n - 3) ^ "..."
+
+let form_name = function
+  | Ast.Dblock -> "BLOCK"
+  | Ast.Dcyclic -> "CYCLIC"
+  | Ast.Dcyclic_k k -> Printf.sprintf "CYCLIC(%d)" k
+  | Ast.Dstar -> "*"
+
+(* One distribution-facts line per array: the DAD contents the explain
+   report shows next to each decision. *)
+let dist_fact env name =
+  match Sema.array_spec env name with
+  | None -> Printf.sprintf "%s: not an array" name
+  | Some spec ->
+      let exts =
+        spec.Sema.sdims |> Array.to_list
+        |> List.map (fun (sd : Sema.sdim) -> string_of_int sd.Sema.sext)
+        |> String.concat "x"
+      in
+      if not (Sema.is_distributed spec) then
+        Printf.sprintf "%s(%s): replicated (no DISTRIBUTE)" name exts
+      else
+        let dims =
+          spec.Sema.sdims |> Array.to_list
+          |> List.map (fun (sd : Sema.sdim) ->
+                 match sd.Sema.spdim with
+                 | None -> "*"
+                 | Some p ->
+                     let align =
+                       if Affine.is_identity sd.Sema.salign then ""
+                       else Format.asprintf " align %a" Affine.pp sd.Sema.salign
+                     in
+                     Printf.sprintf "%s on grid dim %d%s" (form_name sd.Sema.sform) (p + 1)
+                       align)
+          |> String.concat ", "
+        in
+        Printf.sprintf "%s(%s): (%s)" name exts dims
 
 (* Accesses for the dimensions of a structured temporary: broadcast and
    transferred dimensions collapse to extent 1; shifted dimensions keep the
@@ -119,8 +179,7 @@ let lower_ref env ~vars (r : Ast.ref_) (plan : Pattern.ref_plan) =
             [ (r.Ast.rid, Ir.Acc_flat { temp = t }) ],
             [] ))
 
-let lower_forall env ~vars ~mask ~lhs ~rhs =
-  incr stmt_counter;
+let lower_forall_plan env ~vars ~mask ~lhs ~rhs =
   let plan = Pattern.analyze_forall env ~vars ~mask ~lhs ~rhs in
   let iter, post =
     match plan.Pattern.lhs with
@@ -147,7 +206,88 @@ let lower_forall env ~vars ~mask ~lhs ~rhs =
       f_access = accesses;
       f_post = post;
     },
-    ghosts )
+    ghosts,
+    plan )
+
+let lower_forall env ~vars ~mask ~lhs ~rhs =
+  let f, g, _ = lower_forall_plan env ~vars ~mask ~lhs ~rhs in
+  (f, g)
+
+let iter_name = function
+  | Ir.It_canonical _ -> "canonical (owner computes)"
+  | Ir.It_even -> "even iteration partition"
+  | Ir.It_replicated -> "replicated"
+
+let post_name = function
+  | Ir.Postcomp_write _ -> "postcomp_write"
+  | Ir.Scatter_write _ -> "scatter_write"
+
+(* Explain record for a lowered FORALL: the Pattern decision trail plus
+   the DAD facts of every array it touches. *)
+let explain_forall acc env ~sid ~loc ~vars (f : Ir.forall) (plan : Pattern.plan) =
+  let arrays =
+    (f.Ir.f_lhs.Ast.base :: List.map (fun ((r : Ast.ref_), _) -> r.Ast.base) plan.Pattern.refs)
+    |> List.sort_uniq compare
+  in
+  let x =
+    {
+      Ir.x_sid = sid;
+      x_loc = loc;
+      x_unit = acc.uname;
+      x_stmt =
+        Printf.sprintf "FORALL (%s) %s = %s"
+          (String.concat "," (List.map fst vars))
+          (render_ref f.Ir.f_lhs)
+          (truncate 60 (render_expr f.Ir.f_rhs));
+      x_lhs = f.Ir.f_lhs.Ast.base;
+      x_iter = iter_name f.Ir.f_iter;
+      x_iter_why = plan.Pattern.lhs_why;
+      x_dist = List.map (dist_fact env) arrays;
+      x_refs =
+        List.map
+          (fun ((r : Ast.ref_), rplan) ->
+            {
+              Ir.xr_ref = render_ref r;
+              xr_plan = Pattern.plan_name rplan;
+              xr_why =
+                Option.value (List.assoc_opt r.Ast.rid plan.Pattern.ref_whys) ~default:[];
+            })
+          plan.Pattern.refs;
+      x_comms = List.map Ir.comm_name f.Ir.f_pre;
+      x_post = Option.map post_name f.Ir.f_post;
+    }
+  in
+  acc.explain <- x :: acc.explain
+
+let explain_mover acc env ~sid ~loc ~target (call : Ast.ref_) =
+  let arg_arrays =
+    List.filter_map
+      (function
+        | Ast.Elem { Ast.e = Ast.Ref r; _ } when Sema.array_spec env r.Ast.base <> None ->
+            Some r.Ast.base
+        | _ -> None)
+      call.Ast.args
+  in
+  let x =
+    {
+      Ir.x_sid = sid;
+      x_loc = loc;
+      x_unit = acc.uname;
+      x_stmt = Printf.sprintf "%s = %s" target (truncate 60 (render_ref call));
+      x_lhs = target;
+      x_iter = "intrinsic mover";
+      x_iter_why =
+        Printf.sprintf
+          "whole-array movement intrinsic %s: the run-time mover picks the transfer \
+           pattern from the argument DADs"
+          (String.uppercase_ascii call.Ast.base);
+      x_dist = List.map (dist_fact env) (List.sort_uniq compare (target :: arg_arrays));
+      x_refs = [];
+      x_comms = [ "mover " ^ String.lowercase_ascii call.Ast.base ];
+      x_post = None;
+    }
+  in
+  acc.explain <- x :: acc.explain
 
 let is_mover_call (e : Ast.expr) =
   match e.Ast.e with
@@ -155,7 +295,11 @@ let is_mover_call (e : Ast.expr) =
       Some r
   | _ -> None
 
-let rec lower_stmt env ghosts (st : Ast.stmt) : Ir.stmt list =
+let rec lower_stmt env acc ghosts (st : Ast.stmt) : Ir.stmt list =
+  let loc = st.Ast.sloc in
+  (* Allocate the statement's sid before lowering any nested body so sids
+     read in source order: outer statement, then its body. *)
+  let stmt ~desc node = { Ir.sid = new_sid acc ~loc ~desc; sloc = loc; s = node } in
   match st.Ast.s with
   | Ast.Assign (({ Ast.e = Ast.Var v; _ } as _lhs), rhs) -> (
       match is_mover_call rhs with
@@ -163,46 +307,61 @@ let rec lower_stmt env ghosts (st : Ast.stmt) : Ir.stmt list =
           if Sema.array_spec env v = None then
             Diag.error ~loc:st.Ast.sloc "intrinsic '%s' must be assigned to an array"
               call.Ast.base;
-          [ Ir.Mover { target = v; call } ]
+          let sid = new_sid acc ~loc ~desc:(Printf.sprintf "%s = %s(...)" v call.Ast.base) in
+          explain_mover acc env ~sid ~loc ~target:v call;
+          [ { Ir.sid; sloc = loc; s = Ir.Mover { target = v; call } } ]
       | None ->
           if Sema.array_spec env v <> None then
             Diag.error ~loc:st.Ast.sloc "unexpected whole-array assignment after normalization";
-          [ Ir.Scalar_assign { name = v; rhs } ])
+          [ stmt ~desc:(v ^ " = ...") (Ir.Scalar_assign { name = v; rhs }) ])
   | Ast.Assign (({ Ast.e = Ast.Ref r; _ } as _lhs), rhs) ->
       if Sema.array_spec env r.Ast.base = None then
         Diag.error ~loc:st.Ast.sloc "assignment to undeclared array '%s'" r.Ast.base;
       if is_mover_call rhs <> None then
         Diag.error ~loc:st.Ast.sloc "movement intrinsics must target a whole array";
-      [ Ir.Element_assign { lhs = r; rhs } ]
+      [ stmt ~desc:(render_ref r ^ " = ...") (Ir.Element_assign { lhs = r; rhs }) ]
   | Ast.Assign _ -> Diag.error ~loc:st.Ast.sloc "invalid assignment target"
   | Ast.Forall (vars, mask, [ { Ast.s = Ast.Assign (lhs, rhs); _ } ]) ->
-      let f, g = lower_forall env ~vars ~mask ~lhs ~rhs in
+      let f, g, plan = lower_forall_plan env ~vars ~mask ~lhs ~rhs in
       ghosts := g @ !ghosts;
-      [ Ir.Forall f ]
+      let sid = new_sid acc ~loc ~desc:("forall " ^ f.Ir.f_lhs.Ast.base) in
+      explain_forall acc env ~sid ~loc ~vars f plan;
+      [ { Ir.sid; sloc = loc; s = Ir.Forall f } ]
   | Ast.Forall _ -> Diag.error ~loc:st.Ast.sloc "FORALL bodies must be single assignments here"
   | Ast.Where _ -> Diag.bug "lower: WHERE survived normalization"
   | Ast.Do (var, range, body) ->
-      [ Ir.Do_loop { var; range; body = lower_body env ghosts body } ]
-  | Ast.While (cond, body) -> [ Ir.While_loop { cond; body = lower_body env ghosts body } ]
+      let sid = new_sid acc ~loc ~desc:("do " ^ var) in
+      [ { Ir.sid; sloc = loc; s = Ir.Do_loop { var; range; body = lower_body env acc ghosts body } } ]
+  | Ast.While (cond, body) ->
+      let sid = new_sid acc ~loc ~desc:"do while" in
+      [ { Ir.sid; sloc = loc; s = Ir.While_loop { cond; body = lower_body env acc ghosts body } } ]
   | Ast.If (arms, els) ->
+      let sid = new_sid acc ~loc ~desc:"if" in
       [
-        Ir.If_block
-          {
-            arms = List.map (fun (c, b) -> (c, lower_body env ghosts b)) arms;
-            els = lower_body env ghosts els;
-          };
+        {
+          Ir.sid;
+          sloc = loc;
+          s =
+            Ir.If_block
+              {
+                arms = List.map (fun (c, b) -> (c, lower_body env acc ghosts b)) arms;
+                els = lower_body env acc ghosts els;
+              };
+        };
       ]
-  | Ast.Call (sub, args) -> [ Ir.Call_sub { sub; args } ]
-  | Ast.Print args -> [ Ir.Print_stmt args ]
-  | Ast.Return -> [ Ir.Return_stmt ]
+  | Ast.Call (sub, args) -> [ stmt ~desc:("call " ^ sub) (Ir.Call_sub { sub; args }) ]
+  | Ast.Print args -> [ stmt ~desc:"print" (Ir.Print_stmt args) ]
+  | Ast.Return -> [ stmt ~desc:"return" Ir.Return_stmt ]
 
-and lower_body env ghosts body = List.concat_map (lower_stmt env ghosts) body
+and lower_body env acc ghosts body = List.concat_map (lower_stmt env acc ghosts) body
 
 let lower_unit env =
   temp_counter := 0;
+  let uname = env.Sema.usub.Ast.pname in
+  let acc = { uname; prov = []; explain = [] } in
   let normalized = Normalize.normalize_unit env env.Sema.usub.Ast.body in
   let ghosts = ref [] in
-  let body = lower_body env ghosts normalized in
+  let body = lower_body env acc ghosts normalized in
   (* consolidate ghost requirements: widest wins per (array, dim) *)
   let tbl = Hashtbl.create 8 in
   List.iter
@@ -212,9 +371,27 @@ let lower_unit env =
       Hashtbl.replace tbl k (max lo lo0, max hi hi0))
     !ghosts;
   let u_ghosts = Hashtbl.fold (fun (arr, dim) (lo, hi) acc -> (arr, dim, lo, hi) :: acc) tbl [] in
-  { Ir.u_name = env.Sema.usub.Ast.pname; u_env = env; u_body = body; u_ghosts }
+  (* The epilogue sid attributes end-of-unit communication (final-value
+     gather, argument copy-back) to the unit header's source line. *)
+  let u_epilogue =
+    {
+      Ir.pv_sid = fresh_sid ();
+      pv_loc = env.Sema.usub.Ast.ploc;
+      pv_unit = uname;
+      pv_desc = "epilogue (finals gather / copy-back)";
+    }
+  in
+  {
+    Ir.u_name = uname;
+    u_env = env;
+    u_body = body;
+    u_ghosts;
+    u_prov = List.rev acc.prov;
+    u_explain = List.rev acc.explain;
+    u_epilogue;
+  }
 
 let lower_program (penv : Sema.program_env) =
-  stmt_counter := 0;
+  sid_counter := 0;
   let units = List.map (fun (name, uenv) -> (name, lower_unit uenv)) penv.Sema.uunits in
   { Ir.p_env = penv; p_units = units }

@@ -24,6 +24,8 @@ type plan = {
   lhs_ref : Ast.ref_;
   lhs : lhs_kind;
   refs : (Ast.ref_ * ref_plan) list;
+  lhs_why : string;
+  ref_whys : (int * string list) list;
 }
 
 let subscript_exprs (r : Ast.ref_) =
@@ -52,6 +54,19 @@ let layouts_match (a : Sema.sdim) (b : Sema.sdim) =
    shift must fit in the smallest block. *)
 let overlap_ok (d : Sema.sdim) c =
   d.Sema.sform = Ast.Dblock && Affine.is_identity d.Sema.salign && c <> 0 && abs c <= 3
+
+(* Table 1 / Table 2 row names for an aligned block-distributed pair. *)
+let classify_pair lhs_cls rhs_cls =
+  match (lhs_cls, rhs_cls) with
+  | Subscript.Canonical v, Subscript.Canonical v' when v = v' -> "no communication"
+  | Subscript.Canonical _, Subscript.Const _ -> "multicast"
+  | Subscript.Canonical v, Subscript.Var_const (v', c) when v = v' ->
+      if abs c <= 3 then "overlap_shift" else "temporary_shift"
+  | Subscript.Canonical v, Subscript.Var_scalar (v', _) when v = v' -> "temporary_shift"
+  | Subscript.Const _, Subscript.Const _ -> "transfer"
+  | _, Subscript.Affine _ -> "precomp_read / postcomp_write"
+  | _, Subscript.Vector _ -> "gather / scatter"
+  | _, _ -> "gather / scatter (unknown)"
 
 let analyze_forall env ~vars ~mask ~lhs ~rhs =
   let var_names = List.map fst vars in
@@ -110,7 +125,28 @@ let analyze_forall env ~vars ~mask ~lhs ~rhs =
       end
     end
   in
+  let lhs_why =
+    match lhs_kind with
+    | Lhs_replicated ->
+        Printf.sprintf "'%s' is not distributed: computation replicated on every processor"
+          lhs_ref.Ast.base
+    | Lhs_scatter ->
+        "vector-valued subscript on a distributed lhs dimension: scatter write \
+         (Table 2, §4 case 4)"
+    | Lhs_postcomp ->
+        "non-canonical but invertible subscript on a distributed lhs dimension: \
+         compute on even iteration partition, postcomp write-back (Table 2, §4 case 3)"
+    | Lhs_canonical { guards; _ } ->
+        if guards = [] then
+          "owner computes: canonical subscripts, iterations follow the lhs distribution"
+        else
+          Printf.sprintf
+            "owner computes with %d constant-subscript guard(s): only owning processors \
+             are active in the guarded dimension(s)"
+            (List.length guards)
+  in
   (* ----- right-hand side and mask references ----- *)
+  let cls_str c = Format.asprintf "%a" Subscript.pp c in
   let lhs_dim_on_grid p =
     let found = ref None in
     Array.iteri
@@ -126,11 +162,21 @@ let analyze_forall env ~vars ~mask ~lhs ~rhs =
     | Lhs_postcomp | Lhs_scatter -> true
     | Lhs_canonical _ | Lhs_replicated -> false
   in
+  let ref_whys = ref [] in
   let plan_of_ref (r : Ast.ref_) =
+    let why = ref [] in
+    let say fmt = Printf.ksprintf (fun s -> why := s :: !why) fmt in
+    let record plan =
+      ref_whys := (r.Ast.rid, List.rev !why) :: !ref_whys;
+      Some (r, plan)
+    in
     match Sema.array_spec env r.Ast.base with
     | None -> None (* intrinsic call or scalar function: not a data reference *)
     | Some spec ->
-        if not (Sema.is_distributed spec) then Some (r, Direct)
+        if not (Sema.is_distributed spec) then begin
+          say "'%s' is not distributed: local access" r.Ast.base;
+          record Direct
+        end
         else if even_iteration then begin
           let classes = classify_ref env ~vars:var_names r in
           let vectorish =
@@ -138,7 +184,15 @@ let analyze_forall env ~vars ~mask ~lhs ~rhs =
               (function Subscript.Vector _ | Subscript.Unknown -> true | _ -> false)
               classes
           in
-          Some (r, if vectorish then Gather else Precomp_read)
+          if vectorish then
+            say
+              "iterations evenly partitioned (non-canonical lhs) and subscript is \
+               vector-valued: gather (Table 2)"
+          else
+            say
+              "iterations evenly partitioned (non-canonical lhs): nothing aligns with the \
+               iterations, read through precomp inspector (Table 2)";
+          record (if vectorish then Gather else Precomp_read)
         end
         else begin
           let classes = classify_ref env ~vars:var_names r in
@@ -156,36 +210,82 @@ let analyze_forall env ~vars ~mask ~lhs ~rhs =
                   | true, Some dl -> (
                       let sdl = lhs_spec.Sema.sdims.(dl) in
                       let aligned = layouts_match sd sdl in
+                      let row = classify_pair lhs_classes.(dl) cls in
+                      let pair_str =
+                        Printf.sprintf "dim %d: lhs%s vs rhs%s%s" (d + 1)
+                          (cls_str lhs_classes.(dl)) (cls_str cls)
+                          (if aligned then "" else ", layouts differ")
+                      in
                       match (lhs_classes.(dl), cls) with
                       | Subscript.Canonical v, Subscript.Canonical v' when v = v' && aligned ->
+                          say "%s -> %s (Table 1)" pair_str row;
                           tags.(d) <- No_comm
                       | Subscript.Canonical v, Subscript.Var_const (v', c)
                         when v = v' && aligned && overlap_ok sd c ->
+                          say
+                            "%s -> overlap_shift(%+d) into ghost cells (Table 1; |%d| <= 3, \
+                             BLOCK, identity align)"
+                            pair_str c c;
                           tags.(d) <- Overlap c
                       | Subscript.Canonical v, Subscript.Var_const (v', c) when v = v' && aligned
                         ->
+                          say "%s -> temporary_shift(%+d) (Table 1; too wide or uneven for \
+                               ghost cells)"
+                            pair_str c;
                           tags.(d) <- Temp_shift (Ast.int_lit c)
                       | Subscript.Canonical v, Subscript.Var_scalar (v', s) when v = v' && aligned
                         ->
+                          say "%s -> temporary_shift by run-time scalar (Table 1)" pair_str;
                           tags.(d) <- Temp_shift s
                       | _, Subscript.Const s -> (
                           match lhs_classes.(dl) with
-                          | Subscript.Const dsub -> tags.(d) <- Transfer { src = s; dest = dsub }
-                          | _ -> tags.(d) <- Multicast s)
+                          | Subscript.Const dsub ->
+                              say "%s -> transfer between owners (Table 1)" pair_str;
+                              tags.(d) <- Transfer { src = s; dest = dsub }
+                          | _ ->
+                              say "%s -> multicast of the owning slab (Table 1)" pair_str;
+                              tags.(d) <- Multicast s)
                       | Subscript.Canonical v, Subscript.Affine (v', _) when v = v' && aligned ->
+                          say "%s -> no Table 1 row (affine stride): precomp inspector \
+                               (Table 2)"
+                            pair_str;
                           needs_precomp := true
-                      | _, (Subscript.Vector _ | Subscript.Unknown) -> needs_gather := true
+                      | _, (Subscript.Vector _ | Subscript.Unknown) ->
+                          say "%s -> vector-valued/unknown subscript: gather (Table 2)" pair_str;
+                          needs_gather := true
                       | _, _ ->
-                          (* cross-variable, misaligned, ... : inspector *)
+                          say "%s -> no Table 1 row (cross-variable or misaligned): precomp \
+                               inspector (Table 2)"
+                            pair_str;
                           needs_precomp := true)
                   | _, _ -> (
                       (* lhs is not distributed over this grid dimension *)
                       match cls with
-                      | Subscript.Const s -> tags.(d) <- Multicast s
-                      | Subscript.Vector _ | Subscript.Unknown -> needs_gather := true
+                      | Subscript.Const s ->
+                          say
+                            "dim %d: rhs%s constant, lhs not on grid dim %d -> multicast of \
+                             the slice (Table 1)"
+                            (d + 1) (cls_str cls) (p + 1);
+                          tags.(d) <- Multicast s
+                      | Subscript.Vector _ | Subscript.Unknown ->
+                          say "dim %d: rhs%s vector-valued/unknown -> gather (Table 2)" (d + 1)
+                            (cls_str cls);
+                          needs_gather := true
                       | _ ->
-                          if lhs_distributed then needs_precomp := true
-                          else needs_concat := true)))
+                          if lhs_distributed then begin
+                            say
+                              "dim %d: rhs%s varies but lhs has no dimension on grid dim %d \
+                               -> precomp inspector (Table 2)"
+                              (d + 1) (cls_str cls) (p + 1);
+                            needs_precomp := true
+                          end
+                          else begin
+                            say
+                              "dim %d: rhs%s varies and lhs is replicated -> concatenation \
+                               (Table 2)"
+                              (d + 1) (cls_str cls);
+                            needs_concat := true
+                          end)))
             spec.Sema.sdims;
           let plan =
             if !needs_gather then Gather
@@ -194,7 +294,7 @@ let analyze_forall env ~vars ~mask ~lhs ~rhs =
             else if Array.for_all (fun t -> t = No_comm || t = Local_dim) tags then Direct
             else Structured tags
           in
-          Some (r, plan)
+          record plan
         end
   in
   let all_refs =
@@ -203,20 +303,7 @@ let analyze_forall env ~vars ~mask ~lhs ~rhs =
     @ List.concat_map Ast.refs_of (subscript_exprs lhs_ref)
   in
   let refs = List.filter_map plan_of_ref all_refs in
-  { lhs_ref; lhs = lhs_kind; refs }
-
-(* Table 1 / Table 2 row names for an aligned block-distributed pair. *)
-let classify_pair lhs_cls rhs_cls =
-  match (lhs_cls, rhs_cls) with
-  | Subscript.Canonical v, Subscript.Canonical v' when v = v' -> "no communication"
-  | Subscript.Canonical _, Subscript.Const _ -> "multicast"
-  | Subscript.Canonical v, Subscript.Var_const (v', c) when v = v' ->
-      if abs c <= 3 then "overlap_shift" else "temporary_shift"
-  | Subscript.Canonical v, Subscript.Var_scalar (v', _) when v = v' -> "temporary_shift"
-  | Subscript.Const _, Subscript.Const _ -> "transfer"
-  | _, Subscript.Affine _ -> "precomp_read / postcomp_write"
-  | _, Subscript.Vector _ -> "gather / scatter"
-  | _, _ -> "gather / scatter (unknown)"
+  { lhs_ref; lhs = lhs_kind; refs; lhs_why; ref_whys = List.rev !ref_whys }
 
 let tag_name = function
   | No_comm -> "no_comm"

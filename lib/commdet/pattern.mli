@@ -48,6 +48,13 @@ type plan = {
   lhs_ref : Ast.ref_;
   lhs : lhs_kind;
   refs : (Ast.ref_ * ref_plan) list;  (** every rhs/mask array reference *)
+  lhs_why : string;
+      (** human-readable reason for the lhs classification (which §4
+          computation-partitioning case applied) *)
+  ref_whys : (int * string list) list;
+      (** per-reference decision trail keyed by [Ast.ref_.rid]: one line
+          per distributed dimension naming the Table 1 row that matched,
+          or why the reference fell through to Table 2 *)
 }
 
 val analyze_forall :
@@ -57,6 +64,11 @@ val analyze_forall :
   lhs:Ast.expr ->
   rhs:Ast.expr ->
   plan
+
+val tag_name : dim_tag -> string
+val plan_name : ref_plan -> string
+(** Short names for explain reports ("multicast", "structured[...]",
+    ...). *)
 
 val classify_pair : Subscript.t -> Subscript.t -> string
 (** Table 1/2 row name for an (lhs, rhs) subscript pair assuming aligned

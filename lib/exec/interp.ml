@@ -756,8 +756,18 @@ let fresh_ustate st (u : Ir.unit_ir) =
   Hashtbl.iter (fun n dad -> Hashtbl.replace arrays n (Darray.create st.ctx dad)) dads;
   { st with u; dads; scalars; arrays }
 
+(* Every statement stamps its provenance into the engine before running:
+   trace events recorded during it carry its sid, and a deadlock or a
+   location-less runtime error is reported against its source line. *)
 let rec exec_stmt st (s : Ir.stmt) =
-  match s with
+  Rctx.set_stmt st.ctx ~sid:s.Ir.sid ~loc:s.Ir.sloc;
+  try exec_node st s with
+  | Diag.Error (loc, msg) when loc.Loc.line = 0 ->
+      raise (Diag.Error (s.Ir.sloc, msg))
+  | Failure msg -> raise (Diag.Error (s.Ir.sloc, msg))
+
+and exec_node st (s : Ir.stmt) =
+  match s.Ir.s with
   | Ir.Forall f -> exec_forall st f
   | Ir.Scalar_assign { name; rhs } -> (
       let v = eval st Mscalar rhs in
@@ -784,7 +794,7 @@ let rec exec_stmt st (s : Ir.stmt) =
       in
       let darr = darray_of st lhs.Ast.base in
       ignore (Darray.set_local darr ~rank:(me st) g (coerce (Darray.kind darr) v))
-  | Ir.Mover { target; call } -> exec_mover st ~target ~call Loc.none
+  | Ir.Mover { target; call } -> exec_mover st ~target ~call s.Ir.sloc
   | Ir.Do_loop { var; range; body } ->
       let lo = Scalar.to_int (eval st Mscalar range.Ast.lo) in
       let hi = Scalar.to_int (eval st Mscalar range.Ast.hi) in
@@ -807,7 +817,13 @@ let rec exec_stmt st (s : Ir.stmt) =
         i := !i + stp
       done
   | Ir.While_loop { cond; body } ->
-      while Scalar.to_bool (eval st Mscalar cond) do
+      (* re-stamp before each condition eval: the body left its last
+         statement's sid current *)
+      let restamp () = Rctx.set_stmt st.ctx ~sid:s.Ir.sid ~loc:s.Ir.sloc in
+      while
+        restamp ();
+        Scalar.to_bool (eval st Mscalar cond)
+      do
         List.iter (exec_stmt st) body
       done
   | Ir.If_block { arms; els } ->
@@ -818,7 +834,7 @@ let rec exec_stmt st (s : Ir.stmt) =
             else go rest
       in
       go arms
-  | Ir.Call_sub { sub; args } -> exec_call st sub args
+  | Ir.Call_sub { sub; args } -> exec_call st ~sid:s.Ir.sid ~loc:s.Ir.sloc sub args
   | Ir.Print_stmt args ->
       let line = Buffer.create 64 in
       List.iter
@@ -836,7 +852,7 @@ let rec exec_stmt st (s : Ir.stmt) =
       end
   | Ir.Return_stmt -> raise Return_unwind
 
-and exec_call st sub args =
+and exec_call st ~sid ~loc sub args =
   let callee = Ir.find_unit st.prog sub in
   let cst = fresh_ustate st callee in
   let dummies = callee.Ir.u_env.Sema.usub.Ast.args in
@@ -868,6 +884,9 @@ and exec_call st sub args =
           | None -> Hashtbl.replace cst.scalars dummy (ref v)))
     dummies args;
   (try List.iter (exec_stmt cst) callee.Ir.u_body with Return_unwind -> ());
+  (* copy-back redistribution belongs to the CALL statement, not to
+     whatever the callee executed last *)
+  Rctx.set_stmt st.ctx ~sid ~loc;
   (* copy back (Fortran reference semantics) *)
   List.iter
     (function
@@ -903,6 +922,9 @@ let node_main ?(collect_finals = true) (prog : Ir.program_ir) ctx =
   in
   let st = fresh_ustate proto u in
   (try List.iter (exec_stmt st) u.Ir.u_body with Return_unwind -> ());
+  (* the finals gather below is real communication: attribute it to the
+     unit's epilogue sid so no event is left on the last body statement *)
+  Rctx.set_stmt ctx ~sid:u.Ir.u_epilogue.Ir.pv_sid ~loc:u.Ir.u_epilogue.Ir.pv_loc;
   let finals =
     if collect_finals then
       List.map

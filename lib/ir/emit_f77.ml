@@ -183,7 +183,7 @@ let emit_forall b ind (f : Ir.forall) =
 
 let rec emit_stmt b ind (s : Ir.stmt) =
   let line str = buf_add b (ind ^ str ^ "\n") in
-  match s with
+  match s.Ir.s with
   | Ir.Forall f -> emit_forall b ind f
   | Ir.Scalar_assign { name; rhs } -> line (Printf.sprintf "%s = %s" name (expr_str rhs))
   | Ir.Element_assign { lhs; rhs } ->

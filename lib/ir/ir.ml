@@ -74,7 +74,14 @@ type forall = {
   f_post : post option;
 }
 
-type stmt =
+(* Every statement carries provenance: a program-unique statement id
+   (sid, allocated by Lower in emission order, > 0) and the source
+   location of the Ast statement it was lowered from.  The sid is the
+   join key between the compile-time explain report, trace events and
+   the per-statement runtime profile. *)
+type stmt = { sid : int; sloc : F90d_base.Loc.t; s : stmt_node }
+
+and stmt_node =
   | Forall of forall
   | Scalar_assign of { name : string; rhs : Ast.expr }
   | Element_assign of { lhs : Ast.ref_; rhs : Ast.expr }
@@ -88,15 +95,64 @@ type stmt =
   | Print_stmt of Ast.expr list
   | Return_stmt
 
+(** One provenance table entry: what a sid resolves to. *)
+type prov = {
+  pv_sid : int;
+  pv_loc : F90d_base.Loc.t;
+  pv_unit : string;  (** owning program unit *)
+  pv_desc : string;  (** short statement description, e.g. ["forall A"] *)
+}
+
+(** Compile-time communication decision for one rhs/mask reference of a
+    comm-bearing statement, as the explain report presents it. *)
+type explain_ref = {
+  xr_ref : string;  (** rendered reference, e.g. ["B(i,k)"] *)
+  xr_plan : string;  (** {!Pattern.plan_name} of the chosen plan *)
+  xr_why : string list;  (** per-dimension Table 1/2 decision trail *)
+}
+
+(** Explain record for one comm-bearing statement (FORALL / array
+    assignment / intrinsic mover), keyed by sid. *)
+type explain = {
+  x_sid : int;
+  x_loc : F90d_base.Loc.t;
+  x_unit : string;
+  x_stmt : string;  (** rendered statement head, e.g. ["FORALL (i,j) A(i,j) = ..."] *)
+  x_lhs : string;  (** lhs array *)
+  x_iter : string;  (** computation partitioning (§4 case) *)
+  x_iter_why : string;
+  x_dist : string list;  (** distribution facts for every array involved *)
+  x_refs : explain_ref list;
+  x_comms : string list;  (** comm primitives actually emitted (post-optimization) *)
+  x_post : string option;  (** write-back phase, if any *)
+}
+
 type unit_ir = {
   u_name : string;
   u_env : Sema.unit_env;
   u_body : stmt list;
   u_ghosts : (string * int * int * int) list;
       (** (array, dim, ghost_lo, ghost_hi) requirements from overlap shifts *)
+  u_prov : prov list;  (** provenance of every sid in this unit, in sid order *)
+  u_explain : explain list;  (** comm-bearing statements, in sid order *)
+  u_epilogue : prov;
+      (** synthetic sid for the unit's epilogue (final-value gather,
+          copy-back): real communication that belongs to no body
+          statement still resolves to the unit header's line *)
 }
 
 type program_ir = { p_env : Sema.program_env; p_units : (string * unit_ir) list }
+
+(** [sid -> prov] over the whole program (body statements and unit
+    epilogues). *)
+let prov_table ir =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (_, u) ->
+      List.iter (fun p -> Hashtbl.replace tbl p.pv_sid p) u.u_prov;
+      Hashtbl.replace tbl u.u_epilogue.pv_sid u.u_epilogue)
+    ir.p_units;
+  tbl
 
 let find_unit ir name =
   match List.assoc_opt name ir.p_units with

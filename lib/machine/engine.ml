@@ -30,6 +30,12 @@ type shared = {
   traces : Trace.handle array;
   (* traces.(me): rank-private event recorder (all Trace.disabled when
      cfg.tracing is off, making every recording call a no-op) *)
+  cur_sid : int array;
+  cur_loc : Loc.t array;
+  (* cur_sid.(me)/cur_loc.(me): provenance of the statement rank [me] is
+     currently executing — maintained even when tracing is off so that
+     Deadlock diagnostics can name the source line each rank is stuck
+     on.  Rank-private, like the clocks. *)
 }
 
 type ctx = { me : int; sh : shared }
@@ -43,6 +49,13 @@ let model ctx = ctx.sh.cfg.model
 let time ctx = ctx.sh.clocks.(ctx.me)
 let rank_stats ctx = ctx.sh.rank_stats.(ctx.me)
 let trace ctx = ctx.sh.traces.(ctx.me)
+
+let set_stmt ctx ~sid ~loc =
+  ctx.sh.cur_sid.(ctx.me) <- sid;
+  ctx.sh.cur_loc.(ctx.me) <- loc;
+  Trace.set_stmt ctx.sh.traces.(ctx.me) ~sid
+
+let current_stmt ctx = (ctx.sh.cur_sid.(ctx.me), ctx.sh.cur_loc.(ctx.me))
 
 let advance ctx dt =
   if dt < 0. then Diag.bug "engine: negative time advance";
@@ -113,6 +126,8 @@ let make_shared cfg =
     traces =
       (if cfg.tracing then Array.init cfg.nprocs (fun me -> Trace.rank_create ~me)
        else Array.make cfg.nprocs Trace.disabled);
+    cur_sid = Array.make cfg.nprocs 0;
+    cur_loc = Array.make cfg.nprocs Loc.none;
   }
 
 (* Move rank [me]'s pending sends into the destination mailboxes, in send
@@ -173,12 +188,21 @@ let finish (sh : shared) states =
              if n = 1 then Printf.sprintf "(src=%d,tag=%d)" src tag
              else Printf.sprintf "(src=%d,tag=%d)x%d" src tag n)
     in
+    let stmt_of me =
+      (* Name the statement the rank is stuck inside when provenance is
+         available (sid 0 = engine internals / epilogue before any
+         statement ran). *)
+      let sid = sh.cur_sid.(me) and loc = sh.cur_loc.(me) in
+      if sid = 0 && loc.Loc.line = 0 then ""
+      else Printf.sprintf " at %s (stmt %d)" (Loc.file_line loc) sid
+    in
     let blocked =
       Array.to_seq states
       |> Seq.filter_map (function
            | Blocked ((me, src, tag), _) ->
                Some
-                 (Printf.sprintf "p%d waiting on (src=%d,tag=%d), mailbox has %s" me src tag
+                 (Printf.sprintf "p%d waiting on (src=%d,tag=%d)%s, mailbox has %s" me src tag
+                    (stmt_of me)
                     (match pending_of me with
                     | [] -> "nothing"
                     | l -> String.concat " " l))

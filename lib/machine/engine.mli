@@ -32,9 +32,10 @@ type ctx
 
 exception Deadlock of string
 (** The payload lists, for every blocked processor, the awaited
-    [(src, tag)] channel {e and} the channels actually pending in its
-    mailbox — enough to diagnose tag/source mismatches from the message
-    alone. *)
+    [(src, tag)] channel, the source [file:line] and statement id the
+    rank was executing (when the node program supplied provenance via
+    {!set_stmt}) {e and} the channels actually pending in its mailbox —
+    enough to diagnose tag/source mismatches from the message alone. *)
 
 (** {2 Node-program API} *)
 
@@ -64,6 +65,16 @@ val trace : ctx -> F90d_trace.Trace.handle
 (** This processor's private trace recorder ({!F90d_trace.Trace.disabled}
     when the config has tracing off).  The run-time system and the
     interpreter record collective/inspector/compute spans through it. *)
+
+val set_stmt : ctx -> sid:int -> loc:F90d_base.Loc.t -> unit
+(** Declare the statement this processor is about to execute.  The pair
+    is kept per rank even when tracing is off (it names the stuck source
+    line in {!Deadlock} payloads) and, when tracing is on, stamps every
+    subsequent trace event with [sid] until the next call. *)
+
+val current_stmt : ctx -> int * F90d_base.Loc.t
+(** The provenance last declared with {!set_stmt} —
+    [(0, Loc.none)] initially. *)
 
 (** {2 Driving the machine} *)
 

@@ -100,18 +100,25 @@ let key_schedules env ~unit_name counter (f : Ir.forall) =
 (* Pass driver                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let rec map_stmt f = function
-  | Ir.Forall fo -> Ir.Forall (f fo)
-  | Ir.Do_loop { var; range; body } ->
-      Ir.Do_loop { var; range; body = List.map (map_stmt f) body }
-  | Ir.While_loop { cond; body } -> Ir.While_loop { cond; body = List.map (map_stmt f) body }
-  | Ir.If_block { arms; els } ->
-      Ir.If_block
-        {
-          arms = List.map (fun (c, ss) -> (c, List.map (map_stmt f) ss)) arms;
-          els = List.map (map_stmt f) els;
-        }
-  | s -> s
+(* Statement provenance (sid, sloc) is preserved: passes rewrite the
+   node, never the identity. *)
+let rec map_stmt f (st : Ir.stmt) =
+  let node =
+    match st.Ir.s with
+    | Ir.Forall fo -> Ir.Forall (f fo)
+    | Ir.Do_loop { var; range; body } ->
+        Ir.Do_loop { var; range; body = List.map (map_stmt f) body }
+    | Ir.While_loop { cond; body } ->
+        Ir.While_loop { cond; body = List.map (map_stmt f) body }
+    | Ir.If_block { arms; els } ->
+        Ir.If_block
+          {
+            arms = List.map (fun (c, ss) -> (c, List.map (map_stmt f) ss)) arms;
+            els = List.map (map_stmt f) els;
+          }
+    | s -> s
+  in
+  { st with Ir.s = node }
 
 let apply flags (ir : Ir.program_ir) =
   let units =

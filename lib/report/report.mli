@@ -1,0 +1,49 @@
+(** Compiler explain reports ([-Minfo]/[-qreport]-style) and the
+    compile-time/runtime join.
+
+    The explain side renders, for every comm-bearing statement, the
+    Table 1/2 classification recorded at lowering time: the detected
+    subscript patterns, the chosen communication primitive, the
+    distribution facts and the reason each decision was made.  The
+    profile side joins {!F90d_trace.Analyze.per_stmt_profile} rows back
+    to source [file:line] through {!F90d_ir.Ir.prov_table}, producing a
+    "hot statements" table with the predicted pattern next to its
+    measured traffic. *)
+
+open F90d_ir
+
+val explain_text : Ir.program_ir -> string
+(** Human-readable report, one block per comm-bearing statement.  When
+    optimization passes changed the emitted primitives (fusion, shift
+    union), both the detected and the emitted list are shown. *)
+
+val explain_json : Ir.program_ir -> string
+(** The same report as one JSON document:
+    [{"explain":[{"unit":...,"statements":[...]}]}]. *)
+
+(** {2 Hot statements} *)
+
+type hot = {
+  h_sid : int;
+  h_loc : F90d_base.Loc.t;
+  h_unit : string;
+  h_desc : string;  (** statement description from provenance *)
+  h_decision : string;  (** comm primitives the compiler chose, "+"-joined *)
+  h_msgs : int;
+  h_bytes : int;
+  h_send_s : float;
+  h_wait_s : float;
+  h_cp_s : float;  (** this statement's wire time on the critical path *)
+}
+
+val hot_statements : Ir.program_ir -> F90d_trace.Trace.t -> hot list
+(** Per-statement measured cost joined with the compile-time decision,
+    hottest (send busy + recv wait) first.  Rows whose sid is not in the
+    provenance table (sid 0) appear as ["<runtime>"]. *)
+
+val hot_text : ?top:int -> hot list -> string
+(** Render as a table; [top] truncates to the k hottest. *)
+
+val profile_json : Ir.program_ir -> F90d_trace.Trace.t -> string
+(** [{"statements":[...],"totals":{...}}] — one row per statement with
+    messages, bytes, send-busy, recv-wait and critical-path share. *)

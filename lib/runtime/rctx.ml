@@ -26,6 +26,8 @@ let time t = Engine.time t.eng
 let cache_find t key = Hashtbl.find_opt t.sched_cache key
 let cache_store t key entry = Hashtbl.replace t.sched_cache key entry
 let trace t = Engine.trace t.eng
+let set_stmt t ~sid ~loc = Engine.set_stmt t.eng ~sid ~loc
+let current_stmt t = Engine.current_stmt t.eng
 
 let send t ~dest ~tag payload =
   Engine.send t.eng ~dest:(Grid.phys_of_rank t.grid dest) ~tag payload

@@ -24,6 +24,13 @@ val cache_store : t -> string -> cache_entry -> unit
 val trace : t -> F90d_trace.Trace.handle
 (** This processor's trace recorder (no-op handle when tracing is off). *)
 
+val set_stmt : t -> sid:int -> loc:F90d_base.Loc.t -> unit
+(** Declare the statement about to execute (see
+    {!F90d_machine.Engine.set_stmt}): stamps subsequent trace events and
+    names the source line in deadlock diagnostics. *)
+
+val current_stmt : t -> int * F90d_base.Loc.t
+
 val engine : t -> F90d_machine.Engine.ctx
 val grid : t -> F90d_dist.Grid.t
 

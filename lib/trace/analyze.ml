@@ -47,6 +47,54 @@ let per_tag_profile tr =
 (* Tag families are namespaced by hundreds, matching Stats.breakdown. *)
 let tag_family tag = tag / 100 * 100
 
+(* ------------------------------------------------------------------ *)
+(* Per-statement profile (joined with Ir provenance by the reporter)   *)
+(* ------------------------------------------------------------------ *)
+
+type srow = {
+  s_sid : int;
+  s_msgs : int;
+  s_bytes : int;
+  s_send_s : float;
+  s_wait_s : float;
+  s_cp_s : float;  (* critical-path wire time caused by this statement's sends *)
+}
+
+(* Send/recv accumulation per sid; the public [per_stmt_profile] adds
+   the critical-path share (needs [critical_path], defined below). *)
+let stmt_rows tr =
+  let acc = Hashtbl.create 16 in
+  let get sid =
+    match Hashtbl.find_opt acc sid with
+    | Some r -> r
+    | None ->
+        let r =
+          ref { s_sid = sid; s_msgs = 0; s_bytes = 0; s_send_s = 0.; s_wait_s = 0.; s_cp_s = 0. }
+        in
+        Hashtbl.add acc sid r;
+        r
+  in
+  for rank = 0 to Trace.nprocs tr - 1 do
+    Array.iter
+      (fun (ev : Trace.event) ->
+        match ev.Trace.kind with
+        | Trace.Send { bytes; sid; _ } ->
+            let r = get sid in
+            r :=
+              {
+                !r with
+                s_msgs = !r.s_msgs + 1;
+                s_bytes = !r.s_bytes + bytes;
+                s_send_s = !r.s_send_s +. (ev.Trace.t1 -. ev.Trace.t0);
+              }
+        | Trace.Recv { sid; _ } ->
+            let r = get sid in
+            r := { !r with s_wait_s = !r.s_wait_s +. (ev.Trace.t1 -. ev.Trace.t0) }
+        | _ -> ())
+      (Trace.events tr ~rank)
+  done;
+  acc
+
 let breakdown tr ~name_of =
   let fams = Hashtbl.create 8 in
   List.iter
@@ -75,7 +123,7 @@ let breakdown tr ~name_of =
    tile [0, elapsed] exactly, so their durations sum to the elapsed
    time: the chain *is* what determines report.elapsed. *)
 
-type seg_kind = Local | Wire of { src : int; tag : int; bytes : int }
+type seg_kind = Local | Wire of { src : int; tag : int; bytes : int; sid : int }
 type segment = { sg_rank : int; sg_t0 : float; sg_t1 : float; sg_kind : seg_kind }
 
 let critical_path tr =
@@ -142,11 +190,14 @@ let critical_path tr =
         | Some arr when k < Array.length arr -> arr.(k)
         | _ -> Diag.bug "trace: receive (src=%d,tag=%d) has no matching send" src tag
       in
-      let bytes =
-        match snd_ev.Trace.kind with Trace.Send { bytes; _ } -> bytes | _ -> assert false
+      let bytes, snd_sid =
+        match snd_ev.Trace.kind with
+        | Trace.Send { bytes; sid; _ } -> (bytes, sid)
+        | _ -> assert false
       in
       segs :=
-        { sg_rank = !rank; sg_t0 = snd_ev.Trace.t1; sg_t1 = ev.Trace.t1; sg_kind = Wire { src; tag; bytes } }
+        { sg_rank = !rank; sg_t0 = snd_ev.Trace.t1; sg_t1 = ev.Trace.t1;
+          sg_kind = Wire { src; tag; bytes; sid = snd_sid } }
         :: !segs;
       rank := src;
       t := snd_ev.Trace.t1
@@ -155,6 +206,24 @@ let critical_path tr =
   !segs (* chronological: the walk pushed latest-first *)
 
 let total segs = List.fold_left (fun acc s -> acc +. (s.sg_t1 -. s.sg_t0)) 0. segs
+
+(* One row per statement id: send/recv totals plus this statement's wire
+   time on the critical path.  Totals across rows equal the run's
+   [Stats] message/byte/wait totals — every send and receive carries
+   exactly one sid. *)
+let per_stmt_profile tr =
+  let acc = stmt_rows tr in
+  List.iter
+    (fun sg ->
+      match sg.sg_kind with
+      | Wire { sid; _ } -> (
+          match Hashtbl.find_opt acc sid with
+          | Some r -> r := { !r with s_cp_s = !r.s_cp_s +. (sg.sg_t1 -. sg.sg_t0) }
+          | None -> ())
+      | Local -> ())
+    (critical_path tr);
+  Hashtbl.fold (fun _ r rows -> !r :: rows) acc []
+  |> List.sort (fun a b -> compare a.s_sid b.s_sid)
 
 (* ------------------------------------------------------------------ *)
 (* Text rendering                                                      *)
@@ -197,8 +266,9 @@ let render_profile tr ~name_of =
       | Local ->
           Printf.bprintf b "  p%-3d %12.6f .. %12.6f  local %12.6f s\n" s.sg_rank s.sg_t0
             s.sg_t1 (s.sg_t1 -. s.sg_t0)
-      | Wire { src; tag; bytes } ->
-          Printf.bprintf b "  p%-3d %12.6f .. %12.6f  wire  %12.6f s (from p%d, tag %d, %d bytes)\n"
-            s.sg_rank s.sg_t0 s.sg_t1 (s.sg_t1 -. s.sg_t0) src tag bytes)
+      | Wire { src; tag; bytes; sid } ->
+          Printf.bprintf b
+            "  p%-3d %12.6f .. %12.6f  wire  %12.6f s (from p%d, tag %d, %d bytes, stmt %d)\n"
+            s.sg_rank s.sg_t0 s.sg_t1 (s.sg_t1 -. s.sg_t0) src tag bytes sid)
     cp;
   Buffer.contents b

@@ -21,13 +21,33 @@ val breakdown : Trace.t -> name_of:(int -> string) -> (string * int * int * floa
     family (hundreds, matching [Stats.breakdown]), most messages
     first. *)
 
+(** {2 Per-statement profile} *)
+
+type srow = {
+  s_sid : int;  (** statement id stamped by the interpreter; 0 = <runtime> *)
+  s_msgs : int;
+  s_bytes : int;
+  s_send_s : float;
+  s_wait_s : float;
+  s_cp_s : float;
+      (** wire time on the critical path caused by this statement's
+          sends (non-zero only on multi-hop topologies) *)
+}
+
+val per_stmt_profile : Trace.t -> srow list
+(** One row per statement id, sorted by sid.  Every send and receive
+    carries exactly one sid, so message/byte/wait totals across rows
+    equal the run's [Stats] totals; joining rows with
+    [Ir.prov_table] keys them back to source [file:line]. *)
+
 (** {2 Critical path} *)
 
 type seg_kind =
   | Local  (** compute, copies and send overhead charged on [sg_rank] *)
-  | Wire of { src : int; tag : int; bytes : int }
+  | Wire of { src : int; tag : int; bytes : int; sid : int }
       (** in-flight time of the message from [src] that [sg_rank]
-          blocked on (non-zero only on multi-hop topologies) *)
+          blocked on (non-zero only on multi-hop topologies); [sid] is
+          the sending statement's id *)
 
 type segment = { sg_rank : int; sg_t0 : float; sg_t1 : float; sg_kind : seg_kind }
 

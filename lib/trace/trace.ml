@@ -5,11 +5,16 @@ open F90d_base
    payload to reconstruct the message DAG: channels are exact-match
    (src, tag) FIFOs, so the k-th receive on a channel pairs with the
    k-th send — no message ids are needed. *)
+(* Every event carries the statement id (sid) of the IR statement that
+   was executing when it was recorded — 0 means "<runtime>" (engine
+   internals outside any statement).  The interpreter stamps the current
+   sid via [set_stmt] before executing each statement, so attribution
+   costs one integer store per statement, not per event. *)
 type kind =
-  | Send of { dest : int; tag : int; bytes : int; arrival : float }
-  | Recv of { src : int; tag : int; arrival : float }
-  | Span of { name : string; cat : string; bytes : int }
-  | Mark of { name : string; cat : string }
+  | Send of { dest : int; tag : int; bytes : int; arrival : float; sid : int }
+  | Recv of { src : int; tag : int; arrival : float; sid : int }
+  | Span of { name : string; cat : string; bytes : int; sid : int }
+  | Mark of { name : string; cat : string; sid : int }
 
 type event = { t0 : float; t1 : float; kind : kind }
 
@@ -22,17 +27,23 @@ type rank = {
   me : int;
   mutable ring : event array;
   mutable len : int;
-  mutable open_spans : (string * string * float) list;  (* name, cat, t0 *)
+  mutable open_spans : (string * string * float * int) list;  (* name, cat, t0, sid *)
   mutable computed : float;  (* total Engine.advance time, seconds *)
+  mutable sid : int;  (* current statement id; 0 = outside any statement *)
 }
 
-let dummy_event = { t0 = 0.; t1 = 0.; kind = Mark { name = ""; cat = "" } }
+let dummy_event = { t0 = 0.; t1 = 0.; kind = Mark { name = ""; cat = ""; sid = 0 } }
 
 type handle = rank option
 
 let disabled : handle = None
-let rank_create ~me : handle = Some { me; ring = Array.make 256 dummy_event; len = 0; open_spans = []; computed = 0. }
+
+let rank_create ~me : handle =
+  Some { me; ring = Array.make 256 dummy_event; len = 0; open_spans = []; computed = 0.; sid = 0 }
+
 let enabled = Option.is_some
+let set_stmt h ~sid = match h with None -> () | Some r -> r.sid <- sid
+let current_sid h = match h with None -> 0 | Some r -> r.sid
 
 let push r ev =
   if r.len = Array.length r.ring then begin
@@ -46,17 +57,17 @@ let push r ev =
 let send h ~t0 ~t1 ~dest ~tag ~bytes ~arrival =
   match h with
   | None -> ()
-  | Some r -> push r { t0; t1; kind = Send { dest; tag; bytes; arrival } }
+  | Some r -> push r { t0; t1; kind = Send { dest; tag; bytes; arrival; sid = r.sid } }
 
 let recv h ~t0 ~t1 ~src ~tag ~arrival =
   match h with
   | None -> ()
-  | Some r -> push r { t0; t1; kind = Recv { src; tag; arrival } }
+  | Some r -> push r { t0; t1; kind = Recv { src; tag; arrival; sid = r.sid } }
 
 let computed h dt = match h with None -> () | Some r -> r.computed <- r.computed +. dt
 
 let span_begin h ~t name ~cat =
-  match h with None -> () | Some r -> r.open_spans <- (name, cat, t) :: r.open_spans
+  match h with None -> () | Some r -> r.open_spans <- (name, cat, t, r.sid) :: r.open_spans
 
 let span_end ?(bytes = 0) h ~t =
   match h with
@@ -64,12 +75,14 @@ let span_end ?(bytes = 0) h ~t =
   | Some r -> (
       match r.open_spans with
       | [] -> Diag.bug "trace: span_end without span_begin"
-      | (name, cat, t0) :: rest ->
+      | (name, cat, t0, sid) :: rest ->
           r.open_spans <- rest;
-          push r { t0; t1 = t; kind = Span { name; cat; bytes } })
+          push r { t0; t1 = t; kind = Span { name; cat; bytes; sid } })
 
 let mark h ~t name ~cat =
-  match h with None -> () | Some r -> push r { t0 = t; t1 = t; kind = Mark { name; cat } }
+  match h with
+  | None -> ()
+  | Some r -> push r { t0 = t; t1 = t; kind = Mark { name; cat; sid = r.sid } }
 
 (* ------------------------------------------------------------------ *)
 (* Merged trace                                                        *)
@@ -132,21 +145,25 @@ let chrome_event b ~pid ev =
       (escape name) (escape cat) ph pid (us t)
   in
   (match ev.kind with
-  | Send { dest; tag; bytes; arrival } ->
+  | Send { dest; tag; bytes; arrival; sid } ->
       common ~name:(Printf.sprintf "send tag=%d" tag) ~cat:"send" ~ph:"X" ~t:ev.t0;
-      Printf.bprintf b ",\"dur\":%s,\"args\":{\"dest\":%d,\"tag\":%d,\"bytes\":%d,\"arrival_us\":%s}"
-        (us (ev.t1 -. ev.t0)) dest tag bytes (us arrival)
-  | Recv { src; tag; arrival } ->
+      Printf.bprintf b
+        ",\"dur\":%s,\"args\":{\"dest\":%d,\"tag\":%d,\"bytes\":%d,\"arrival_us\":%s,\"sid\":%d}"
+        (us (ev.t1 -. ev.t0)) dest tag bytes (us arrival) sid
+  | Recv { src; tag; arrival; sid } ->
       common ~name:(Printf.sprintf "recv tag=%d" tag) ~cat:"recv" ~ph:"X" ~t:ev.t0;
-      Printf.bprintf b ",\"dur\":%s,\"args\":{\"src\":%d,\"tag\":%d,\"arrival_us\":%s,\"waited\":%s}"
+      Printf.bprintf b
+        ",\"dur\":%s,\"args\":{\"src\":%d,\"tag\":%d,\"arrival_us\":%s,\"waited\":%s,\"sid\":%d}"
         (us (ev.t1 -. ev.t0)) src tag (us arrival)
         (if ev.t1 > ev.t0 then "true" else "false")
-  | Span { name; cat; bytes } ->
+        sid
+  | Span { name; cat; bytes; sid } ->
       common ~name ~cat ~ph:"X" ~t:ev.t0;
-      Printf.bprintf b ",\"dur\":%s,\"args\":{\"bytes\":%d}" (us (ev.t1 -. ev.t0)) bytes
-  | Mark { name; cat } ->
+      Printf.bprintf b ",\"dur\":%s,\"args\":{\"bytes\":%d,\"sid\":%d}" (us (ev.t1 -. ev.t0))
+        bytes sid
+  | Mark { name; cat; sid } ->
       common ~name ~cat ~ph:"i" ~t:ev.t0;
-      Buffer.add_string b ",\"s\":\"t\"");
+      Printf.bprintf b ",\"s\":\"t\",\"args\":{\"sid\":%d}" sid);
   Buffer.add_char b '}'
 
 let to_chrome_json t =

@@ -18,14 +18,22 @@
       k-th send);
     - named spans ([span_begin]/[span_end]) cover collective primitives,
       inspector/executor phases and compute statements, and may nest;
-    - marks are instants (schedule-cache build/hit). *)
+    - marks are instants (schedule-cache build/hit).
+
+    Every event also carries the statement id ([sid]) of the IR
+    statement executing when it was recorded — the interpreter stamps
+    the current sid with {!set_stmt} before each statement, so every
+    message resolves back to a source [file:line] through the program's
+    provenance table.  [sid = 0] means "<runtime>" (outside any
+    statement). *)
 
 type kind =
-  | Send of { dest : int; tag : int; bytes : int; arrival : float }
-  | Recv of { src : int; tag : int; arrival : float }
+  | Send of { dest : int; tag : int; bytes : int; arrival : float; sid : int }
+  | Recv of { src : int; tag : int; arrival : float; sid : int }
       (** [t1 > t0] iff the receiver blocked ([t1] = arrival). *)
-  | Span of { name : string; cat : string; bytes : int }
-  | Mark of { name : string; cat : string }
+  | Span of { name : string; cat : string; bytes : int; sid : int }
+      (** [sid] is captured at [span_begin] time. *)
+  | Mark of { name : string; cat : string; sid : int }
 
 type event = { t0 : float; t1 : float; kind : kind }
 
@@ -39,6 +47,13 @@ val rank_create : me:int -> handle
 val enabled : handle -> bool
 (** Guard for call sites that would otherwise build event names
     eagerly. *)
+
+val set_stmt : handle -> sid:int -> unit
+(** Set the current statement id; subsequent events are stamped with it
+    until the next call.  No-op on [disabled]. *)
+
+val current_sid : handle -> int
+(** The sid last set with {!set_stmt} (0 initially or on [disabled]). *)
 
 val send :
   handle -> t0:float -> t1:float -> dest:int -> tag:int -> bytes:int -> arrival:float -> unit

@@ -345,8 +345,8 @@ C$    ALIGN B(I) WITH A(I)
     let u = snd (List.hd compiled.Driver.c_ir.F90d_ir.Ir.p_units) in
     let n = ref 0 in
     List.iter
-      (fun s ->
-        match s with
+      (fun (s : F90d_ir.Ir.stmt) ->
+        match s.F90d_ir.Ir.s with
         | F90d_ir.Ir.Forall f ->
             List.iter
               (function F90d_ir.Ir.Overlap_shift _ -> incr n | _ -> ())
@@ -367,8 +367,8 @@ let test_schedule_keys_assigned () =
   let compiled = Driver.compile (Programs.irregular ~n:16) in
   let u = snd (List.hd compiled.Driver.c_ir.F90d_ir.Ir.p_units) in
   let keys = ref 0 in
-  let rec walk s =
-    match s with
+  let rec walk (s : F90d_ir.Ir.stmt) =
+    match s.F90d_ir.Ir.s with
     | F90d_ir.Ir.Forall f ->
         List.iter
           (function
