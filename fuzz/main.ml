@@ -1,0 +1,132 @@
+(* Differential fuzzing driver.
+
+   Generates seeded random programs, runs each through the full compiler
+   at every (nprocs, jobs, passes) configuration, and diffs final array
+   and scalar state bit-for-bit against the sequential reference
+   evaluator.  On divergence the failing program is (optionally) shrunk
+   and written out as a standalone .f90d repro. *)
+
+open F90d_fuzz
+
+let seeds = ref 100
+let start = ref 0
+let one_seed = ref (-1)
+let do_shrink = ref false
+let out_dir = ref "fuzz-repros"
+let emit = ref (-1)
+let ranks = ref Diff.default_ranks
+let jobs = ref Diff.default_jobs
+let quiet = ref false
+let replay = ref ""
+
+let parse_csv s = List.map int_of_string (String.split_on_char ',' s)
+
+let spec =
+  [
+    ("--seeds", Arg.Set_int seeds, "N  number of seeds to fuzz (default 100)");
+    ("--start", Arg.Set_int start, "S  first seed (default 0)");
+    ("--seed", Arg.Set_int one_seed, "K  fuzz exactly one seed");
+    ("--shrink", Arg.Set do_shrink, "   shrink failing programs before emitting repros");
+    ("--out", Arg.Set_string out_dir, "DIR  directory for shrunk repros (default fuzz-repros)");
+    ("--emit", Arg.Set_int emit, "K  print the program for seed K and exit");
+    ("--ranks", Arg.String (fun s -> ranks := parse_csv s), "CSV  rank axis (default 1,2,4)");
+    ("--jobs", Arg.String (fun s -> jobs := parse_csv s), "CSV  jobs axis (default 1,4)");
+    ("--quiet", Arg.Set quiet, "   only report failures");
+    ("--replay", Arg.Set_string replay, "FILE  differentially check one .f90d source file");
+  ]
+
+let usage = "fuzz/main.exe [--seeds N] [--start S] [--shrink] ..."
+
+let check p = Diff.check_prog ~ranks:!ranks ~jobs:!jobs p
+
+let report_failure seed (p : Gen.prog) (failures : Diff.failure list) =
+  Printf.printf "seed %d: FAILED\n" seed;
+  List.iter (fun f -> Printf.printf "  %s\n" (Diff.pp_failure f)) failures;
+  let p =
+    if !do_shrink then begin
+      (* a variant that breaks the reference evaluator (e.g. out-of-bounds
+         after an extent shrink) is invalid, not still-failing *)
+      let still_fails c =
+        List.exists
+          (function Diff.Ref_error _ -> false | Diff.Config_error _ | Diff.Mismatch _ -> true)
+          (check c)
+      in
+      let shrunk = Shrink.shrink ~still_fails p in
+      Printf.printf "  shrunk: %d -> %d statements\n" (List.length p.Gen.body)
+        (List.length shrunk.Gen.body);
+      shrunk
+    end
+    else p
+  in
+  let failures = match check p with [] -> failures | fs -> fs in
+  let failing_nprocs =
+    List.fold_left
+      (fun acc f ->
+        match f with
+        | Diff.Config_error (c, _) | Diff.Mismatch (c, _) -> max acc c.Diff.nprocs
+        | Diff.Ref_error _ -> acc)
+      1 failures
+  in
+  (try Sys.mkdir !out_dir 0o755 with _ -> ());
+  let path = Filename.concat !out_dir (Printf.sprintf "seed_%d.f90d" seed) in
+  let oc = open_out path in
+  Printf.fprintf oc "* fuzz repro: seed %d\n" seed;
+  List.iter (fun f -> Printf.fprintf oc "* %s\n" (Diff.pp_failure f)) failures;
+  output_string oc (Gen.print ~nprocs:failing_nprocs p);
+  close_out oc;
+  Printf.printf "  repro written to %s\n%!" path
+
+let () =
+  Arg.parse spec (fun s -> raise (Arg.Bad ("unexpected argument " ^ s))) usage;
+  if !replay <> "" then begin
+    let ic = open_in !replay in
+    let n = in_channel_length ic in
+    let source = really_input_string ic n in
+    close_in ic;
+    (match Refeval.run ~file:!replay source with
+    | r ->
+        Printf.printf "reference output:\n%s" r.Refeval.r_output;
+        List.iter
+          (fun (name, nd) ->
+            Format.printf "  %s = %a@." name F90d_base.Ndarray.pp nd)
+          r.Refeval.r_finals
+    | exception e -> Printf.printf "reference evaluator failed: %s\n" (Printexc.to_string e));
+    match Diff.check_source ~ranks:!ranks ~jobs:!jobs source with
+    | [] ->
+        Printf.printf "OK: no divergence\n";
+        exit 0
+    | failures ->
+        List.iter (fun f -> Printf.printf "%s\n" (Diff.pp_failure f)) failures;
+        exit 1
+  end;
+  if !emit >= 0 then begin
+    let p = Gen.generate ~seed:!emit in
+    print_string (Gen.print ~nprocs:(List.fold_left max 1 !ranks) p);
+    exit 0
+  end;
+  let todo = if !one_seed >= 0 then [ !one_seed ] else List.init !seeds (fun i -> !start + i) in
+  let failed = ref 0 in
+  let done_ = ref 0 in
+  List.iter
+    (fun seed ->
+      let p = Gen.generate ~seed in
+      (match check p with
+      | [] -> ()
+      | failures ->
+          incr failed;
+          report_failure seed p failures);
+      incr done_;
+      if (not !quiet) && !done_ mod 50 = 0 then
+        Printf.printf "... %d/%d seeds, %d failure(s)\n%!" !done_ (List.length todo) !failed)
+    todo;
+  if !failed = 0 then begin
+    if not !quiet then
+      Printf.printf "OK: %d seeds, zero divergences across %d configurations each\n"
+        (List.length todo)
+        (List.length (Diff.matrix ~ranks:!ranks ~jobs:!jobs ()));
+    exit 0
+  end
+  else begin
+    Printf.printf "FAILED: %d of %d seeds diverged\n" !failed (List.length todo);
+    exit 1
+  end

@@ -75,20 +75,16 @@ let dist_fact env name =
 (* Accesses for the dimensions of a structured temporary: broadcast and
    transferred dimensions collapse to extent 1; shifted dimensions keep the
    owned extent and are indexed by the local position of their FORALL
-   variable; untouched dimensions by their own subscript's local position. *)
-let box_dims classes tags =
+   variable (the shift is baked into the slab); untouched dimensions carry
+   their own subscript expression, re-evaluated per iteration point. *)
+let box_dims subs classes tags =
   Array.mapi
     (fun d tag ->
       match (tag, classes.(d)) with
       | (Pattern.Multicast _ | Pattern.Transfer _), _ -> Ir.Collapsed
       | Pattern.Temp_shift _, (Subscript.Var_const (v, _) | Subscript.Var_scalar (v, _)) ->
           Ir.By_sub (Ast.var v)
-      | _, Subscript.Canonical v -> Ir.By_sub (Ast.var v)
-      | _, Subscript.Const e -> Ir.By_sub e
-      | _, Subscript.Var_const (v, _) | _, Subscript.Var_scalar (v, _) ->
-          Ir.By_sub (Ast.var v)
-      | _, (Subscript.Affine _ | Subscript.Vector _ | Subscript.Unknown) ->
-          Diag.bug "lower: unstructured subscript in a structured temporary")
+      | _, _ -> Ir.By_sub subs.(d))
     tags
 
 let lower_ref env ~vars (r : Ast.ref_) (plan : Pattern.ref_plan) =
@@ -106,6 +102,15 @@ let lower_ref env ~vars (r : Ast.ref_) (plan : Pattern.ref_plan) =
       r.Ast.args
     |> Array.of_list
   in
+  let subs =
+    List.map
+      (function
+        | Ast.Elem e -> e
+        | Ast.Range _ -> Diag.bug "lower: section survived normalization")
+      r.Ast.args
+    |> Array.of_list
+  in
+  let box_dims classes tags = box_dims subs classes tags in
   match plan with
   | Pattern.Direct -> ([], [ (r.Ast.rid, Ir.Acc_direct) ], [])
   | Pattern.Precomp_read ->
@@ -179,6 +184,63 @@ let lower_ref env ~vars (r : Ast.ref_) (plan : Pattern.ref_plan) =
             [ (r.Ast.rid, Ir.Acc_flat { temp = t }) ],
             [] ))
 
+(* Structural equality of subscript expressions, ignoring locations and
+   reference ids: decides whether an rhs read of the lhs array touches
+   exactly the element being written. *)
+let rec same_expr (a : Ast.expr) (b : Ast.expr) =
+  match (a.Ast.e, b.Ast.e) with
+  | Ast.Int_lit x, Ast.Int_lit y -> x = y
+  | Ast.Real_lit x, Ast.Real_lit y -> x = y
+  | Ast.Log_lit x, Ast.Log_lit y -> x = y
+  | Ast.Str_lit x, Ast.Str_lit y -> x = y
+  | Ast.Var x, Ast.Var y -> x = y
+  | Ast.Un (o1, x), Ast.Un (o2, y) -> o1 = o2 && same_expr x y
+  | Ast.Bin (o1, x1, y1), Ast.Bin (o2, x2, y2) -> o1 = o2 && same_expr x1 x2 && same_expr y1 y2
+  | Ast.Ref r1, Ast.Ref r2 ->
+      r1.Ast.base = r2.Ast.base
+      && List.length r1.Ast.args = List.length r2.Ast.args
+      && List.for_all2 same_section r1.Ast.args r2.Ast.args
+  | _ -> false
+
+and same_section (a : Ast.section) (b : Ast.section) =
+  match (a, b) with
+  | Ast.Elem x, Ast.Elem y -> same_expr x y
+  | Ast.Range (a1, b1, c1), Ast.Range (a2, b2, c2) ->
+      let opt x y = match (x, y) with
+        | None, None -> true
+        | Some x, Some y -> same_expr x y
+        | _ -> false
+      in
+      opt a1 a2 && opt b1 b2 && opt c1 c2
+  | _ -> false
+
+let same_subscripts (a : Ast.ref_) (b : Ast.ref_) =
+  List.length a.Ast.args = List.length b.Ast.args
+  && List.for_all2 same_section a.Ast.args b.Ast.args
+
+(* Does the loop need a pre-loop snapshot of the lhs local section?  Only
+   Acc_direct reads are hazardous: every other access path reads a
+   temporary filled during pre-communication, i.e. before any store.
+   Reads with the exact lhs subscript are safe — each iteration reads its
+   own element strictly before writing it. *)
+let needs_snapshot (f : Ir.forall) =
+  let direct (r : Ast.ref_) =
+    match List.assoc_opt r.Ast.rid f.Ir.f_access with
+    | None | Some Ir.Acc_direct -> true
+    | Some _ -> false
+  in
+  let hazardous (r : Ast.ref_) =
+    r.Ast.base = f.Ir.f_lhs.Ast.base && direct r && not (same_subscripts r f.Ir.f_lhs)
+  in
+  let refs =
+    Ast.refs_of f.Ir.f_rhs
+    @ (match f.Ir.f_mask with Some m -> Ast.refs_of m | None -> [])
+    @ List.concat_map
+        (function Ast.Elem e -> Ast.refs_of e | Ast.Range _ -> [])
+        f.Ir.f_lhs.Ast.args
+  in
+  List.exists hazardous refs
+
 let lower_forall_plan env ~vars ~mask ~lhs ~rhs =
   let plan = Pattern.analyze_forall env ~vars ~mask ~lhs ~rhs in
   let iter, post =
@@ -189,14 +251,34 @@ let lower_forall_plan env ~vars ~mask ~lhs ~rhs =
     | Pattern.Lhs_postcomp -> (Ir.It_even, Some (Ir.Postcomp_write { key = None }))
     | Pattern.Lhs_scatter -> (Ir.It_even, Some (Ir.Scatter_write { key = None }))
   in
+  (* inspector ops (Precomp/Gather) evaluate their ref's subscripts, which
+     may read indirection arrays through comm temporaries of their own
+     (e.g. V in A(V(I))) — order the refs innermost-first so every
+     subscript's temporary is populated before an op depends on it *)
+  let rec ref_depth (r : Ast.ref_) =
+    1
+    + List.fold_left
+        (fun acc s ->
+          match s with
+          | Ast.Elem e ->
+              List.fold_left (fun a ri -> max a (ref_depth ri)) acc (Ast.refs_of e)
+          | Ast.Range _ -> acc)
+        0 r.Ast.args
+  in
+  let refs =
+    List.stable_sort
+      (fun ((a : Ast.ref_), _) ((b : Ast.ref_), _) -> compare (ref_depth a) (ref_depth b))
+      plan.Pattern.refs
+  in
   let pre, accesses, ghosts =
     List.fold_left
       (fun (pre, accs, ghosts) (r, rplan) ->
         let p, a, g = lower_ref env ~vars r rplan in
         (pre @ p, accs @ a, ghosts @ g))
-      ([], [], []) plan.Pattern.refs
+      ([], [], []) refs
   in
-  ( {
+  let f =
+    {
       Ir.f_vars = vars;
       f_mask = mask;
       f_lhs = plan.Pattern.lhs_ref;
@@ -205,9 +287,10 @@ let lower_forall_plan env ~vars ~mask ~lhs ~rhs =
       f_pre = pre;
       f_access = accesses;
       f_post = post;
-    },
-    ghosts,
-    plan )
+      f_snapshot = false;
+    }
+  in
+  ({ f with Ir.f_snapshot = needs_snapshot f }, ghosts, plan)
 
 let lower_forall env ~vars ~mask ~lhs ~rhs =
   let f, g, _ = lower_forall_plan env ~vars ~mask ~lhs ~rhs in

@@ -239,9 +239,19 @@ let analyze_forall env ~vars ~mask ~lhs ~rhs =
                           tags.(d) <- Temp_shift s
                       | _, Subscript.Const s -> (
                           match lhs_classes.(dl) with
-                          | Subscript.Const dsub ->
+                          | Subscript.Const dsub when aligned ->
                               say "%s -> transfer between owners (Table 1)" pair_str;
                               tags.(d) <- Transfer { src = s; dest = dsub }
+                          | Subscript.Const _ ->
+                              (* the transfer destination is named by a lhs
+                                 subscript: only meaningful when both sides
+                                 share a layout, otherwise the slab would be
+                                 delivered to the wrong owner *)
+                              say
+                                "%s -> transfer impossible (layouts differ): precomp \
+                                 inspector (Table 2)"
+                                pair_str;
+                              needs_precomp := true
                           | _ ->
                               say "%s -> multicast of the owning slab (Table 1)" pair_str;
                               tags.(d) <- Multicast s)

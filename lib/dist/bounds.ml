@@ -23,4 +23,6 @@ let local_of_global_index dad ~dim ~rank g =
 
 let iterations = function
   | None -> 0
-  | Some { llb; lub; lst } -> if lub < llb then 0 else ((lub - llb) / lst) + 1
+  | Some { lst = 0; _ } -> invalid_arg "Bounds.iterations: zero stride"
+  | Some { llb; lub; lst } when lst > 0 -> if lub < llb then 0 else ((lub - llb) / lst) + 1
+  | Some { llb; lub; lst } -> if lub > llb then 0 else ((llb - lub) / -lst) + 1

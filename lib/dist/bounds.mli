@@ -23,4 +23,6 @@ val local_of_global_index : Dad.t -> dim:int -> rank:int -> int -> int option
     Fortran index if owned by [rank]. *)
 
 val iterations : triplet option -> int
-(** Number of local iterations a triplet yields (0 for [None]). *)
+(** Number of local iterations a triplet yields (0 for [None]; correct for
+    ascending and descending strides alike).
+    @raise Invalid_argument on a zero stride. *)

@@ -29,6 +29,10 @@ type frame = {
   fvals : (string * int) list;  (** FORALL variable -> global value *)
   faccess : (int * Ir.access) list;
   ftemps : (int, temp_val) Hashtbl.t;
+  fsnap : (string * Ndarray.t) option;
+      (** pre-loop copy of the lhs local section: Acc_direct reads of the
+          lhs array go here when the FORALL also writes it in place
+          ([Ir.f_snapshot]), preserving evaluate-before-write semantics *)
   mutable counter : int;
 }
 
@@ -227,7 +231,12 @@ and read_element_loop st f loc (r : Ast.ref_) g =
       let darr = darray_of st r.Ast.base in
       let dad = darr.Darray.dad in
       let idx = Array.mapi (fun d gi -> storage_pos st dad ~dim:d gi) g in
-      Ndarray.get darr.Darray.local idx
+      let storage =
+        match f.fsnap with
+        | Some (base, nd) when base = r.Ast.base -> nd
+        | _ -> darr.Darray.local
+      in
+      Ndarray.get storage idx
   | Some (Ir.Acc_box { temp; dims }) -> (
       match Hashtbl.find_opt f.ftemps temp with
       | Some (Tbox nd) ->
@@ -384,17 +393,24 @@ let iterate_space vars_values (f : int list -> unit) =
    [rank], in nest order.  Subscripts may only mention FORALL variables,
    parameters, scalars and replicated arrays, so any rank's needs are
    locally computable. *)
-let needs_of_ref st (f : Ir.forall) ~ranges ~guard_vals ~frame_access (r : Ast.ref_) ~rank =
+let needs_of_ref ?(every_owner = false) st (f : Ir.forall) ~ranges ~guard_vals ~frame_access
+    ~ftemps (r : Ast.ref_) ~rank =
   let darr = darray_of st r.Ast.base in
   let dad = darr.Darray.dad in
   let acc = ref [] in
   (match iteration_values st f ~ranges ~guard_vals ~rank with
   | None -> ()
   | Some values ->
-      let fr = { fvals = []; faccess = frame_access; ftemps = Hashtbl.create 1; counter = 0 } in
+      (* subscripts may read indirection arrays through their own comm
+         temporaries (e.g. V in A(V(I)) concatenated by an earlier pre
+         op), so the frame must see the temps populated so far *)
+      let fr0 = { fvals = []; faccess = frame_access; ftemps; fsnap = None; counter = 0 } in
       iterate_space values (fun point ->
           let fvals = List.map2 (fun (v, _) g -> (v, g)) f.Ir.f_vars point in
-          let fr = { fr with fvals } in
+          (* the counter keeps Acc_flat subscript reads (inner inspector
+             temps) in step with the iteration they were built for *)
+          let fr = { fr0 with fvals; counter = fr0.counter } in
+          fr0.counter <- fr0.counter + 1;
           let g =
             List.map
               (function
@@ -403,17 +419,55 @@ let needs_of_ref st (f : Ir.forall) ~ranges ~guard_vals ~frame_access (r : Ast.r
               r.Ast.args
             |> Array.of_list
           in
-          let owner = Dad.home_rank dad g in
-          let lidx =
-            match Dad.local_indices dad ~rank:owner g with
-            | Some l -> l
-            | None -> Diag.bug "interp: home rank does not own element"
+          let flat_on owner =
+            let lidx =
+              match Dad.local_indices dad ~rank:owner g with
+              | Some l -> l
+              | None -> Diag.bug "interp: home rank does not own element"
+            in
+            (owner, Dad.storage_flat dad ~rank:owner lidx)
           in
-          acc := (owner, Dad.storage_flat dad ~rank:owner lidx) :: !acc));
+          if every_owner then
+            (* grid dims the array is not distributed over replicate the
+               element: a write must land on every copy, a read on one *)
+            List.iter (fun o -> acc := flat_on o :: !acc) (Dad.owning_ranks dad g)
+          else acc := flat_on (Dad.home_rank dad g) :: !acc));
   Array.of_list (List.rev !acc)
 
-let writes_of_lhs st (f : Ir.forall) ~ranges ~guard_vals ~frame_access ~rank =
-  needs_of_ref st f ~ranges ~guard_vals ~frame_access f.Ir.f_lhs ~rank
+let writes_of_lhs st (f : Ir.forall) ~ranges ~guard_vals ~frame_access ~ftemps ~rank =
+  needs_of_ref ~every_owner:true st f ~ranges ~guard_vals ~frame_access ~ftemps f.Ir.f_lhs ~rank
+
+(* ------------------------------------------------------------------ *)
+(* Schedule-reuse write versioning                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* [Passes.key_schedules] proves a schedule's index sets depend only on
+   named constants, the FORALL variables — and the *contents* of any index
+   arrays in the subscripts (e.g. V in B(V(I))), which it cannot see
+   change.  Every array assignment bumps a per-unit write counter
+   (identically on every rank, so collective rebuilds stay consistent),
+   and the current counters of a schedule's index arrays are appended to
+   its cache key: a reuse after the index array was overwritten misses and
+   rebuilds instead of serving the stale index sets. *)
+
+let version_key st name = st.u.Ir.u_name ^ ":" ^ name
+
+let bump_written st name =
+  if Hashtbl.mem st.arrays name then Rctx.bump_version st.ctx (version_key st name)
+
+let version_sig st (r : Ast.ref_) =
+  let bases =
+    List.concat_map
+      (function Ast.Elem e -> Ast.refs_of e | Ast.Range _ -> [])
+      r.Ast.args
+    |> List.filter_map (fun (ri : Ast.ref_) ->
+           if Hashtbl.mem st.arrays ri.Ast.base then Some ri.Ast.base else None)
+    |> List.sort_uniq compare
+  in
+  String.concat ""
+    (List.map
+       (fun b -> Printf.sprintf "|%s=%d" b (Rctx.version st.ctx (version_key st b)))
+       bases)
 
 (* ------------------------------------------------------------------ *)
 (* Pre-communication                                                   *)
@@ -494,21 +548,25 @@ let exec_comm st (f : Ir.forall) ~ranges ~guard_vals ~frame_access ftemps (c : I
       let darr = darray_of st r.Ast.base in
       let build () =
         Schedule.build_read_local st.ctx
-          ~needs:(needs_of_ref st f ~ranges ~guard_vals ~frame_access r ~rank:(me st))
-          ~peer_needs:(fun peer -> needs_of_ref st f ~ranges ~guard_vals ~frame_access r ~rank:peer)
+          ~needs:(needs_of_ref st f ~ranges ~guard_vals ~frame_access ~ftemps r ~rank:(me st))
+          ~peer_needs:(fun peer -> needs_of_ref st f ~ranges ~guard_vals ~frame_access ~ftemps r ~rank:peer)
       in
       let sched =
-        match key with Some k -> Schedule.cached st.ctx ~key:k build | None -> build ()
+        match key with
+        | Some k -> Schedule.cached st.ctx ~key:(k ^ version_sig st r) build
+        | None -> build ()
       in
       Hashtbl.replace ftemps itemp (Tflat (Schedule.read st.ctx sched darr))
   | Ir.Gather_read { r; itemp; key } ->
       let darr = darray_of st r.Ast.base in
       let build () =
         Schedule.build_read_comm st.ctx
-          ~needs:(needs_of_ref st f ~ranges ~guard_vals ~frame_access r ~rank:(me st))
+          ~needs:(needs_of_ref st f ~ranges ~guard_vals ~frame_access ~ftemps r ~rank:(me st))
       in
       let sched =
-        match key with Some k -> Schedule.cached st.ctx ~key:k build | None -> build ()
+        match key with
+        | Some k -> Schedule.cached st.ctx ~key:(k ^ version_sig st r) build
+        | None -> build ()
       in
       Hashtbl.replace ftemps itemp (Tflat (Schedule.read st.ctx sched darr))
 
@@ -538,6 +596,16 @@ let exec_forall_body st (f : Ir.forall) =
   (* phase 2: local loop nest *)
   let lhs_darr = darray_of st f.Ir.f_lhs.Ast.base in
   let lhs_dad = lhs_darr.Darray.dad in
+  (* the rhs reads the lhs array in place with a different subscript:
+     snapshot the local section (ghosts already filled by phase 1) so the
+     loop reads pre-statement values throughout *)
+  let snapshot =
+    if f.Ir.f_snapshot then begin
+      Rctx.charge_copy_bytes st.ctx (Ndarray.bytes lhs_darr.Darray.local);
+      Some (f.Ir.f_lhs.Ast.base, Ndarray.copy lhs_darr.Darray.local)
+    end
+    else None
+  in
   let canonical_store =
     match f.Ir.f_iter with Ir.It_canonical _ | Ir.It_replicated -> true | Ir.It_even -> false
   in
@@ -547,7 +615,7 @@ let exec_forall_body st (f : Ir.forall) =
   (match iteration_values st f ~ranges ~guard_vals ~rank:(me st) with
   | None -> ()
   | Some vv when
-      canonical_store && f.Ir.f_mask = None && f.Ir.f_post = None
+      canonical_store && f.Ir.f_mask = None && f.Ir.f_post = None && not f.Ir.f_snapshot
       && List.for_all (fun a -> Array.length a > 0) vv
       && Kernel.try_run ~env:st.u.Ir.u_env ~me:(me st)
            ~scalar_lookup:(fun v ->
@@ -565,7 +633,7 @@ let exec_forall_body st (f : Ir.forall) =
       (* specialised kernel ran the whole nest *)
       iters := List.fold_left (fun acc a -> acc * Array.length a) 1 vv
   | Some vv ->
-      let fr = { fvals = []; faccess = frame_access; ftemps; counter = 0 } in
+      let fr = { fvals = []; faccess = frame_access; ftemps; fsnap = snapshot; counter = 0 } in
       iterate_space vv (fun point ->
           let fvals = List.map2 (fun (v, _) g -> (v, g)) f.Ir.f_vars point in
           let fr2 = { fr with fvals; counter = fr.counter } in
@@ -589,12 +657,15 @@ let exec_forall_body st (f : Ir.forall) =
               let idx = Array.mapi (fun d gi -> storage_pos st lhs_dad ~dim:d gi) g in
               Ndarray.set lhs_darr.Darray.local idx v
             end
-            else begin
-              let owner = Dad.home_rank lhs_dad g in
-              let lidx = Option.get (Dad.local_indices lhs_dad ~rank:owner g) in
-              writes := (owner, Dad.storage_flat lhs_dad ~rank:owner lidx) :: !writes;
-              values := v :: !values
-            end
+            else
+              (* one write per owning rank, mirroring writes_of_lhs so the
+                 peer-exchange index lists line up *)
+              List.iter
+                (fun owner ->
+                  let lidx = Option.get (Dad.local_indices lhs_dad ~rank:owner g) in
+                  writes := (owner, Dad.storage_flat lhs_dad ~rank:owner lidx) :: !writes;
+                  values := v :: !values)
+                (Dad.owning_ranks lhs_dad g)
           end;
           fr.counter <- fr.counter + 1));
   Rctx.charge_flops st.ctx (!iters * (flops_per_iter + 1));
@@ -608,16 +679,20 @@ let exec_forall_body st (f : Ir.forall) =
       let tmp = Ndarray.create (Darray.kind lhs_darr) [| Array.length vals |] in
       Array.iteri (fun i v -> Ndarray.set_flat tmp i v) vals;
       let sched =
+        let keyed = function
+          | Some k -> Some (k ^ version_sig st f.Ir.f_lhs)
+          | None -> None
+        in
         match post with
         | Ir.Postcomp_write { key } when f.Ir.f_mask = None ->
             let build () =
               Schedule.build_write_local st.ctx ~writes:writes_arr ~peer_writes:(fun peer ->
-                  writes_of_lhs st f ~ranges ~guard_vals ~frame_access ~rank:peer)
+                  writes_of_lhs st f ~ranges ~guard_vals ~frame_access ~ftemps ~rank:peer)
             in
-            (match key with Some k -> Schedule.cached st.ctx ~key:k build | None -> build ())
+            (match keyed key with Some k -> Schedule.cached st.ctx ~key:k build | None -> build ())
         | Ir.Postcomp_write { key } | Ir.Scatter_write { key } ->
             let build () = Schedule.build_write_comm st.ctx ~writes:writes_arr in
-            (match key with Some k -> Schedule.cached st.ctx ~key:k build | None -> build ())
+            (match keyed key with Some k -> Schedule.cached st.ctx ~key:k build | None -> build ())
       in
       Schedule.write st.ctx sched lhs_darr tmp
 
@@ -768,7 +843,9 @@ let rec exec_stmt st (s : Ir.stmt) =
 
 and exec_node st (s : Ir.stmt) =
   match s.Ir.s with
-  | Ir.Forall f -> exec_forall st f
+  | Ir.Forall f ->
+      exec_forall st f;
+      bump_written st f.Ir.f_lhs.Ast.base
   | Ir.Scalar_assign { name; rhs } -> (
       let v = eval st Mscalar rhs in
       match Hashtbl.find_opt st.scalars name with
@@ -793,8 +870,11 @@ and exec_node st (s : Ir.stmt) =
         |> Array.of_list
       in
       let darr = darray_of st lhs.Ast.base in
-      ignore (Darray.set_local darr ~rank:(me st) g (coerce (Darray.kind darr) v))
-  | Ir.Mover { target; call } -> exec_mover st ~target ~call s.Ir.sloc
+      ignore (Darray.set_local darr ~rank:(me st) g (coerce (Darray.kind darr) v));
+      bump_written st lhs.Ast.base
+  | Ir.Mover { target; call } ->
+      exec_mover st ~target ~call s.Ir.sloc;
+      bump_written st target
   | Ir.Do_loop { var; range; body } ->
       let lo = Scalar.to_int (eval st Mscalar range.Ast.lo) in
       let hi = Scalar.to_int (eval st Mscalar range.Ast.hi) in
@@ -892,7 +972,8 @@ and exec_call st ~sid ~loc sub args =
     (function
       | `Array (dummy, v) ->
           let caller_dad = (darray_of st v).Darray.dad in
-          Hashtbl.replace st.arrays v (adopt st (darray_of cst dummy) caller_dad)
+          Hashtbl.replace st.arrays v (adopt st (darray_of cst dummy) caller_dad);
+          bump_written st v
       | `Scalar (dummy, v) -> Hashtbl.find st.scalars v := !(Hashtbl.find cst.scalars dummy))
     (List.rev !backs)
 

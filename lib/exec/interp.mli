@@ -33,3 +33,8 @@ val instantiate_dads :
 
 val ops_of_expr : Ast.expr -> int * int
 (** Static (flops, iops) estimate per evaluation, used for time charging. *)
+
+val apply_elemental :
+  string -> F90d_base.Loc.t -> F90d_base.Scalar.t list -> F90d_base.Scalar.t
+(** Elemental intrinsic application (ABS, MOD, MERGE, ...).  Exposed so the
+    fuzzing reference evaluator computes bit-identical element values. *)

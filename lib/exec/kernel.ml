@@ -17,6 +17,7 @@ type node =
   | Nsub of node * node
   | Nmul of node * node
   | Ndiv of node * node
+  | Nidiv of node * node  (* both operands integer-valued: Fortran truncation *)
   | Nfun1 of (float -> float) * node
   | Nfun2 of (float -> float -> float) * node * node
 
@@ -33,6 +34,8 @@ let rec ev n c1 c2 c3 =
   | Nsub (a, b) -> ev a c1 c2 c3 -. ev b c1 c2 c3
   | Nmul (a, b) -> ev a c1 c2 c3 *. ev b c1 c2 c3
   | Ndiv (a, b) -> ev a c1 c2 c3 /. ev b c1 c2 c3
+  | Nidiv (a, b) ->
+      float_of_int (int_of_float (ev a c1 c2 c3) / int_of_float (ev b c1 c2 c3))
   | Nfun1 (f, a) -> f (ev a c1 c2 c3)
   | Nfun2 (f, a, b) -> f (ev a c1 c2 c3) (ev b c1 c2 c3)
 
@@ -129,7 +132,7 @@ let load_node nd flat =
 
 let try_run ~env ~me ~scalar_lookup ~darr_of ~temp_of ~values ~(f : Ir.forall) =
   try
-    if f.Ir.f_mask <> None || f.Ir.f_post <> None then raise Fallback;
+    if f.Ir.f_mask <> None || f.Ir.f_post <> None || f.Ir.f_snapshot then raise Fallback;
     let nvars_real = List.length f.Ir.f_vars in
     if nvars_real = 0 || nvars_real > 3 then raise Fallback;
     let nvars = 3 in
@@ -230,6 +233,55 @@ let try_run ~env ~me ~scalar_lookup ~darr_of ~temp_of ~values ~(f : Ir.forall) =
           let positions = List.map (fun e -> lin_of e) (subscripts r) in
           (nd, flat_of_positions ~lens nd positions)
     in
+    (* dynamic result kind, mirroring Scalar's value dispatch: Ki means the
+       interpreter would compute this subexpression on Ints, so division
+       must truncate.  MIN/MAX return one of their original operands, so a
+       mixed-kind MIN is Int or Real depending on runtime values (Kmix) —
+       a division involving Kmix cannot be compiled to either form *)
+    let join a b = if a = b then a else `Kmix in
+    let rec kind_of (e : Ast.expr) =
+      match e.Ast.e with
+      | Ast.Int_lit _ -> `Ki
+      | Ast.Real_lit _ -> `Kr
+      | Ast.Log_lit _ | Ast.Str_lit _ -> `Kmix
+      | Ast.Var v -> (
+          if var_index v <> None then `Ki
+          else
+            match scalar_lookup v with
+            | Some (Scalar.Int _) -> `Ki
+            | Some (Scalar.Real _) -> `Kr
+            | _ -> `Kmix)
+      | Ast.Un (_, a) -> kind_of a
+      | Ast.Bin ((Ast.Add | Ast.Sub | Ast.Mul | Ast.Div), a, b) -> (
+          (* Scalar.num_op: Int op Int -> Int, any Real involved -> Real *)
+          match (kind_of a, kind_of b) with
+          | `Ki, `Ki -> `Ki
+          | `Kr, (`Ki | `Kr | `Kmix) | (`Ki | `Kmix), `Kr -> `Kr
+          | _ -> `Kmix)
+      | Ast.Bin (Ast.Pow, a, b) -> (
+          (* Int ** negative Int is Real: Ki ** Ki is value-dependent *)
+          match (kind_of a, kind_of b) with
+          | `Kr, _ | _, `Kr -> `Kr
+          | _ -> `Kmix)
+      | Ast.Bin (_, _, _) -> `Kmix
+      | Ast.Ref r -> (
+          match Sema.array_spec env r.Ast.base with
+          | Some spec -> if spec.Sema.skind = Ast.Integer then `Ki else `Kr
+          | None -> (
+              match r.Ast.base with
+              | "INT" | "NINT" -> `Ki
+              | "REAL" | "FLOAT" | "DBLE" | "SQRT" | "EXP" | "LOG" | "LOG10" | "SIN"
+              | "COS" | "TAN" | "ASIN" | "ACOS" | "ATAN" | "ATAN2" | "SIGN" ->
+                  `Kr
+              | "ABS" | "MIN" | "MAX" | "MOD" | "MODULO" | "MERGE" -> (
+                  let ks =
+                    List.map
+                      (function Ast.Elem e -> kind_of e | Ast.Range _ -> `Kmix)
+                      r.Ast.args
+                  in
+                  match ks with [] -> `Kmix | k :: tl -> List.fold_left join k tl)
+              | _ -> `Kmix))
+    in
     (* compile the rhs *)
     let rec compile (e : Ast.expr) =
       match e.Ast.e with
@@ -252,7 +304,11 @@ let try_run ~env ~me ~scalar_lookup ~darr_of ~temp_of ~values ~(f : Ir.forall) =
           | Ast.Add -> Nadd (ca, cb)
           | Ast.Sub -> Nsub (ca, cb)
           | Ast.Mul -> Nmul (ca, cb)
-          | Ast.Div -> Ndiv (ca, cb)
+          | Ast.Div -> (
+              match (kind_of a, kind_of b) with
+              | `Ki, `Ki -> Nidiv (ca, cb)
+              | `Kr, _ | _, `Kr -> Ndiv (ca, cb)
+              | _ -> raise Fallback)
           | Ast.Pow -> Nfun2 (Float.pow, ca, cb)
           | _ -> raise Fallback)
       | Ast.Log_lit _ | Ast.Str_lit _ -> raise Fallback

@@ -95,6 +95,41 @@ let affine_of ~var ~lookup e =
 
 type template = { text : int array; tflb : int array; tforms : Ast.distform array; tpdims : int option array }
 
+(* A FORALL or DO stride that constant-folds to zero describes an empty
+   progression that the runtime can only fault on; reject it here with the
+   statement's location.  Non-constant strides are left to the runtime
+   check (their value is unknowable at compile time). *)
+let check_strides lookup (body : Ast.stmt list) =
+  let folds_to_zero e =
+    match eval_const lookup e with
+    | Scalar.Int 0 -> true
+    | _ -> false
+    | exception Diag.Error _ -> false
+  in
+  let check_range what loc (r : Ast.range) =
+    match r.Ast.st with
+    | Some e when folds_to_zero e -> Diag.error ~loc "zero stride in %s triplet" what
+    | _ -> ()
+  in
+  let rec stmt (s : Ast.stmt) =
+    match s.Ast.s with
+    | Ast.Forall (triplets, _, body) ->
+        List.iter (fun (_, r) -> check_range "FORALL" s.Ast.sloc r) triplets;
+        List.iter stmt body
+    | Ast.Do (_, r, body) ->
+        check_range "DO" s.Ast.sloc r;
+        List.iter stmt body
+    | Ast.While (_, body) | Ast.Where (_, body, []) -> List.iter stmt body
+    | Ast.Where (_, body, els) ->
+        List.iter stmt body;
+        List.iter stmt els
+    | Ast.If (arms, els) ->
+        List.iter (fun (_, b) -> List.iter stmt b) arms;
+        List.iter stmt els
+    | Ast.Assign _ | Ast.Call _ | Ast.Print _ | Ast.Return -> ()
+  in
+  List.iter stmt body
+
 let analyze_unit (sub : Ast.subprogram) =
   let params = Hashtbl.create 8 in
   let lookup v = Hashtbl.find_opt params v in
@@ -275,6 +310,7 @@ let analyze_unit (sub : Ast.subprogram) =
         | Some _ -> Diag.bug "sema: non-align directive in align table")
       array_decls
   in
+  check_strides lookup sub.Ast.body;
   {
     usub = sub;
     uparams = Hashtbl.fold (fun k v acc -> (k, v) :: acc) params [];

@@ -1,0 +1,114 @@
+(* Differential driver: one program, one reference answer, a matrix of
+   compiled configurations that must all reproduce it bit for bit. *)
+
+open F90d_base
+
+type cfg = { nprocs : int; jobs : int; opt_on : bool }
+
+type failure =
+  | Ref_error of string  (* the reference evaluator itself failed: generator bug *)
+  | Config_error of cfg * string  (* compile or run crashed under this config *)
+  | Mismatch of cfg * string  (* first bit-level difference found *)
+
+let pp_cfg { nprocs; jobs; opt_on } =
+  Printf.sprintf "nprocs=%d jobs=%d passes=%s" nprocs jobs (if opt_on then "on" else "off")
+
+let pp_failure = function
+  | Ref_error m -> "reference evaluator failed: " ^ m
+  | Config_error (c, m) -> Printf.sprintf "[%s] crashed: %s" (pp_cfg c) m
+  | Mismatch (c, m) -> Printf.sprintf "[%s] diverged: %s" (pp_cfg c) m
+
+let default_ranks = [ 1; 2; 4 ]
+let default_jobs = [ 1; 4 ]
+
+let matrix ?(ranks = default_ranks) ?(jobs = default_jobs) () =
+  List.concat_map
+    (fun nprocs ->
+      List.concat_map
+        (fun j -> [ { nprocs; jobs = j; opt_on = true }; { nprocs; jobs = j; opt_on = false } ])
+        jobs)
+    ranks
+
+let scalar_str s = Format.asprintf "%a" Scalar.pp s
+let nd_str nd = Format.asprintf "%a" Ndarray.pp nd
+
+(* first difference between the reference answer and one run, or None *)
+let compare_outcomes (r : Refeval.result) (o : F90d_exec.Interp.outcome) =
+  let diff = ref None in
+  let note msg = if !diff = None then diff := Some msg in
+  List.iter
+    (fun (name, ref_nd) ->
+      match List.assoc_opt name o.F90d_exec.Interp.finals with
+      | None -> note (Printf.sprintf "array %s missing from SPMD finals" name)
+      | Some got ->
+          if not (Ndarray.equal ref_nd got) then
+            note
+              (Printf.sprintf "array %s differs\n  reference: %s\n  spmd:      %s" name
+                 (nd_str ref_nd) (nd_str got)))
+    r.Refeval.r_finals;
+  List.iter
+    (fun (name, ref_s) ->
+      match List.assoc_opt name o.F90d_exec.Interp.final_scalars with
+      | None -> note (Printf.sprintf "scalar %s missing from SPMD finals" name)
+      | Some got ->
+          if not (Scalar.equal ref_s got) then
+            note
+              (Printf.sprintf "scalar %s differs: reference %s, spmd %s" name
+                 (scalar_str ref_s) (scalar_str got)))
+    r.Refeval.r_scalars;
+  if List.length o.F90d_exec.Interp.final_scalars <> List.length r.Refeval.r_scalars then
+    note "scalar sets differ";
+  if o.F90d_exec.Interp.output <> r.Refeval.r_output then
+    note
+      (Printf.sprintf "output differs\n  reference: %S\n  spmd:      %S" r.Refeval.r_output
+         o.F90d_exec.Interp.output);
+  !diff
+
+let describe_exn = function
+  | Diag.Error (loc, msg) when loc.Loc.line > 0 ->
+      Printf.sprintf "%s:%d: %s" loc.Loc.file loc.Loc.line msg
+  | Diag.Error (_, msg) -> msg
+  | e -> Printexc.to_string e
+
+(* [print ~nprocs] yields the source for a machine size: the PROCESSORS
+   directive, when present, must name the machine it runs on *)
+let check ?ranks ?jobs (print : nprocs:int -> string) : failure list =
+  match
+    (try Ok (Refeval.run (print ~nprocs:1)) with e -> Error (describe_exn e))
+  with
+  | Error m -> [ Ref_error m ]
+  | Ok reference ->
+      List.filter_map
+        (fun cfg ->
+          let flags = if cfg.opt_on then F90d_opt.Passes.all_on else F90d_opt.Passes.all_off in
+          match
+            let compiled = F90d.Driver.compile ~flags (print ~nprocs:cfg.nprocs) in
+            F90d.Driver.run ~nprocs:cfg.nprocs ~jobs:cfg.jobs compiled
+          with
+          | result -> (
+              match compare_outcomes reference result.F90d.Driver.outcome with
+              | None -> None
+              | Some msg -> Some (Mismatch (cfg, msg)))
+          | exception e -> Some (Config_error (cfg, describe_exn e)))
+        (matrix ?ranks ?jobs ())
+
+let check_prog ?ranks ?jobs (p : Gen.prog) =
+  check ?ranks ?jobs (fun ~nprocs -> Gen.print ~nprocs p)
+
+(* fixed source text (corpus replay): the PROCESSORS directive, if any,
+   pins the machine size, so restrict the rank axis to its grid product *)
+let processors_product source =
+  let re = Str.regexp "PROCESSORS +[A-Z0-9_]+(\\([0-9, ]+\\))" in
+  try
+    ignore (Str.search_forward re source 0);
+    let dims = String.split_on_char ',' (Str.matched_group 1 source) in
+    Some (List.fold_left (fun acc d -> acc * int_of_string (String.trim d)) 1 dims)
+  with Not_found -> None
+
+let check_source ?ranks ?jobs source =
+  let ranks =
+    match processors_product source with
+    | Some p -> [ p ]
+    | None -> ( match ranks with Some r -> r | None -> default_ranks)
+  in
+  check ~ranks ?jobs (fun ~nprocs:_ -> source)

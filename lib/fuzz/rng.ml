@@ -1,0 +1,26 @@
+(* Own splitmix64 stream: the fuzzer's programs must be reproducible from
+   a seed across OCaml releases, which Stdlib.Random does not promise. *)
+
+type t = { mutable s : int64 }
+
+let make seed = { s = Int64.of_int seed }
+
+let next t =
+  t.s <- Int64.add t.s 0x9E3779B97F4A7C15L;
+  let z = t.s in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int n))
+
+(* inclusive *)
+let range t lo hi = lo + int t (hi - lo + 1)
+let bool t = Int64.logand (next t) 1L = 1L
+
+(* true with probability [pct]/100 *)
+let chance t pct = int t 100 < pct
+let pick t arr = arr.(int t (Array.length arr))
+let pickl t l = List.nth l (int t (List.length l))

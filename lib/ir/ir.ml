@@ -72,6 +72,12 @@ type forall = {
   f_pre : comm list;
   f_access : (int * access) list;  (** rid -> access *)
   f_post : post option;
+  f_snapshot : bool;
+      (** the rhs/mask reads the lhs array through {!Acc_direct} with a
+          subscript differing from the lhs subscript: the loop must read a
+          pre-loop snapshot of the local section, or in-place stores would
+          leak new values into later iterations (FORALL evaluates every
+          rhs before any write) *)
 }
 
 (* Every statement carries provenance: a program-unique statement id

@@ -11,12 +11,15 @@ let all_off = { shift_union = false; fuse_mshift = false; schedule_reuse = false
 (* ------------------------------------------------------------------ *)
 
 (* Keep only the widest overlap shift per (array, dim, direction); the
-   wider ghost transfer carries the narrower one's data. *)
+   wider ghost transfer carries the narrower one's data.  A zero-amount
+   shift moves nothing — it is dropped outright (it would otherwise never
+   receive a [widest] binding and crash the filter below). *)
 let union_shifts pre =
   let widest = Hashtbl.create 8 in
   List.iter
     (fun c ->
       match c with
+      | Ir.Overlap_shift { amount = 0; _ } -> ()
       | Ir.Overlap_shift { arr; dim; amount } ->
           let key = (arr, dim, amount > 0) in
           let cur = Option.value (Hashtbl.find_opt widest key) ~default:0 in
@@ -27,6 +30,7 @@ let union_shifts pre =
   List.filter
     (fun c ->
       match c with
+      | Ir.Overlap_shift { amount = 0; _ } -> false
       | Ir.Overlap_shift { arr; dim; amount } ->
           let key = (arr, dim, amount > 0) in
           if Hashtbl.find widest key = amount && not (Hashtbl.mem emitted key) then begin

@@ -18,4 +18,9 @@ type flags = { shift_union : bool; fuse_mshift : bool; schedule_reuse : bool }
 val all_on : flags
 val all_off : flags
 
+val union_shifts : F90d_ir.Ir.comm list -> F90d_ir.Ir.comm list
+(** Keep only the widest overlap shift per (array, dim, direction);
+    zero-amount shifts are no-ops and are dropped.  Exposed for unit
+    testing. *)
+
 val apply : flags -> F90d_ir.Ir.program_ir -> F90d_ir.Ir.program_ir

@@ -8,13 +8,14 @@ type t = {
   eng : Engine.ctx;
   grid : Grid.t;
   sched_cache : (string, cache_entry) Hashtbl.t;
+  versions : (string, int) Hashtbl.t;
 }
 
 let make eng grid =
   if Grid.size grid <> Engine.nprocs eng then
     Diag.bug "rctx: grid size %d does not cover the machine (%d nodes)" (Grid.size grid)
       (Engine.nprocs eng);
-  { eng; grid; sched_cache = Hashtbl.create 16 }
+  { eng; grid; sched_cache = Hashtbl.create 16; versions = Hashtbl.create 16 }
 
 let engine t = t.eng
 let grid t = t.grid
@@ -25,6 +26,8 @@ let time t = Engine.time t.eng
 
 let cache_find t key = Hashtbl.find_opt t.sched_cache key
 let cache_store t key entry = Hashtbl.replace t.sched_cache key entry
+let version t key = Option.value (Hashtbl.find_opt t.versions key) ~default:0
+let bump_version t key = Hashtbl.replace t.versions key (version t key + 1)
 let trace t = Engine.trace t.eng
 let set_stmt t ~sid ~loc = Engine.set_stmt t.eng ~sid ~loc
 let current_stmt t = Engine.current_stmt t.eng

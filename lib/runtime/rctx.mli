@@ -21,6 +21,16 @@ val make : F90d_machine.Engine.ctx -> F90d_dist.Grid.t -> t
 val cache_find : t -> string -> cache_entry option
 val cache_store : t -> string -> cache_entry -> unit
 
+val version : t -> string -> int
+(** Monotonic write-version counter under a caller-chosen key (0 until the
+    first {!bump_version}).  The interpreter bumps one counter per array
+    assignment — identically on every rank, since every rank executes every
+    statement — and stamps the current versions of a schedule's mutable
+    inputs (index arrays) into its cache key, so reuse can never serve a
+    schedule built from values that have since been overwritten. *)
+
+val bump_version : t -> string -> unit
+
 val trace : t -> F90d_trace.Trace.handle
 (** This processor's trace recorder (no-op handle when tracing is off). *)
 

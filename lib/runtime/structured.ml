@@ -106,33 +106,62 @@ let overlap_shift ctx (darr : Darray.t) ~dim ~amount =
     if (amount > 0 && d.Dad.ghost_hi < w) || (amount < 0 && d.Dad.ghost_lo < w) then
       Diag.bug "overlap_shift: ghost area of %s dim %d narrower than shift %d" (Dad.name dad)
         (dim + 1) amount;
+    ignore n;
     let pd = pdim_of darr dim in
     let team = Collectives.team_along ctx ~dim:pd in
     let coord = my_coord ctx darr dim in
     let m = Array.length team in
-    (* amount > 0: data flows from coordinate c+1 to c (B(i+c) reads ahead) *)
-    let send_to, recv_from = if amount > 0 then (coord - 1, coord + 1) else (coord + 1, coord - 1) in
-    let slab_positions =
-      (* the w boundary slices the neighbour needs *)
-      if amount > 0 then Array.init (min w n) Fun.id
-      else Array.init (min w n) (fun i -> n - (min w n) + i)
+    (* Blocks shorter than the shift make the ghost range span several
+       owners, so both sides enumerate the owners of each ghost cell
+       instead of assuming the adjacent neighbour supplies them all; every
+       pair derives the same lists locally. *)
+    let range c =
+      match Dad.layout_at dad ~dim ~rank:team.(c) with
+      | Layout.Prog { first; step = 1; count } -> (first, count)
+      | _ ->
+          Diag.bug "overlap_shift: layout of %s dim %d is not contiguous" (Dad.name dad)
+            (dim + 1)
     in
-    if send_to >= 0 && send_to < m && n > 0 then
-      Rctx.send ctx ~dest:team.(send_to) ~tag:Tags.shift
-        (Message.Arr (gather_dim_slices ctx darr.Darray.local ~dim ~counts slab_positions));
-    if recv_from >= 0 && recv_from < m then begin
-      (* only expect data if the neighbour owns anything *)
-      let neighbour_counts = Dad.local_counts dad ~rank:team.(recv_from) in
-      if neighbour_counts.(dim) > 0 then begin
-        let msg = Rctx.recv ctx ~src:team.(recv_from) ~tag:Tags.shift in
-        let slab = Message.arr msg in
-        let ghost_positions =
-          let k = slab.Ndarray.extents.(dim) in
-          if amount > 0 then Array.init k (fun i -> n + i) else Array.init k (fun i -> -k + i)
+    (* ghost globals coordinate c must fill, each with its ghost slot
+       (storage position relative to the owned origin) *)
+    let ghosts c =
+      let first, cnt = range c in
+      if cnt = 0 then []
+      else if amount > 0 then
+        List.init w (fun i -> (first + cnt + i, cnt + i))
+        |> List.filter (fun (g, _) -> g < d.Dad.extent)
+      else List.init w (fun i -> (first - w + i, -w + i)) |> List.filter (fun (g, _) -> g >= 0)
+    in
+    let owner g = owner_coord darr dim g in
+    let my_first, _ = range coord in
+    (* send first: the slices of mine each peer's ghost range needs, in
+       that peer's ghost order *)
+    for c = 0 to m - 1 do
+      if c <> coord then begin
+        let positions =
+          ghosts c
+          |> List.filter_map (fun (g, _) -> if owner g = coord then Some (g - my_first) else None)
+          |> Array.of_list
         in
-        scatter_dim_slices ctx ~dst:darr.Darray.local ~dim ~origin:0 ghost_positions slab
+        if Array.length positions > 0 then
+          Rctx.send ctx ~dest:team.(c) ~tag:Tags.shift
+            (Message.Arr (gather_dim_slices ctx darr.Darray.local ~dim ~counts positions))
       end
-    end
+    done;
+    let from_peer = Array.make m [] in
+    List.iter
+      (fun (g, slot) ->
+        let c = owner g in
+        if c <> coord then from_peer.(c) <- slot :: from_peer.(c))
+      (ghosts coord);
+    for c = 0 to m - 1 do
+      if from_peer.(c) <> [] then begin
+        let msg = Rctx.recv ctx ~src:team.(c) ~tag:Tags.shift in
+        scatter_dim_slices ctx ~dst:darr.Darray.local ~dim ~origin:0
+          (Array.of_list (List.rev from_peer.(c)))
+          (Message.arr msg)
+      end
+    done
   end
 
 (* Exchange along one grid dimension: every coordinate wants the global
