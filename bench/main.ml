@@ -395,8 +395,11 @@ C$    DISTRIBUTE TP(BLOCK)
       END
 |}
   in
-  let on = { Passes.all_on with Passes.shift_union = true } in
-  let off = { Passes.all_on with Passes.shift_union = false } in
+  (* coalescing would batch the two B-shifts into one message per pair
+     either way, masking this row; hold it off to isolate shift union *)
+  let base = { Passes.all_on with Passes.coalesce = false } in
+  let on = { base with Passes.shift_union = true } in
+  let off = { base with Passes.shift_union = false } in
   let t_on, m_on = run_flags on shift_src 8 and t_off, m_off = run_flags off shift_src 8 in
   Printf.printf "shift union        : %8.4f s / %5d msgs (on)   %8.4f s / %5d msgs (off)\n"
     t_on m_on t_off m_off;
@@ -431,6 +434,37 @@ C$    DISTRIBUTE TP(BLOCK, BLOCK)
   let off = { Passes.all_on with Passes.schedule_reuse = false } in
   let t_on, m_on = run_flags on irr 8 and t_off, m_off = run_flags off irr 8 in
   Printf.printf "schedule reuse     : %8.4f s / %5d msgs (on)   %8.4f s / %5d msgs (off)\n"
+    t_on m_on t_off m_off;
+  (* 4. loop-invariant hoisting: the stencil source array is loop-invariant *)
+  let hoist_src =
+    {|
+      PROGRAM HOISTA
+      INTEGER, PARAMETER :: N = 256
+      REAL A(256), B(256)
+      INTEGER T
+C$    TEMPLATE TP(256)
+C$    ALIGN A(I) WITH TP(I)
+C$    ALIGN B(I) WITH TP(I)
+C$    DISTRIBUTE TP(BLOCK)
+      FORALL (I = 1:N) A(I) = MOD(3*I, 17)
+      FORALL (I = 1:N) B(I) = 0.0
+      DO T = 1, 50
+        FORALL (I = 2:N-1) B(I) = B(I) + 0.5*(A(I-1) + A(I+1))
+      END DO
+      END
+|}
+  in
+  let on = { Passes.all_on with Passes.hoist_comm = true } in
+  let off = { Passes.all_on with Passes.hoist_comm = false } in
+  let t_on, m_on = run_flags on hoist_src 8 and t_off, m_off = run_flags off hoist_src 8 in
+  Printf.printf "comm hoisting      : %8.4f s / %5d msgs (on)   %8.4f s / %5d msgs (off)\n"
+    t_on m_on t_off m_off;
+  (* 5. message coalescing (incl. the multicast replica cache): gauss *)
+  let gsrc = Programs.gauss ~n:128 in
+  let on = { Passes.all_on with Passes.coalesce = true } in
+  let off = { Passes.all_on with Passes.coalesce = false } in
+  let t_on, m_on = run_flags on gsrc 8 and t_off, m_off = run_flags off gsrc 8 in
+  Printf.printf "msg coalescing     : %8.4f s / %5d msgs (on)   %8.4f s / %5d msgs (off)\n"
     t_on m_on t_off m_off;
   Printf.printf
     "(message vectorization, the fourth section-7 item, is structural: every\n\
@@ -609,6 +643,90 @@ let micro () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* --ablate: per-pass optimized-vs-off comparison on gauss             *)
+(* ------------------------------------------------------------------ *)
+
+type ab_row = {
+  ab_name : string;
+  ab_flags : F90d_opt.Passes.flags;
+  ab_msgs : int;
+  ab_bytes : int;
+  ab_elapsed : float;
+  ab_wait : float;
+}
+
+let json_pass_flags (f : F90d_opt.Passes.flags) =
+  Json.Obj
+    [
+      ("shift_union", Json.Bool f.F90d_opt.Passes.shift_union);
+      ("fuse_mshift", Json.Bool f.F90d_opt.Passes.fuse_mshift);
+      ("schedule_reuse", Json.Bool f.F90d_opt.Passes.schedule_reuse);
+      ("hoist_comm", Json.Bool f.F90d_opt.Passes.hoist_comm);
+      ("coalesce", Json.Bool f.F90d_opt.Passes.coalesce);
+    ]
+
+(* Each pass alone on top of all_off, bracketed by all_off and all_on, so
+   a row's delta against the first row is that pass's lone contribution
+   on Gaussian elimination. *)
+let run_ablate () =
+  let open F90d_opt in
+  let src = Programs.gauss ~n:table4_n in
+  let run name flags =
+    let r =
+      Driver.run ~collect_finals:false ~model:Model.ipsc860 ~topology:Topology.Hypercube
+        ~nprocs:16
+        (Driver.compile ~flags src)
+    in
+    {
+      ab_name = name;
+      ab_flags = flags;
+      ab_msgs = r.Driver.stats.Stats.messages;
+      ab_bytes = r.Driver.stats.Stats.bytes;
+      ab_elapsed = r.Driver.elapsed;
+      ab_wait = r.Driver.stats.Stats.recv_wait;
+    }
+  in
+  run "all_off" Passes.all_off
+  :: List.map
+       (fun (name, flags) -> run name flags)
+       [
+         ("shift_union", { Passes.all_off with Passes.shift_union = true });
+         ("fuse_mshift", { Passes.all_off with Passes.fuse_mshift = true });
+         ("schedule_reuse", { Passes.all_off with Passes.schedule_reuse = true });
+         ("hoist_comm", { Passes.all_off with Passes.hoist_comm = true });
+         ("coalesce", { Passes.all_off with Passes.coalesce = true });
+       ]
+  @ [ run "all_on" Passes.all_on ]
+
+let ablate_table rows =
+  section
+    (Printf.sprintf
+       "Ablation on gauss (%dx%d, 16 PEs, iPSC/860): each pass alone vs all off" table4_n
+       (table4_n + 1));
+  Printf.printf "%-16s %10s %12s %12s %12s\n" "passes" "msgs" "bytes" "elapsed(s)"
+    "recv_wait(s)";
+  List.iter
+    (fun r ->
+      Printf.printf "%-16s %10d %12d %12.4f %12.4f\n" r.ab_name r.ab_msgs r.ab_bytes
+        r.ab_elapsed r.ab_wait)
+    rows
+
+let json_ablation rows =
+  Json.List
+    (List.map
+       (fun r ->
+         Json.Obj
+           [
+             ("passes", Json.Str r.ab_name);
+             ("pass_flags", json_pass_flags r.ab_flags);
+             ("messages", Json.Int r.ab_msgs);
+             ("bytes", Json.Int r.ab_bytes);
+             ("f90d_elapsed_s", Json.Float r.ab_elapsed);
+             ("recv_wait_s", Json.Float r.ab_wait);
+           ])
+       rows)
+
+(* ------------------------------------------------------------------ *)
 (* JSON emitters                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -633,15 +751,16 @@ let json_hot_statements ?(top = 5) () =
            ])
   |> fun rows -> Json.List rows
 
-let json_table4 ~jobs ~host_wall rows4 =
+let json_table4 ?ablation ~jobs ~host_wall rows4 =
   Json.Obj
-    [
-      ("experiment", Json.Str "table4");
-      ("program", Json.Str "gauss");
-      ("problem_size", Json.Int table4_n);
-      ("model", Json.Str Model.ipsc860.Model.name);
-      ("topology", Json.Str (Topology.name Topology.Hypercube));
-      ("jobs", Json.Int jobs);
+    ([
+       ("experiment", Json.Str "table4");
+       ("program", Json.Str "gauss");
+       ("problem_size", Json.Int table4_n);
+       ("model", Json.Str Model.ipsc860.Model.name);
+       ("topology", Json.Str (Topology.name Topology.Hypercube));
+       ("pass_flags", json_pass_flags F90d_opt.Passes.all_on);
+       ("jobs", Json.Int jobs);
       ("host_cores", Json.Int (Domain.recommended_domain_count ()));
       ("host_wall_total_s", Json.Float host_wall);
       ( "rows",
@@ -664,14 +783,16 @@ let json_table4 ~jobs ~host_wall rows4 =
                    ("sched_hits", Json.Int r.t4_stats.Stats.sched_hits);
                  ])
              rows4) );
-      ("hot_statements_16pe", json_hot_statements ());
-    ]
+       ("hot_statements_16pe", json_hot_statements ());
+     ]
+    @ match ablation with Some rows -> [ ("ablation", json_ablation rows) ] | None -> [])
 
 let json_fig5 ~host_wall rows =
   Json.Obj
     [
       ("experiment", Json.Str "fig5");
       ("program", Json.Str "gauss");
+      ("pass_flags", json_pass_flags F90d_opt.Passes.all_on);
       ("nprocs", Json.Int 16);
       ("topology", Json.Str (Topology.name Topology.Hypercube));
       ("host_wall_total_s", Json.Float host_wall);
@@ -701,9 +822,12 @@ let () =
     | [] -> ("all", [])
   in
   let json_path = ref None and jobs = ref (Driver.default_jobs ()) and trace_path = ref None in
-  let profile_path = ref None in
+  let profile_path = ref None and ablate = ref false in
   let rec parse = function
     | [] -> ()
+    | "--ablate" :: rest ->
+        ablate := true;
+        parse rest
     | "--json" :: p :: rest when String.length p > 0 && p.[0] <> '-' ->
         json_path := Some p;
         parse rest
@@ -728,7 +852,7 @@ let () =
     | other :: _ ->
         Printf.eprintf
           "unknown flag '%s' (--json [PATH] | --jobs N | --trace [PATH] | --profile-json \
-           [PATH])\n"
+           [PATH] | --ablate)\n"
           other;
         exit 1
   in
@@ -764,8 +888,18 @@ let () =
   | "table4" ->
       let rows = run_table4 ~jobs () in
       table4 rows;
+      let ablation =
+        if !ablate then begin
+          let ab = run_ablate () in
+          ablate_table ab;
+          Some ab
+        end
+        else None
+      in
       Option.iter
-        (fun p -> Json.write p (json_table4 ~jobs ~host_wall:(Unix.gettimeofday () -. t0) rows))
+        (fun p ->
+          Json.write p
+            (json_table4 ?ablation ~jobs ~host_wall:(Unix.gettimeofday () -. t0) rows))
         !json_path;
       Option.iter (fun p -> table4_trace ~path:p ()) !trace_path;
       Option.iter (fun p -> table4_profile_json ~path:p ()) !profile_path

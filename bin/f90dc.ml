@@ -29,7 +29,7 @@ let model_of_name = function
   | other -> raise (Invalid_argument ("unknown machine model: " ^ other))
 
 let run_cmd source demo nprocs jobs machine emit explain explain_json profile_json no_opt
-    show_finals trace profile log_comm =
+    no_passes show_finals trace profile log_comm =
   try
     if log_comm then begin
       Logs.set_reporter (Logs.format_reporter ());
@@ -42,7 +42,19 @@ let run_cmd source demo nprocs jobs machine emit explain explain_json profile_js
       | None, Some path -> read_source path
       | None, None -> read_source "-"
     in
-    let flags = if no_opt then F90d_opt.Passes.all_off else F90d_opt.Passes.all_on in
+    let flags =
+      let base = if no_opt then F90d_opt.Passes.all_off else F90d_opt.Passes.all_on in
+      List.fold_left
+        (fun (f : F90d_opt.Passes.flags) name ->
+          match name with
+          | "shift-union" -> { f with F90d_opt.Passes.shift_union = false }
+          | "fuse-mshift" -> { f with F90d_opt.Passes.fuse_mshift = false }
+          | "schedule-reuse" -> { f with F90d_opt.Passes.schedule_reuse = false }
+          | "hoist-comm" -> { f with F90d_opt.Passes.hoist_comm = false }
+          | "coalesce" -> { f with F90d_opt.Passes.coalesce = false }
+          | other -> raise (Invalid_argument ("unknown optimization pass: " ^ other)))
+        base no_passes
+    in
     let compiled = F90d.Driver.compile ~flags src in
     if emit then print_string (F90d_ir.Emit_f77.emit_program compiled.F90d.Driver.c_ir)
     else if explain then print_string (F90d_report.Report.explain_text compiled.F90d.Driver.c_ir)
@@ -151,6 +163,33 @@ let no_opt =
   let doc = "Disable the communication optimizations of the paper's section 7." in
   Arg.(value & flag & info [ "no-opt" ] ~doc)
 
+(* Per-pass disables in the familiar -fno-<pass> spelling.  Cmdliner has
+   no single-dash long options, so each is declared as its own flag and
+   folded into a list of pass names to turn off. *)
+let no_passes =
+  let pass name doc =
+    Arg.(
+      value & flag
+      & info [ "fno-" ^ name ] ~doc:(Printf.sprintf "Disable the %s optimization pass." doc))
+  in
+  let combine su fm sr hc co =
+    List.concat
+      [
+        (if su then [ "shift-union" ] else []);
+        (if fm then [ "fuse-mshift" ] else []);
+        (if sr then [ "schedule-reuse" ] else []);
+        (if hc then [ "hoist-comm" ] else []);
+        (if co then [ "coalesce" ] else []);
+      ]
+  in
+  Term.(
+    const combine
+    $ pass "shift-union" "shift-union (merge opposite-direction overlap shifts)"
+    $ pass "fuse-mshift" "multicast-shift fusion"
+    $ pass "schedule-reuse" "inspector schedule reuse"
+    $ pass "hoist-comm" "loop-invariant communication hoisting"
+    $ pass "coalesce" "cross-statement message coalescing (and its replica cache)")
+
 let show_finals =
   let doc = "Print the final contents of every array of the main program." in
   Arg.(value & flag & info [ "show-arrays" ] ~doc)
@@ -180,6 +219,7 @@ let cmd =
     Term.(
       ret
         (const run_cmd $ source $ demo $ nprocs $ jobs $ machine $ emit $ explain
-       $ explain_json $ profile_json $ no_opt $ show_finals $ trace $ profile $ log_comm))
+       $ explain_json $ profile_json $ no_opt $ no_passes $ show_finals $ trace $ profile
+       $ log_comm))
 
 let () = exit (Cmd.eval cmd)

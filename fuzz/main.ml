@@ -16,10 +16,24 @@ let out_dir = ref "fuzz-repros"
 let emit = ref (-1)
 let ranks = ref Diff.default_ranks
 let jobs = ref Diff.default_jobs
+let flag_sets = ref Diff.default_flag_sets
 let quiet = ref false
 let replay = ref ""
 
 let parse_csv s = List.map int_of_string (String.split_on_char ',' s)
+
+let parse_flag_sets s =
+  List.map
+    (fun name ->
+      let name = String.trim name in
+      match Diff.flag_set name with
+      | Some fs -> fs
+      | None ->
+          raise
+            (Arg.Bad
+               (Printf.sprintf "unknown flag set '%s' (known: %s)" name
+                  (String.concat ", " (List.map fst Diff.named_flag_sets)))))
+    (String.split_on_char ',' s)
 
 let spec =
   [
@@ -31,13 +45,17 @@ let spec =
     ("--emit", Arg.Set_int emit, "K  print the program for seed K and exit");
     ("--ranks", Arg.String (fun s -> ranks := parse_csv s), "CSV  rank axis (default 1,2,4)");
     ("--jobs", Arg.String (fun s -> jobs := parse_csv s), "CSV  jobs axis (default 1,4)");
+    ( "--flags",
+      Arg.String (fun s -> flag_sets := parse_flag_sets s),
+      "CSV  pass-flag axis: on, off, hoist, coalesce, no-hoist, no-coalesce (default on,off)"
+    );
     ("--quiet", Arg.Set quiet, "   only report failures");
     ("--replay", Arg.Set_string replay, "FILE  differentially check one .f90d source file");
   ]
 
 let usage = "fuzz/main.exe [--seeds N] [--start S] [--shrink] ..."
 
-let check p = Diff.check_prog ~ranks:!ranks ~jobs:!jobs p
+let check p = Diff.check_prog ~ranks:!ranks ~jobs:!jobs ~flag_sets:!flag_sets p
 
 let report_failure seed (p : Gen.prog) (failures : Diff.failure list) =
   Printf.printf "seed %d: FAILED\n" seed;
@@ -91,7 +109,7 @@ let () =
             Format.printf "  %s = %a@." name F90d_base.Ndarray.pp nd)
           r.Refeval.r_finals
     | exception e -> Printf.printf "reference evaluator failed: %s\n" (Printexc.to_string e));
-    match Diff.check_source ~ranks:!ranks ~jobs:!jobs source with
+    match Diff.check_source ~ranks:!ranks ~jobs:!jobs ~flag_sets:!flag_sets source with
     | [] ->
         Printf.printf "OK: no divergence\n";
         exit 0
@@ -123,7 +141,7 @@ let () =
     if not !quiet then
       Printf.printf "OK: %d seeds, zero divergences across %d configurations each\n"
         (List.length todo)
-        (List.length (Diff.matrix ~ranks:!ranks ~jobs:!jobs ()));
+        (List.length (Diff.matrix ~ranks:!ranks ~jobs:!jobs ~flag_sets:!flag_sets ()));
     exit 0
   end
   else begin

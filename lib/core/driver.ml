@@ -50,7 +50,8 @@ let run ?(collect_finals = true) ?(model = Model.ideal) ?(topology = Topology.Fu
   let grid = Grid.make ?phys_of_rank dims in
   let cfg = Engine.config ~model ~topology ~tracing:trace nprocs in
   let node eng =
-    F90d_exec.Interp.node_main ~collect_finals compiled.c_ir (Rctx.make eng grid)
+    F90d_exec.Interp.node_main ~collect_finals
+      ~coalesce:compiled.c_flags.F90d_opt.Passes.coalesce compiled.c_ir (Rctx.make eng grid)
   in
   let report = if jobs > 1 then Engine.run_parallel ~jobs cfg node else Engine.run cfg node in
   (* rank 0 of the grid carries the program output *)

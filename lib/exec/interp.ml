@@ -15,6 +15,16 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 
 type temp_val = Tbox of Ndarray.t | Tflat of Ndarray.t | Tglobal of Ndarray.t
 
+(* One rank's copy of the last multicast slab of an array: the slice
+   [rv_dim = rv_g0] (zero-based) as broadcast when the array's write
+   version was [rv_version].  While the version is unchanged the slab
+   still holds live data, so a repeated multicast of the same slice —
+   or a remote single-element read inside it — can be served locally
+   with zero messages.  All fields are identical on every rank (the
+   publish is collective and versions are bumped replicatedly), so the
+   serve decision can never diverge across ranks. *)
+type replica = { rv_version : int; rv_dim : int; rv_g0 : int; rv_slab : Ndarray.t }
+
 type ustate = {
   ctx : Rctx.t;
   prog : Ir.program_ir;
@@ -23,6 +33,12 @@ type ustate = {
   scalars : (string, Scalar.t ref) Hashtbl.t;
   arrays : (string, Darray.t) Hashtbl.t;
   out : Buffer.t;
+  ptemps : (int, temp_val) Hashtbl.t;
+      (** communication temporaries produced outside any FORALL frame
+          (loop pre-headers, cross-statement batches); frames fall back
+          here when their own table misses *)
+  replicas : (string, replica) Hashtbl.t;
+  coalesce : bool;  (** runtime half of the coalesce pass (replica cache) *)
 }
 
 type frame = {
@@ -142,6 +158,50 @@ let storage_pos st dad ~dim g =
         Diag.error "index %d of %s dim %d is not owned by this processor" g (Dad.name dad)
           (dim + 1)
 
+let version_key st name = st.u.Ir.u_name ^ ":" ^ name
+
+(* Communication temporaries normally live in the FORALL's own frame;
+   hoisted and cross-statement-batched comms store theirs in the unit's
+   persistent table instead. *)
+let find_temp st f temp =
+  match Hashtbl.find_opt f.ftemps temp with
+  | Some _ as v -> v
+  | None -> Hashtbl.find_opt st.ptemps temp
+
+(* Serve a remote single-element read from the replica cache.  The miss
+   path ([Darray.get_global]) is a collective, so the hit/miss decision
+   must be identical on every rank: the version counter, the cached
+   (dim, g0) and the distribution are all replicated, and we only serve
+   when every *other* dimension is undistributed — then each rank's slab
+   spans those dimensions fully and all ranks agree. *)
+let replica_serve st name (darr : Darray.t) g =
+  if not st.coalesce then None
+  else
+    match Hashtbl.find_opt st.replicas name with
+    | None -> None
+    | Some rv ->
+        let dad = darr.Darray.dad in
+        let dims = Dad.dims dad in
+        if
+          rv.rv_version <> Rctx.version st.ctx (version_key st name)
+          || g.(rv.rv_dim) - dims.(rv.rv_dim).Dad.flb <> rv.rv_g0
+        then None
+        else begin
+          let uniform = ref true in
+          Array.iteri
+            (fun d dd -> if d <> rv.rv_dim && dd.Dad.pdim <> None then uniform := false)
+            dims;
+          if not !uniform then None
+          else begin
+            let idx =
+              Array.mapi
+                (fun d gi -> if d = rv.rv_dim then 1 else storage_pos st dad ~dim:d gi + 1)
+                g
+            in
+            Some (Ndarray.get rv.rv_slab idx)
+          end
+        end
+
 let rec eval st mode (e : Ast.expr) : Scalar.t =
   match e.Ast.e with
   | Ast.Int_lit n -> Scalar.Int n
@@ -223,7 +283,10 @@ and read_element_scalar st name g =
     match Darray.get_local darr ~rank:(me st) g with
     | Some v -> v
     | None -> Diag.bug "interp: replicated array misses an element"
-  else Darray.get_global st.ctx darr g
+  else
+    match replica_serve st name darr g with
+    | Some v -> v
+    | None -> Darray.get_global st.ctx darr g
 
 and read_element_loop st f loc (r : Ast.ref_) g =
   match List.assoc_opt r.Ast.rid f.faccess with
@@ -238,7 +301,7 @@ and read_element_loop st f loc (r : Ast.ref_) g =
       in
       Ndarray.get storage idx
   | Some (Ir.Acc_box { temp; dims }) -> (
-      match Hashtbl.find_opt f.ftemps temp with
+      match find_temp st f temp with
       | Some (Tbox nd) ->
           let darr = darray_of st r.Ast.base in
           let dad = darr.Darray.dad in
@@ -255,11 +318,11 @@ and read_element_loop st f loc (r : Ast.ref_) g =
           Ndarray.get nd idx
       | _ -> Diag.error ~loc "communication temporary missing for '%s'" r.Ast.base)
   | Some (Ir.Acc_flat { temp }) -> (
-      match Hashtbl.find_opt f.ftemps temp with
+      match find_temp st f temp with
       | Some (Tflat nd) -> Ndarray.get_flat nd f.counter
       | _ -> Diag.error ~loc "inspector temporary missing for '%s'" r.Ast.base)
   | Some (Ir.Acc_global_temp { temp }) -> (
-      match Hashtbl.find_opt f.ftemps temp with
+      match find_temp st f temp with
       | Some (Tglobal nd) -> Ndarray.get nd g
       | _ -> Diag.error ~loc "concatenation temporary missing for '%s'" r.Ast.base)
 
@@ -450,8 +513,6 @@ let writes_of_lhs st (f : Ir.forall) ~ranges ~guard_vals ~frame_access ~ftemps ~
    its cache key: a reuse after the index array was overwritten misses and
    rebuilds instead of serving the stale index sets. *)
 
-let version_key st name = st.u.Ir.u_name ^ ":" ^ name
-
 let bump_written st name =
   if Hashtbl.mem st.arrays name then Rctx.bump_version st.ctx (version_key st name)
 
@@ -477,23 +538,38 @@ let zero_based_sub st name ~dim e =
   let dad = dad_of st name in
   Scalar.to_int (eval st Mscalar e) - (Dad.dims dad).(dim).Dad.flb
 
-let exec_comm st (f : Ir.forall) ~ranges ~guard_vals ~frame_access ftemps (c : Ir.comm) =
+let log_comm st (c : Ir.comm) =
   Log.debug (fun m ->
       m "p%d t=%.6f %s(%s)" (me st) (Rctx.time st.ctx) (Ir.comm_name c)
-        (match c with
-        | Ir.Multicast { arr; _ }
-        | Ir.Transfer { arr; _ }
-        | Ir.Overlap_shift { arr; _ }
-        | Ir.Temp_shift { arr; _ }
-        | Ir.Concat { arr; _ } ->
-            arr
-        | Ir.Multicast_shift { ms_arr; _ } -> ms_arr
-        | Ir.Precomp_read { r; _ } | Ir.Gather_read { r; _ } -> r.Ast.base));
+        (match Ir.comm_source c with Some a -> a | None -> "<batch>"))
+
+(* The multicast slab, through the replica cache when the coalesce pass is
+   on: a repeat of the same (array, dim, slice) broadcast while the array
+   is unmodified is served from the cached slab with no messages.  The
+   reuse decision is replicated (see {!replica_serve} on why), so no rank
+   skips a collective the others enter. *)
+let multicast_slab st arr ~dim ~g0 =
+  let darr = darray_of st arr in
+  if not st.coalesce then Structured.multicast st.ctx darr ~dim ~g:g0
+  else begin
+    let ver = Rctx.version st.ctx (version_key st arr) in
+    match Hashtbl.find_opt st.replicas arr with
+    | Some rv when rv.rv_version = ver && rv.rv_dim = dim && rv.rv_g0 = g0 -> rv.rv_slab
+    | _ ->
+        let slab = Structured.multicast st.ctx darr ~dim ~g:g0 in
+        Hashtbl.replace st.replicas arr { rv_version = ver; rv_dim = dim; rv_g0 = g0; rv_slab = slab };
+        slab
+  end
+
+(* Comms that do not need the FORALL frame (everything but the inspector
+   ops) — executable from a loop pre-header, where [ftemps] is the unit's
+   persistent table [st.ptemps]. *)
+let exec_comm_simple st ftemps (c : Ir.comm) =
+  log_comm st c;
   match c with
   | Ir.Multicast { arr; dim; g; temp } ->
       let g0 = zero_based_sub st arr ~dim g in
-      let slab = Structured.multicast st.ctx (darray_of st arr) ~dim ~g:g0 in
-      Hashtbl.replace ftemps temp (Tbox slab)
+      Hashtbl.replace ftemps temp (Tbox (multicast_slab st arr ~dim ~g0))
   | Ir.Transfer { arr; dim; src; dest; temp } -> (
       let s0 = zero_based_sub st arr ~dim src and d0 = zero_based_sub st arr ~dim dest in
       match Structured.transfer st.ctx (darray_of st arr) ~dim ~gsrc:s0 ~gdest:d0 with
@@ -544,7 +620,57 @@ let exec_comm st (f : Ir.forall) ~ranges ~guard_vals ~frame_access ftemps (c : I
       Hashtbl.replace ftemps ms_temp (Tbox slab)
   | Ir.Concat { arr; temp } ->
       Hashtbl.replace ftemps temp (Tglobal (Darray.gather_global st.ctx (darray_of st arr)))
+  | Ir.Comm_batch members -> (
+      (* one packed message per rank pair; members were proven homogeneous
+         by the coalescing pass *)
+      match members with
+      | [] -> ()
+      | (Ir.Overlap_shift _, _) :: _ ->
+          let items =
+            List.map
+              (function
+                | Ir.Overlap_shift { arr; dim; amount }, sid ->
+                    (darray_of st arr, dim, amount, sid)
+                | _ -> Diag.bug "interp: mixed comm batch")
+              members
+          in
+          Structured.overlap_shift_batch st.ctx items
+      | (Ir.Transfer _, _) :: _ ->
+          let items =
+            List.map
+              (function
+                | Ir.Transfer { arr; dim; src; dest; temp }, sid ->
+                    ( darray_of st arr,
+                      dim,
+                      zero_based_sub st arr ~dim src,
+                      zero_based_sub st arr ~dim dest,
+                      sid,
+                      temp )
+                | _ -> Diag.bug "interp: mixed comm batch")
+              members
+          in
+          let results =
+            Structured.transfer_batch st.ctx
+              (List.map (fun (d, dim, s0, d0, sid, _) -> (d, dim, s0, d0, sid)) items)
+          in
+          List.iter2
+            (fun (_, _, _, _, _, temp) res ->
+              match res with
+              | Some slab ->
+                  Hashtbl.replace ftemps temp (Tbox slab);
+                  (* consumers downstream of the anchor statement read the
+                     persistent table *)
+                  Hashtbl.replace st.ptemps temp (Tbox slab)
+              | None -> ())
+            items results
+      | _ -> Diag.bug "interp: unsupported comm batch")
+  | Ir.Precomp_read _ | Ir.Gather_read _ ->
+      Diag.bug "interp: inspector comm outside a FORALL frame"
+
+let exec_comm st (f : Ir.forall) ~ranges ~guard_vals ~frame_access ftemps (c : Ir.comm) =
+  match c with
   | Ir.Precomp_read { r; itemp; key } ->
+      log_comm st c;
       let darr = darray_of st r.Ast.base in
       let build () =
         Schedule.build_read_local st.ctx
@@ -558,6 +684,7 @@ let exec_comm st (f : Ir.forall) ~ranges ~guard_vals ~frame_access ftemps (c : I
       in
       Hashtbl.replace ftemps itemp (Tflat (Schedule.read st.ctx sched darr))
   | Ir.Gather_read { r; itemp; key } ->
+      log_comm st c;
       let darr = darray_of st r.Ast.base in
       let build () =
         Schedule.build_read_comm st.ctx
@@ -569,6 +696,7 @@ let exec_comm st (f : Ir.forall) ~ranges ~guard_vals ~frame_access ftemps (c : I
         | None -> build ()
       in
       Hashtbl.replace ftemps itemp (Tflat (Schedule.read st.ctx sched darr))
+  | c -> exec_comm_simple st ftemps c
 
 (* ------------------------------------------------------------------ *)
 (* FORALL execution                                                    *)
@@ -624,7 +752,12 @@ let exec_forall_body st (f : Ir.forall) =
              | None -> List.assoc_opt v st.u.Ir.u_env.Sema.uparams)
            ~darr_of:(darray_of st)
            ~temp_of:(fun t ->
-             match Hashtbl.find_opt ftemps t with
+             let tv =
+               match Hashtbl.find_opt ftemps t with
+               | Some _ as v -> v
+               | None -> Hashtbl.find_opt st.ptemps t
+             in
+             match tv with
              | Some (Tbox nd) -> Some (Kernel.Tbox nd)
              | Some (Tflat nd) -> Some (Kernel.Tflat nd)
              | Some (Tglobal nd) -> Some (Kernel.Tglobal nd)
@@ -829,7 +962,15 @@ let fresh_ustate st (u : Ir.unit_ir) =
     u.Ir.u_env.Sema.uscalars;
   let arrays = Hashtbl.create 8 in
   Hashtbl.iter (fun n dad -> Hashtbl.replace arrays n (Darray.create st.ctx dad)) dads;
-  { st with u; dads; scalars; arrays }
+  {
+    st with
+    u;
+    dads;
+    scalars;
+    arrays;
+    ptemps = Hashtbl.create 8;
+    replicas = Hashtbl.create 4;
+  }
 
 (* Every statement stamps its provenance into the engine before running:
    trace events recorded during it carry its sid, and a deadlock or a
@@ -931,6 +1072,32 @@ and exec_node st (s : Ir.stmt) =
         Buffer.add_char st.out '\n'
       end
   | Ir.Return_stmt -> raise Return_unwind
+  | Ir.Comm_block { cb_members; cb_guard; cb_loop = _ } ->
+      (* loop pre-header: run the hoisted comms once, iff the loop will
+         execute at least one iteration (a zero-trip loop must not
+         communicate).  The guard re-evaluates the loop's own bounds /
+         condition, which hoisting legality proved invariant up to here. *)
+      let active =
+        match cb_guard with
+        | Ir.Guard_do range ->
+            let lo = Scalar.to_int (eval st Mscalar range.Ast.lo) in
+            let hi = Scalar.to_int (eval st Mscalar range.Ast.hi) in
+            let stp =
+              match range.Ast.st with Some e -> Scalar.to_int (eval st Mscalar e) | None -> 1
+            in
+            if stp = 0 then Diag.error "zero DO stride";
+            (stp > 0 && lo <= hi) || (stp < 0 && lo >= hi)
+        | Ir.Guard_while cond -> Scalar.to_bool (eval st Mscalar cond)
+      in
+      if active then
+        List.iter
+          (fun { Ir.hc; hc_sid; hc_loc } ->
+            (* traffic stays attributed to the statement it was lifted
+               from, not to the pre-header *)
+            Rctx.set_stmt st.ctx ~sid:hc_sid ~loc:hc_loc;
+            exec_comm_simple st st.ptemps hc)
+          cb_members;
+      Rctx.set_stmt st.ctx ~sid:s.Ir.sid ~loc:s.Ir.sloc
 
 and exec_call st ~sid ~loc sub args =
   let callee = Ir.find_unit st.prog sub in
@@ -987,7 +1154,7 @@ type outcome = {
   final_scalars : (string * Scalar.t) list;
 }
 
-let node_main ?(collect_finals = true) (prog : Ir.program_ir) ctx =
+let node_main ?(collect_finals = true) ?(coalesce = false) (prog : Ir.program_ir) ctx =
   let main_name = (List.hd prog.Ir.p_units |> snd).Ir.u_name in
   let u = Ir.find_unit prog main_name in
   let proto =
@@ -999,6 +1166,9 @@ let node_main ?(collect_finals = true) (prog : Ir.program_ir) ctx =
       scalars = Hashtbl.create 1;
       arrays = Hashtbl.create 1;
       out = Buffer.create 256;
+      ptemps = Hashtbl.create 1;
+      replicas = Hashtbl.create 1;
+      coalesce;
     }
   in
   let st = fresh_ustate proto u in

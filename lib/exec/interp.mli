@@ -21,10 +21,19 @@ val log_src : Logs.src
     with its processor and virtual time ([f90dc --trace]). *)
 
 val node_main :
-  ?collect_finals:bool -> F90d_ir.Ir.program_ir -> F90d_runtime.Rctx.t -> outcome
+  ?collect_finals:bool ->
+  ?coalesce:bool ->
+  F90d_ir.Ir.program_ir ->
+  F90d_runtime.Rctx.t ->
+  outcome
 (** Execute the main program unit.  When [collect_finals] (default true)
     every array is gathered at the end so callers can verify results; turn
-    it off for benchmarking, where the gathers would pollute timing. *)
+    it off for benchmarking, where the gathers would pollute timing.
+    [coalesce] (default false) enables the run-time half of the message
+    coalescing pass: the multicast replica cache, which serves repeated
+    broadcasts of an unmodified slice — and remote single-element reads
+    inside such a slice — locally with zero messages.  The driver sets it
+    from the compiled program's pass flags. *)
 
 val instantiate_dads :
   F90d_ir.Ir.unit_ir -> grid:F90d_dist.Grid.t -> (string, F90d_dist.Dad.t) Hashtbl.t

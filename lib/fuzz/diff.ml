@@ -3,15 +3,15 @@
 
 open F90d_base
 
-type cfg = { nprocs : int; jobs : int; opt_on : bool }
+type cfg = { nprocs : int; jobs : int; passes : string * F90d_opt.Passes.flags }
 
 type failure =
   | Ref_error of string  (* the reference evaluator itself failed: generator bug *)
   | Config_error of cfg * string  (* compile or run crashed under this config *)
   | Mismatch of cfg * string  (* first bit-level difference found *)
 
-let pp_cfg { nprocs; jobs; opt_on } =
-  Printf.sprintf "nprocs=%d jobs=%d passes=%s" nprocs jobs (if opt_on then "on" else "off")
+let pp_cfg { nprocs; jobs; passes = pname, _ } =
+  Printf.sprintf "nprocs=%d jobs=%d passes=%s" nprocs jobs pname
 
 let pp_failure = function
   | Ref_error m -> "reference evaluator failed: " ^ m
@@ -21,11 +21,32 @@ let pp_failure = function
 let default_ranks = [ 1; 2; 4 ]
 let default_jobs = [ 1; 4 ]
 
-let matrix ?(ranks = default_ranks) ?(jobs = default_jobs) () =
+(* Named pass-flag sets for the matrix: "on"/"off" exercise everything
+   against nothing (the default axis); the single-pass and all-but-one
+   sets isolate one optimization when hunting a divergence. *)
+let named_flag_sets =
+  let open F90d_opt.Passes in
+  [
+    ("on", all_on);
+    ("off", all_off);
+    ("hoist", { all_off with hoist_comm = true });
+    ("coalesce", { all_off with coalesce = true });
+    ("no-hoist", { all_on with hoist_comm = false });
+    ("no-coalesce", { all_on with coalesce = false });
+  ]
+
+let flag_set name =
+  Option.map (fun f -> (name, f)) (List.assoc_opt name named_flag_sets)
+
+let default_flag_sets =
+  [ ("on", F90d_opt.Passes.all_on); ("off", F90d_opt.Passes.all_off) ]
+
+let matrix ?(ranks = default_ranks) ?(jobs = default_jobs)
+    ?(flag_sets = default_flag_sets) () =
   List.concat_map
     (fun nprocs ->
       List.concat_map
-        (fun j -> [ { nprocs; jobs = j; opt_on = true }; { nprocs; jobs = j; opt_on = false } ])
+        (fun j -> List.map (fun passes -> { nprocs; jobs = j; passes }) flag_sets)
         jobs)
     ranks
 
@@ -72,7 +93,7 @@ let describe_exn = function
 
 (* [print ~nprocs] yields the source for a machine size: the PROCESSORS
    directive, when present, must name the machine it runs on *)
-let check ?ranks ?jobs (print : nprocs:int -> string) : failure list =
+let check ?ranks ?jobs ?flag_sets (print : nprocs:int -> string) : failure list =
   match
     (try Ok (Refeval.run (print ~nprocs:1)) with e -> Error (describe_exn e))
   with
@@ -80,7 +101,7 @@ let check ?ranks ?jobs (print : nprocs:int -> string) : failure list =
   | Ok reference ->
       List.filter_map
         (fun cfg ->
-          let flags = if cfg.opt_on then F90d_opt.Passes.all_on else F90d_opt.Passes.all_off in
+          let _, flags = cfg.passes in
           match
             let compiled = F90d.Driver.compile ~flags (print ~nprocs:cfg.nprocs) in
             F90d.Driver.run ~nprocs:cfg.nprocs ~jobs:cfg.jobs compiled
@@ -90,10 +111,10 @@ let check ?ranks ?jobs (print : nprocs:int -> string) : failure list =
               | None -> None
               | Some msg -> Some (Mismatch (cfg, msg)))
           | exception e -> Some (Config_error (cfg, describe_exn e)))
-        (matrix ?ranks ?jobs ())
+        (matrix ?ranks ?jobs ?flag_sets ())
 
-let check_prog ?ranks ?jobs (p : Gen.prog) =
-  check ?ranks ?jobs (fun ~nprocs -> Gen.print ~nprocs p)
+let check_prog ?ranks ?jobs ?flag_sets (p : Gen.prog) =
+  check ?ranks ?jobs ?flag_sets (fun ~nprocs -> Gen.print ~nprocs p)
 
 (* fixed source text (corpus replay): the PROCESSORS directive, if any,
    pins the machine size, so restrict the rank axis to its grid product *)
@@ -105,10 +126,10 @@ let processors_product source =
     Some (List.fold_left (fun acc d -> acc * int_of_string (String.trim d)) 1 dims)
   with Not_found -> None
 
-let check_source ?ranks ?jobs source =
+let check_source ?ranks ?jobs ?flag_sets source =
   let ranks =
     match processors_product source with
     | Some p -> [ p ]
     | None -> ( match ranks with Some r -> r | None -> default_ranks)
   in
-  check ~ranks ?jobs (fun ~nprocs:_ -> source)
+  check ~ranks ?jobs ?flag_sets (fun ~nprocs:_ -> source)

@@ -28,7 +28,7 @@ let substitute_temps (f : Ir.forall) (e : Ast.expr) =
       | _ -> x)
     e
 
-let emit_comm b ind (_f : Ir.forall) (c : Ir.comm) =
+let rec emit_comm b ind (c : Ir.comm) =
   let line s = buf_add b (ind ^ s ^ "\n") in
   match c with
   | Ir.Multicast { arr; dim; g; temp } ->
@@ -85,6 +85,11 @@ let emit_comm b ind (_f : Ir.forall) (c : Ir.comm) =
       | Some _ -> line (Printf.sprintf "if (.not. cached(%s)) %s = schedule2(...)" sched sched)
       | None -> line (Printf.sprintf "%s = schedule2(receive_list, local_list, count)" sched));
       line (Printf.sprintf "call gather(%s, TMP%d, %s)" sched itemp r.Ast.base)
+  | Ir.Comm_batch members ->
+      line
+        (Printf.sprintf "C     coalesced: %d messages packed into one per processor pair"
+           (List.length members));
+      List.iter (fun (m, _sid) -> emit_comm b (ind ^ "  ") m) members
 
 (* continuation labels for processor-masking gotos, unique per statement *)
 let label_counter = ref 0
@@ -104,7 +109,7 @@ let emit_forall b ind (f : Ir.forall) =
              vars))
        f.Ir.f_lhs.Ast.base);
   (* communication phase *)
-  List.iter (emit_comm b ind f) f.Ir.f_pre;
+  List.iter (emit_comm b ind) f.Ir.f_pre;
   (* set_BOUND per variable *)
   List.iteri
     (fun k (v, (r : Ast.range)) ->
@@ -224,6 +229,19 @@ let rec emit_stmt b ind (s : Ir.stmt) =
         (Printf.sprintf "call %s(%s)" sub (String.concat ", " (List.map expr_str args)))
   | Ir.Print_stmt args -> line (Printf.sprintf "print *, %s" (String.concat ", " (List.map expr_str args)))
   | Ir.Return_stmt -> line "return"
+  | Ir.Comm_block { cb_members; cb_guard; cb_loop } ->
+      line (Printf.sprintf "C --- loop-invariant communication hoisted out of %s ---" cb_loop);
+      let guard =
+        match cb_guard with
+        | Ir.Guard_do (r : Ast.range) ->
+            Printf.sprintf "trip_count(%s, %s, %s) .gt. 0" (expr_str r.Ast.lo)
+              (expr_str r.Ast.hi)
+              (match r.Ast.st with Some s -> expr_str s | None -> "1")
+        | Ir.Guard_while cond -> expr_str cond
+      in
+      line (Printf.sprintf "if (%s) then" guard);
+      List.iter (fun { Ir.hc; _ } -> emit_comm b (ind ^ "  ") hc) cb_members;
+      line "end if"
 
 let emit_unit (u : Ir.unit_ir) =
   label_counter := 0;

@@ -34,6 +34,14 @@ type comm =
   | Precomp_read of inspector
       (** schedule1 inspector over the reference's subscripts *)
   | Gather_read of inspector
+  | Comm_batch of (comm * int) list
+      (** cross-statement coalesced batch: structurally-compatible
+          members (same-direction overlap shifts, same-endpoint
+          transfers) in program order, each tagged with the sid of the
+          statement whose traffic it performs.  The runtime packs all
+          members bound for the same rank pair into one message, so the
+          engine charges one latency [alpha] per pair instead of one per
+          member. *)
 
 (** Post-communication (non-canonical lhs). *)
 type post =
@@ -80,6 +88,16 @@ type forall = {
           rhs before any write) *)
 }
 
+(** One communication lifted out of a loop by the hoisting pass, tagged
+    with the provenance of the statement it was lifted from so traces
+    and profiles still attribute the traffic to the originating line. *)
+type hoisted = { hc : comm; hc_sid : int; hc_loc : F90d_base.Loc.t }
+
+(** Pre-header guard: hoisted comms may only run when the loop body
+    would execute at least once (a zero-trip loop must communicate
+    nothing, and its subscripts may not even be evaluable). *)
+type cb_guard = Guard_do of Ast.range | Guard_while of Ast.expr
+
 (* Every statement carries provenance: a program-unique statement id
    (sid, allocated by Lower in emission order, > 0) and the source
    location of the Ast statement it was lowered from.  The sid is the
@@ -100,6 +118,12 @@ and stmt_node =
   | Call_sub of { sub : string; args : Ast.expr list }
   | Print_stmt of Ast.expr list
   | Return_stmt
+  | Comm_block of { cb_members : hoisted list; cb_guard : cb_guard; cb_loop : string }
+      (** loop pre-header synthesized by the hoisting pass: the
+          loop-invariant communications of the loop it precedes (which
+          shares its sid/sloc), executed once under the trip guard.
+          [cb_loop] is a rendering of the loop head for reports, e.g.
+          ["DO K"]. *)
 
 (** One provenance table entry: what a sid resolves to. *)
 type prov = {
@@ -170,9 +194,9 @@ let comm_temp = function
       Some temp
   | Multicast_shift { ms_temp; _ } -> Some ms_temp
   | Precomp_read { itemp; _ } | Gather_read { itemp; _ } -> Some itemp
-  | Overlap_shift _ -> None
+  | Overlap_shift _ | Comm_batch _ -> None
 
-let comm_name = function
+let rec comm_name = function
   | Multicast _ -> "multicast"
   | Transfer _ -> "transfer"
   | Overlap_shift _ -> "overlap_shift"
@@ -181,3 +205,19 @@ let comm_name = function
   | Concat _ -> "concatenation"
   | Precomp_read _ -> "precomp_read"
   | Gather_read _ -> "gather"
+  | Comm_batch [] -> "comm_batch"
+  | Comm_batch ((c, _) :: _ as members) ->
+      Printf.sprintf "%s[batch of %d]" (comm_name c) (List.length members)
+
+(** The array whose data a comm moves (None for batches, which carry
+    several). *)
+let comm_source = function
+  | Multicast { arr; _ }
+  | Transfer { arr; _ }
+  | Overlap_shift { arr; _ }
+  | Temp_shift { arr; _ }
+  | Concat { arr; _ } ->
+      Some arr
+  | Multicast_shift { ms_arr; _ } -> Some ms_arr
+  | Precomp_read { r; _ } | Gather_read { r; _ } -> Some r.Ast.base
+  | Comm_batch _ -> None

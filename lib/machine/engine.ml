@@ -75,7 +75,7 @@ let channel sh ~dest key =
       Hashtbl.add box key q;
       q
 
-let send ctx ~dest ~tag payload =
+let send ?parts ctx ~dest ~tag payload =
   let sh = ctx.sh in
   if dest < 0 || dest >= sh.cfg.nprocs then Diag.bug "engine: send to rank %d" dest;
   let bytes = Message.payload_bytes payload in
@@ -88,7 +88,7 @@ let send ctx ~dest ~tag payload =
   let hops = Topology.hops sh.cfg.topology ~nprocs:sh.cfg.nprocs ctx.me dest in
   let arrival = time ctx +. (float_of_int (max 0 (hops - 1)) *. m.Model.hop) in
   Stats.record_send ~tag sh.rank_stats.(ctx.me) ~bytes;
-  Trace.send sh.traces.(ctx.me) ~t0 ~t1:(time ctx) ~dest ~tag ~bytes ~arrival;
+  Trace.send ?parts sh.traces.(ctx.me) ~t0 ~t1:(time ctx) ~dest ~tag ~bytes ~arrival;
   Queue.add (dest, { Message.src = ctx.me; tag; payload; bytes; arrival }) sh.outboxes.(ctx.me)
 
 let recv ctx ~src ~tag =

@@ -47,7 +47,11 @@ val model : ctx -> Model.t
 val time : ctx -> float
 (** This processor's virtual clock, seconds. *)
 
-val send : ctx -> dest:int -> tag:int -> Message.payload -> unit
+val send : ?parts:(int * int) array -> ctx -> dest:int -> tag:int -> Message.payload -> unit
+(** [parts], when given, tags the traced event with a (member sid,
+    member bytes) split for coalesced batch messages; the engine still
+    charges and counts exactly one message. *)
+
 val recv : ctx -> src:int -> tag:int -> Message.t
 
 val advance : ctx -> float -> unit

@@ -1,10 +1,33 @@
 open F90d_frontend
 open F90d_ir
 
-type flags = { shift_union : bool; fuse_mshift : bool; schedule_reuse : bool }
+type flags = {
+  shift_union : bool;
+  fuse_mshift : bool;
+  schedule_reuse : bool;
+  hoist_comm : bool;
+  coalesce : bool;
+}
 
-let all_on = { shift_union = true; fuse_mshift = true; schedule_reuse = true }
-let all_off = { shift_union = false; fuse_mshift = false; schedule_reuse = false }
+let all_on =
+  {
+    shift_union = true;
+    fuse_mshift = true;
+    schedule_reuse = true;
+    hoist_comm = true;
+    coalesce = true;
+  }
+
+let all_off =
+  {
+    shift_union = false;
+    fuse_mshift = false;
+    schedule_reuse = false;
+    hoist_comm = false;
+    coalesce = false;
+  }
+
+module S = Set.Make (String)
 
 (* ------------------------------------------------------------------ *)
 (* Shift union                                                         *)
@@ -101,6 +124,247 @@ let key_schedules env ~unit_name counter (f : Ir.forall) =
   { f with Ir.f_pre = pre; f_post = post }
 
 (* ------------------------------------------------------------------ *)
+(* Loop-invariant communication hoisting                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything a statement list may write: array and scalar names in one
+   set (they share the front-end namespace).  [unsafe] is raised by
+   constructs whose effects we don't model precisely enough to hoist
+   across: CALL (the callee may write any actual argument) and RETURN
+   (the loop may exit before a later statement's comm would have run). *)
+let rec written_of stmts =
+  List.fold_left
+    (fun (w, unsafe) st ->
+      match st.Ir.s with
+      | Ir.Forall f -> (S.add f.Ir.f_lhs.Ast.base w, unsafe)
+      | Ir.Scalar_assign { name; _ } -> (S.add name w, unsafe)
+      | Ir.Element_assign { lhs; _ } -> (S.add lhs.Ast.base w, unsafe)
+      | Ir.Mover { target; _ } -> (S.add target w, unsafe)
+      | Ir.Do_loop { var; body; _ } ->
+          let w', u' = written_of body in
+          (S.add var (S.union w w'), unsafe || u')
+      | Ir.While_loop { body; _ } ->
+          let w', u' = written_of body in
+          (S.union w w', unsafe || u')
+      | Ir.If_block { arms; els } ->
+          List.fold_left
+            (fun (w, unsafe) ss ->
+              let w', u' = written_of ss in
+              (S.union w w', unsafe || u'))
+            (w, unsafe)
+            (els :: List.map snd arms)
+      | Ir.Call_sub _ | Ir.Return_stmt -> (w, true)
+      | Ir.Print_stmt _ | Ir.Comm_block _ -> (w, unsafe))
+    (S.empty, false) stmts
+
+(* An expression is loop-invariant when it mentions no scalar or array
+   the loop writes (Ast.vars_of covers scalars, refs_of covers array
+   reads inside subscripts). *)
+let invariant_expr forbidden e =
+  List.for_all (fun v -> not (S.mem v forbidden)) (Ast.vars_of e)
+  && List.for_all (fun (r : Ast.ref_) -> not (S.mem r.Ast.base forbidden)) (Ast.refs_of e)
+
+(* A comm may leave the loop when its source array is never written in
+   the body and every expression it evaluates is loop-invariant.  The
+   inspector-executor pair stays put (schedule reuse already amortizes
+   it), as do fused multicast-shifts and already-formed batches. *)
+let hoistable forbidden c =
+  match c with
+  | Ir.Overlap_shift { arr; _ } | Ir.Concat { arr; _ } -> not (S.mem arr forbidden)
+  | Ir.Multicast { arr; g; _ } -> (not (S.mem arr forbidden)) && invariant_expr forbidden g
+  | Ir.Transfer { arr; src; dest; _ } ->
+      (not (S.mem arr forbidden))
+      && invariant_expr forbidden src && invariant_expr forbidden dest
+  | Ir.Temp_shift { arr; amount; _ } ->
+      (not (S.mem arr forbidden)) && invariant_expr forbidden amount
+  | Ir.Multicast_shift _ | Ir.Precomp_read _ | Ir.Gather_read _ | Ir.Comm_batch _ -> false
+
+(* Pull hoistable pre-comms out of the foralls at the top level of a
+   loop body.  Foralls nested under IF arms stay untouched: their comms
+   run only when the (replicated) condition holds, and their subscripts
+   may not even be evaluable otherwise. *)
+let split_hoistable forbidden body =
+  let members = ref [] in
+  let body =
+    List.map
+      (fun bst ->
+        match bst.Ir.s with
+        | Ir.Forall f ->
+            let go, stay = List.partition (hoistable forbidden) f.Ir.f_pre in
+            members :=
+              !members
+              @ List.map (fun c -> { Ir.hc = c; hc_sid = bst.Ir.sid; hc_loc = bst.Ir.sloc }) go;
+            { bst with Ir.s = Ir.Forall { f with Ir.f_pre = stay } }
+        | _ -> bst)
+      body
+  in
+  (!members, body)
+
+let rec hoist_stmts stmts = List.concat_map hoist_stmt stmts
+
+and hoist_loop st ~guard ~loop_desc ~extra_forbidden body =
+  let body = hoist_stmts body in
+  let written, unsafe = written_of body in
+  let forbidden = S.union extra_forbidden written in
+  let members, body = if unsafe then ([], body) else split_hoistable forbidden body in
+  (members, body, guard, loop_desc, st)
+
+and hoist_stmt st =
+  let emit (members, body, guard, loop_desc, st) rebuild =
+    let loop = { st with Ir.s = rebuild body } in
+    if members = [] then [ loop ]
+    else
+      [
+        {
+          st with
+          Ir.s = Ir.Comm_block { cb_members = members; cb_guard = guard; cb_loop = loop_desc };
+        };
+        loop;
+      ]
+  in
+  match st.Ir.s with
+  | Ir.Do_loop { var; range; body } ->
+      emit
+        (hoist_loop st ~guard:(Ir.Guard_do range) ~loop_desc:("DO " ^ var)
+           ~extra_forbidden:(S.singleton var) body)
+        (fun body -> Ir.Do_loop { var; range; body })
+  | Ir.While_loop { cond; body } ->
+      emit
+        (hoist_loop st ~guard:(Ir.Guard_while cond) ~loop_desc:"DO WHILE"
+           ~extra_forbidden:S.empty body)
+        (fun body -> Ir.While_loop { cond; body })
+  | Ir.If_block { arms; els } ->
+      [
+        {
+          st with
+          Ir.s =
+            Ir.If_block
+              {
+                arms = List.map (fun (c, ss) -> (c, hoist_stmts ss)) arms;
+                els = hoist_stmts els;
+              };
+        };
+      ]
+  | _ -> [ st ]
+
+(* ------------------------------------------------------------------ *)
+(* Cross-statement message coalescing                                  *)
+(* ------------------------------------------------------------------ *)
+
+let expr_str e = Format.asprintf "%a" Ast.pp_expr e
+
+(* Comms that may join a batch, keyed so members of one batch target the
+   same communicating rank pairs: overlap shifts by (dim, direction),
+   transfers by (dim, src, dest). *)
+let batch_key = function
+  | Ir.Overlap_shift { dim; amount; _ } when amount <> 0 ->
+      Some (Printf.sprintf "shift:d%d:%c" dim (if amount > 0 then '+' else '-'))
+  | Ir.Transfer { dim; src; dest; _ } ->
+      Some (Printf.sprintf "transfer:d%d:%s:%s" dim (expr_str src) (expr_str dest))
+  | _ -> None
+
+(* Batch compatible comms within one maximal run of consecutive
+   FORALLs.  A later member may move up to the anchor statement when no
+   statement in between (the anchor included — its store phase runs
+   after its pre-comms) writes the member's source array or an array its
+   subscript expressions read.  Scalars cannot change inside a FORALL
+   run, so lhs arrays are the only hazard. *)
+let batch_run (run : Ir.stmt list) =
+  let stmts = Array.of_list run in
+  let n = Array.length stmts in
+  let foralls =
+    Array.map (fun st -> match st.Ir.s with Ir.Forall f -> f | _ -> assert false) stmts
+  in
+  let pres = Array.map (fun f -> Array.map Option.some (Array.of_list f.Ir.f_pre)) foralls in
+  let cands = ref [] in
+  Array.iteri
+    (fun i pre ->
+      Array.iteri
+        (fun j c ->
+          match c with
+          | Some c -> (
+              match batch_key c with Some k -> cands := (k, i, j) :: !cands | None -> ())
+          | None -> ())
+        pre)
+    pres;
+  let cands = List.rev !cands in
+  let keys =
+    List.sort_uniq compare (List.map (fun (k, _, _) -> k) cands)
+  in
+  List.iter
+    (fun key ->
+      match List.filter (fun (k, _, _) -> k = key) cands with
+      | [] | [ _ ] -> ()
+      | (_, i0, j0) :: rest ->
+          let written_upto i =
+            let s = ref S.empty in
+            for k = i0 to i - 1 do
+              s := S.add foralls.(k).Ir.f_lhs.Ast.base !s
+            done;
+            !s
+          in
+          let ok (_, i, j) =
+            let c = Option.get pres.(i).(j) in
+            let w = written_upto i in
+            (match Ir.comm_source c with Some a -> not (S.mem a w) | None -> false)
+            && (match c with
+               | Ir.Transfer { src; dest; _ } -> invariant_expr w src && invariant_expr w dest
+               | _ -> true)
+          in
+          let eligible = List.filter ok rest in
+          if eligible <> [] then begin
+            let all = (key, i0, j0) :: eligible in
+            let batch =
+              List.map (fun (_, i, j) -> (Option.get pres.(i).(j), stmts.(i).Ir.sid)) all
+            in
+            List.iter (fun (_, i, j) -> pres.(i).(j) <- None) all;
+            pres.(i0).(j0) <- Some (Ir.Comm_batch batch)
+          end)
+    keys;
+  List.init n (fun i ->
+      let pre = Array.to_list pres.(i) |> List.filter_map Fun.id in
+      { (stmts.(i)) with Ir.s = Ir.Forall { (foralls.(i)) with Ir.f_pre = pre } })
+
+let rec coalesce_stmts stmts =
+  let stmts = List.map coalesce_stmt stmts in
+  let out = ref [] in
+  let run = ref [] in
+  let flush () =
+    if !run <> [] then begin
+      out := List.rev_append (batch_run (List.rev !run)) !out;
+      run := []
+    end
+  in
+  List.iter
+    (fun st ->
+      match st.Ir.s with
+      | Ir.Forall _ -> run := st :: !run
+      | _ ->
+          flush ();
+          out := st :: !out)
+    stmts;
+  flush ();
+  List.rev !out
+
+and coalesce_stmt st =
+  match st.Ir.s with
+  | Ir.Do_loop { var; range; body } ->
+      { st with Ir.s = Ir.Do_loop { var; range; body = coalesce_stmts body } }
+  | Ir.While_loop { cond; body } ->
+      { st with Ir.s = Ir.While_loop { cond; body = coalesce_stmts body } }
+  | Ir.If_block { arms; els } ->
+      {
+        st with
+        Ir.s =
+          Ir.If_block
+            {
+              arms = List.map (fun (c, ss) -> (c, coalesce_stmts ss)) arms;
+              els = coalesce_stmts els;
+            };
+      }
+  | _ -> st
+
+(* ------------------------------------------------------------------ *)
 (* Pass driver                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -137,7 +401,10 @@ let apply flags (ir : Ir.program_ir) =
           if flags.schedule_reuse then key_schedules u.Ir.u_env ~unit_name:name counter fo
           else fo
         in
-        (name, { u with Ir.u_body = List.map (map_stmt on_forall) u.Ir.u_body }))
+        let body = List.map (map_stmt on_forall) u.Ir.u_body in
+        let body = if flags.hoist_comm then hoist_stmts body else body in
+        let body = if flags.coalesce then coalesce_stmts body else body in
+        (name, { u with Ir.u_body = body }))
       ir.Ir.p_units
   in
   { ir with Ir.p_units = units }

@@ -11,9 +11,25 @@
       (§5.3.1 example 3); disabling lowers to the two-step sequence;
     - {e schedule reuse}: inspector-built schedules whose index sets are
       provably loop-invariant (all inputs are named constants) get stable
-      cache keys, so re-executions skip preprocessing entirely. *)
+      cache keys, so re-executions skip preprocessing entirely;
+    - {e communication hoisting}: comms over arrays a DO/WHILE body never
+      writes, with loop-invariant subscripts, move to a guarded
+      {!F90d_ir.Ir.Comm_block} pre-header and run once instead of every
+      iteration;
+    - {e message coalescing}: within a straight-line FORALL run,
+      same-direction overlap shifts and same-endpoint transfers on
+      different arrays batch into one {!F90d_ir.Ir.Comm_batch} — one
+      packed message (one latency charge) per communicating rank pair.
+      The flag also enables the runtime's multicast replica cache, which
+      serves later reads of an unmodified broadcast slice locally. *)
 
-type flags = { shift_union : bool; fuse_mshift : bool; schedule_reuse : bool }
+type flags = {
+  shift_union : bool;
+  fuse_mshift : bool;
+  schedule_reuse : bool;
+  hoist_comm : bool;
+  coalesce : bool;
+}
 
 val all_on : flags
 val all_off : flags

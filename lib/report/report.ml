@@ -17,6 +17,14 @@ open F90d_ir
 (* u_explain records the primitives as detected; optimization passes may
    have fused or unioned them afterwards.  The statements themselves are
    the ground truth, so collect the final comm names per sid. *)
+(* Append-merge: the hoisting/coalescing passes move comms away from
+   their statement, so one sid's comms may be contributed from several
+   syntactic places (its own f_pre, a loop pre-header, another
+   statement's batch). *)
+let add_comms acc sid names =
+  let cur = match Hashtbl.find_opt acc sid with Some l -> l | None -> [] in
+  Hashtbl.replace acc sid (cur @ names)
+
 let rec stmt_comms acc (st : Ir.stmt) =
   match st.Ir.s with
   | Ir.Forall f ->
@@ -27,7 +35,29 @@ let rec stmt_comms acc (st : Ir.stmt) =
         | Some (Ir.Scatter_write _) -> [ "scatter_write" ]
         | None -> []
       in
-      Hashtbl.replace acc st.Ir.sid (pre @ post)
+      add_comms acc st.Ir.sid (pre @ post);
+      (* batch members lifted from *other* statements still belong to
+         those statements in the report *)
+      List.iter
+        (function
+          | Ir.Comm_batch members ->
+              List.iter
+                (fun (c, sid) ->
+                  if sid <> st.Ir.sid then
+                    add_comms acc sid
+                      [ Printf.sprintf "%s (coalesced into stmt %d)" (Ir.comm_name c) st.Ir.sid ])
+                members
+          | _ -> ())
+        f.Ir.f_pre
+  | Ir.Comm_block { cb_members; cb_loop; _ } ->
+      List.iter
+        (fun { Ir.hc; hc_sid; _ } ->
+          add_comms acc hc_sid
+            [
+              Printf.sprintf "%s (hoisted out of %s, line %d)" (Ir.comm_name hc) cb_loop
+                st.Ir.sloc.Loc.line;
+            ])
+        cb_members
   | Ir.Do_loop { body; _ } | Ir.While_loop { body; _ } -> List.iter (stmt_comms acc) body
   | Ir.If_block { arms; els } ->
       List.iter (fun (_, b) -> List.iter (stmt_comms acc) b) arms;

@@ -32,8 +32,8 @@ let trace t = Engine.trace t.eng
 let set_stmt t ~sid ~loc = Engine.set_stmt t.eng ~sid ~loc
 let current_stmt t = Engine.current_stmt t.eng
 
-let send t ~dest ~tag payload =
-  Engine.send t.eng ~dest:(Grid.phys_of_rank t.grid dest) ~tag payload
+let send ?parts t ~dest ~tag payload =
+  Engine.send ?parts t.eng ~dest:(Grid.phys_of_rank t.grid dest) ~tag payload
 
 let recv t ~src ~tag = Engine.recv t.eng ~src:(Grid.phys_of_rank t.grid src) ~tag
 

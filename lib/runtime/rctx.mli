@@ -51,8 +51,10 @@ val nprocs : t -> int
 val my_coords : t -> int array
 val time : t -> float
 
-val send : t -> dest:int -> tag:int -> F90d_machine.Message.payload -> unit
-(** [dest] is a grid rank. *)
+val send :
+  ?parts:(int * int) array -> t -> dest:int -> tag:int -> F90d_machine.Message.payload -> unit
+(** [dest] is a grid rank.  [parts] is the traced per-member
+    (sid, bytes) split of a coalesced batch message. *)
 
 val recv : t -> src:int -> tag:int -> F90d_machine.Message.t
 

@@ -263,3 +263,165 @@ let multicast_shift ctx (darr : Darray.t) ~mdim ~g ~sdim ~amount =
   | _ -> Diag.bug "multicast_shift: protocol error"
 
 let concat ctx (darr : Darray.t) = Darray.gather_global ctx darr
+
+(* ------------------------------------------------------------------ *)
+(* Coalesced batches                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* One packed message per communicating rank pair.  Members keep their
+   individual peer plans (arrays in one batch may have different
+   distributions); what changes is the wire format: all member slabs
+   bound for the same destination travel as one [Message.List] in batch
+   member order, so the engine charges one latency per pair.  Both ends
+   derive the member-order pair membership from the (globally known)
+   layouts, exactly as the unbatched primitives do, so packing and
+   unpacking agree without any extra control message.  [parts] carries
+   the (member sid, member bytes) split for trace attribution. *)
+
+let nd_of = function Message.Arr a -> a | _ -> Diag.bug "batch: protocol error"
+
+let send_grouped ctx ~tag outs =
+  (* outs: (dest rank, sid, payload) in batch member order *)
+  let per_dest = Hashtbl.create 8 in
+  List.iter
+    (fun (dest, sid, p) ->
+      Hashtbl.replace per_dest dest
+        ((sid, p) :: Option.value (Hashtbl.find_opt per_dest dest) ~default:[]))
+    outs;
+  Hashtbl.fold (fun dest _ acc -> dest :: acc) per_dest [] |> List.sort compare
+  |> List.iter (fun dest ->
+         let items = List.rev (Hashtbl.find per_dest dest) in
+         let parts =
+           Array.of_list (List.map (fun (sid, p) -> (sid, Message.payload_bytes p)) items)
+         in
+         Rctx.send ~parts ctx ~dest ~tag (Message.List (List.map snd items)))
+
+let recv_grouped ctx ~tag ins consume =
+  (* ins: (src rank, item) in batch member order; calls [consume item
+     payload] member-by-member as each pair's packed message arrives *)
+  let per_src = Hashtbl.create 8 in
+  List.iter
+    (fun (src, item) ->
+      Hashtbl.replace per_src src
+        (item :: Option.value (Hashtbl.find_opt per_src src) ~default:[]))
+    ins;
+  Hashtbl.fold (fun src _ acc -> src :: acc) per_src [] |> List.sort compare
+  |> List.iter (fun src ->
+         let items = List.rev (Hashtbl.find per_src src) in
+         let payloads = Message.list (Rctx.recv ctx ~src ~tag) in
+         if List.length payloads <> List.length items then
+           Diag.bug "batch: pair member count mismatch";
+         List.iter2 consume items payloads)
+
+let overlap_shift_batch ctx members =
+  let members = List.filter (fun (_, _, amount, _) -> amount <> 0) members in
+  let plans =
+    List.map
+      (fun ((darr : Darray.t), dim, amount, sid) ->
+        let dad = darr.Darray.dad in
+        let d = (Dad.dims dad).(dim) in
+        let counts = my_counts ctx darr in
+        let w = abs amount in
+        (match Dad.layout_at dad ~dim ~rank:(Rctx.me ctx) with
+        | Layout.Prog { step = 1; _ } -> ()
+        | _ ->
+            Diag.bug "overlap_shift: layout of %s dim %d is not contiguous" (Dad.name dad)
+              (dim + 1));
+        if (amount > 0 && d.Dad.ghost_hi < w) || (amount < 0 && d.Dad.ghost_lo < w) then
+          Diag.bug "overlap_shift: ghost area of %s dim %d narrower than shift %d"
+            (Dad.name dad) (dim + 1) amount;
+        let pd = pdim_of darr dim in
+        let team = Collectives.team_along ctx ~dim:pd in
+        let coord = my_coord ctx darr dim in
+        let m = Array.length team in
+        let range c =
+          match Dad.layout_at dad ~dim ~rank:team.(c) with
+          | Layout.Prog { first; step = 1; count } -> (first, count)
+          | _ ->
+              Diag.bug "overlap_shift: layout of %s dim %d is not contiguous" (Dad.name dad)
+                (dim + 1)
+        in
+        let ghosts c =
+          let first, cnt = range c in
+          if cnt = 0 then []
+          else if amount > 0 then
+            List.init w (fun i -> (first + cnt + i, cnt + i))
+            |> List.filter (fun (g, _) -> g < d.Dad.extent)
+          else List.init w (fun i -> (first - w + i, -w + i)) |> List.filter (fun (g, _) -> g >= 0)
+        in
+        let owner g = owner_coord darr dim g in
+        let my_first, _ = range coord in
+        let outs = ref [] in
+        for c = 0 to m - 1 do
+          if c <> coord then begin
+            let positions =
+              ghosts c
+              |> List.filter_map (fun (g, _) ->
+                     if owner g = coord then Some (g - my_first) else None)
+              |> Array.of_list
+            in
+            if Array.length positions > 0 then
+              outs :=
+                ( team.(c),
+                  sid,
+                  Message.Arr (gather_dim_slices ctx darr.Darray.local ~dim ~counts positions) )
+                :: !outs
+          end
+        done;
+        let from_peer = Array.make m [] in
+        List.iter
+          (fun (g, slot) ->
+            let c = owner g in
+            if c <> coord then from_peer.(c) <- slot :: from_peer.(c))
+          (ghosts coord);
+        let ins = ref [] in
+        for c = 0 to m - 1 do
+          if from_peer.(c) <> [] then
+            ins := (team.(c), (darr, dim, Array.of_list (List.rev from_peer.(c)))) :: !ins
+        done;
+        (List.rev !outs, List.rev !ins))
+      members
+  in
+  send_grouped ctx ~tag:Tags.shift (List.concat_map fst plans);
+  recv_grouped ctx ~tag:Tags.shift
+    (List.concat_map snd plans)
+    (fun ((darr : Darray.t), dim, slots) p ->
+      scatter_dim_slices ctx ~dst:darr.Darray.local ~dim ~origin:0 slots (nd_of p))
+
+let transfer_batch ctx members =
+  let me = Rctx.me ctx in
+  let plans =
+    List.map
+      (fun ((darr : Darray.t), dim, gsrc, gdest, sid) ->
+        let src_coord = owner_coord darr dim gsrc in
+        let dest_coord = owner_coord darr dim gdest in
+        let team = Collectives.team_along ctx ~dim:(pdim_of darr dim) in
+        let src_rank = team.(src_coord) and dest_rank = team.(dest_coord) in
+        let payload =
+          if src_rank = me then begin
+            let counts = my_counts ctx darr in
+            let pos =
+              Layout.local_of_global (Dad.layout_at darr.Darray.dad ~dim ~rank:me) gsrc
+            in
+            Some (Message.Arr (gather_dim_slices ctx darr.Darray.local ~dim ~counts [| pos |]))
+          end
+          else None
+        in
+        (sid, src_rank, dest_rank, payload))
+      members
+  in
+  let results = Array.make (List.length plans) None in
+  let outs = ref [] and ins = ref [] in
+  List.iteri
+    (fun i (sid, src_rank, dest_rank, payload) ->
+      match payload with
+      | Some p when src_rank = dest_rank ->
+          (* purely local: charge the copy, no message *)
+          Rctx.charge_copy_bytes ctx (Message.payload_bytes p);
+          results.(i) <- Some (nd_of p)
+      | Some p -> outs := (dest_rank, sid, p) :: !outs
+      | None -> if dest_rank = me && src_rank <> me then ins := (src_rank, i) :: !ins)
+    plans;
+  send_grouped ctx ~tag:Tags.transfer (List.rev !outs);
+  recv_grouped ctx ~tag:Tags.transfer (List.rev !ins) (fun i p -> results.(i) <- Some (nd_of p));
+  Array.to_list results

@@ -50,3 +50,20 @@ val multicast_shift :
 
 val concat : Rctx.t -> Darray.t -> Ndarray.t
 (** The concatenation primitive: the full global array, replicated. *)
+
+(** {2 Coalesced batches}
+
+    Batched variants pack every member slab bound for the same rank pair
+    into one [Message.List] (member order), charging one latency per
+    pair instead of one per member.  Members carry the sid of the
+    statement whose traffic they perform; each packed send is traced
+    with the per-member (sid, bytes) split. *)
+
+val overlap_shift_batch : Rctx.t -> (Darray.t * int * int * int) list -> unit
+(** Members are [(darr, dim, amount, sid)]; semantics of each member are
+    exactly {!overlap_shift}.  Arrays may have different distributions —
+    pair membership is derived per member from the layouts. *)
+
+val transfer_batch : Rctx.t -> (Darray.t * int * int * int * int) list -> Ndarray.t option list
+(** Members are [(darr, dim, gsrc, gdest, sid)]; returns each member's
+    {!transfer} result in order. *)

@@ -78,15 +78,24 @@ let stmt_rows tr =
     Array.iter
       (fun (ev : Trace.event) ->
         match ev.Trace.kind with
-        | Trace.Send { bytes; sid; _ } ->
+        | Trace.Send { bytes; sid; parts; _ } ->
+            (* A coalesced batch is one physical message (counted, with
+               its latency, on the statement that hosts the batch) whose
+               bytes split back to the member statements; member bytes
+               sum to [bytes], so totals still reconcile with Stats. *)
             let r = get sid in
             r :=
               {
                 !r with
                 s_msgs = !r.s_msgs + 1;
-                s_bytes = !r.s_bytes + bytes;
+                s_bytes = (!r.s_bytes + if Array.length parts = 0 then bytes else 0);
                 s_send_s = !r.s_send_s +. (ev.Trace.t1 -. ev.Trace.t0);
-              }
+              };
+            Array.iter
+              (fun (psid, pbytes) ->
+                let r = get psid in
+                r := { !r with s_bytes = !r.s_bytes + pbytes })
+              parts
         | Trace.Recv { sid; _ } ->
             let r = get sid in
             r := { !r with s_wait_s = !r.s_wait_s +. (ev.Trace.t1 -. ev.Trace.t0) }

@@ -10,8 +10,19 @@ open F90d_base
    internals outside any statement).  The interpreter stamps the current
    sid via [set_stmt] before executing each statement, so attribution
    costs one integer store per statement, not per event. *)
+(* [parts] is non-empty only for coalesced batch sends: (member sid,
+   member bytes) in packing order, summing to the event's [bytes], so
+   profiles can split one physical message back to the statements whose
+   traffic it carries. *)
 type kind =
-  | Send of { dest : int; tag : int; bytes : int; arrival : float; sid : int }
+  | Send of {
+      dest : int;
+      tag : int;
+      bytes : int;
+      arrival : float;
+      sid : int;
+      parts : (int * int) array;
+    }
   | Recv of { src : int; tag : int; arrival : float; sid : int }
   | Span of { name : string; cat : string; bytes : int; sid : int }
   | Mark of { name : string; cat : string; sid : int }
@@ -54,10 +65,10 @@ let push r ev =
   r.ring.(r.len) <- ev;
   r.len <- r.len + 1
 
-let send h ~t0 ~t1 ~dest ~tag ~bytes ~arrival =
+let send ?(parts = [||]) h ~t0 ~t1 ~dest ~tag ~bytes ~arrival =
   match h with
   | None -> ()
-  | Some r -> push r { t0; t1; kind = Send { dest; tag; bytes; arrival; sid = r.sid } }
+  | Some r -> push r { t0; t1; kind = Send { dest; tag; bytes; arrival; sid = r.sid; parts } }
 
 let recv h ~t0 ~t1 ~src ~tag ~arrival =
   match h with
@@ -145,11 +156,21 @@ let chrome_event b ~pid ev =
       (escape name) (escape cat) ph pid (us t)
   in
   (match ev.kind with
-  | Send { dest; tag; bytes; arrival; sid } ->
+  | Send { dest; tag; bytes; arrival; sid; parts } ->
       common ~name:(Printf.sprintf "send tag=%d" tag) ~cat:"send" ~ph:"X" ~t:ev.t0;
       Printf.bprintf b
-        ",\"dur\":%s,\"args\":{\"dest\":%d,\"tag\":%d,\"bytes\":%d,\"arrival_us\":%s,\"sid\":%d}"
-        (us (ev.t1 -. ev.t0)) dest tag bytes (us arrival) sid
+        ",\"dur\":%s,\"args\":{\"dest\":%d,\"tag\":%d,\"bytes\":%d,\"arrival_us\":%s,\"sid\":%d"
+        (us (ev.t1 -. ev.t0)) dest tag bytes (us arrival) sid;
+      if Array.length parts > 0 then begin
+        Buffer.add_string b ",\"parts\":[";
+        Array.iteri
+          (fun i (psid, pbytes) ->
+            if i > 0 then Buffer.add_char b ',';
+            Printf.bprintf b "[%d,%d]" psid pbytes)
+          parts;
+        Buffer.add_char b ']'
+      end;
+      Buffer.add_char b '}'
   | Recv { src; tag; arrival; sid } ->
       common ~name:(Printf.sprintf "recv tag=%d" tag) ~cat:"recv" ~ph:"X" ~t:ev.t0;
       Printf.bprintf b

@@ -28,7 +28,16 @@
     statement). *)
 
 type kind =
-  | Send of { dest : int; tag : int; bytes : int; arrival : float; sid : int }
+  | Send of {
+      dest : int;
+      tag : int;
+      bytes : int;
+      arrival : float;
+      sid : int;
+      parts : (int * int) array;
+    }
+      (** [parts] is non-empty only for coalesced batch sends: (member
+          sid, member bytes) in packing order, summing to [bytes]. *)
   | Recv of { src : int; tag : int; arrival : float; sid : int }
       (** [t1 > t0] iff the receiver blocked ([t1] = arrival). *)
   | Span of { name : string; cat : string; bytes : int; sid : int }
@@ -56,7 +65,15 @@ val current_sid : handle -> int
 (** The sid last set with {!set_stmt} (0 initially or on [disabled]). *)
 
 val send :
-  handle -> t0:float -> t1:float -> dest:int -> tag:int -> bytes:int -> arrival:float -> unit
+  ?parts:(int * int) array ->
+  handle ->
+  t0:float ->
+  t1:float ->
+  dest:int ->
+  tag:int ->
+  bytes:int ->
+  arrival:float ->
+  unit
 
 val recv : handle -> t0:float -> t1:float -> src:int -> tag:int -> arrival:float -> unit
 
