@@ -653,6 +653,7 @@ type ab_row = {
   ab_bytes : int;
   ab_elapsed : float;
   ab_wait : float;
+  ab_hidden : float;
 }
 
 let json_pass_flags (f : F90d_opt.Passes.flags) =
@@ -663,6 +664,8 @@ let json_pass_flags (f : F90d_opt.Passes.flags) =
       ("schedule_reuse", Json.Bool f.F90d_opt.Passes.schedule_reuse);
       ("hoist_comm", Json.Bool f.F90d_opt.Passes.hoist_comm);
       ("coalesce", Json.Bool f.F90d_opt.Passes.coalesce);
+      ("split_comm", Json.Bool f.F90d_opt.Passes.split_comm);
+      ("lookahead", Json.Bool f.F90d_opt.Passes.lookahead);
     ]
 
 (* Each pass alone on top of all_off, bracketed by all_off and all_on, so
@@ -684,6 +687,7 @@ let run_ablate () =
       ab_bytes = r.Driver.stats.Stats.bytes;
       ab_elapsed = r.Driver.elapsed;
       ab_wait = r.Driver.stats.Stats.recv_wait;
+      ab_hidden = r.Driver.stats.Stats.recv_wait_hidden;
     }
   in
   run "all_off" Passes.all_off
@@ -695,6 +699,11 @@ let run_ablate () =
          ("schedule_reuse", { Passes.all_off with Passes.schedule_reuse = true });
          ("hoist_comm", { Passes.all_off with Passes.hoist_comm = true });
          ("coalesce", { Passes.all_off with Passes.coalesce = true });
+         (* split-phase needs the pass on; lookahead additionally
+            pipelines the loop-carried issue one step ahead *)
+         ("split_comm", { Passes.all_off with Passes.split_comm = true });
+         ( "split+lookahead",
+           { Passes.all_off with Passes.split_comm = true; Passes.lookahead = true } );
        ]
   @ [ run "all_on" Passes.all_on ]
 
@@ -703,12 +712,12 @@ let ablate_table rows =
     (Printf.sprintf
        "Ablation on gauss (%dx%d, 16 PEs, iPSC/860): each pass alone vs all off" table4_n
        (table4_n + 1));
-  Printf.printf "%-16s %10s %12s %12s %12s\n" "passes" "msgs" "bytes" "elapsed(s)"
-    "recv_wait(s)";
+  Printf.printf "%-16s %10s %12s %12s %12s %10s\n" "passes" "msgs" "bytes" "elapsed(s)"
+    "recv_wait(s)" "hidden(s)";
   List.iter
     (fun r ->
-      Printf.printf "%-16s %10d %12d %12.4f %12.4f\n" r.ab_name r.ab_msgs r.ab_bytes
-        r.ab_elapsed r.ab_wait)
+      Printf.printf "%-16s %10d %12d %12.4f %12.4f %10.4f\n" r.ab_name r.ab_msgs r.ab_bytes
+        r.ab_elapsed r.ab_wait r.ab_hidden)
     rows
 
 let json_ablation rows =
@@ -723,6 +732,7 @@ let json_ablation rows =
              ("bytes", Json.Int r.ab_bytes);
              ("f90d_elapsed_s", Json.Float r.ab_elapsed);
              ("recv_wait_s", Json.Float r.ab_wait);
+             ("recv_wait_hidden_s", Json.Float r.ab_hidden);
            ])
        rows)
 
@@ -747,6 +757,7 @@ let json_hot_statements ?(top = 5) () =
              ("bytes", Json.Int h.F90d_report.Report.h_bytes);
              ("send_busy_s", Json.Float h.F90d_report.Report.h_send_s);
              ("recv_wait_s", Json.Float h.F90d_report.Report.h_wait_s);
+             ("recv_wait_hidden_s", Json.Float h.F90d_report.Report.h_hidden_s);
              ("critical_path_wire_s", Json.Float h.F90d_report.Report.h_cp_s);
            ])
   |> fun rows -> Json.List rows
@@ -779,6 +790,7 @@ let json_table4 ?ablation ~jobs ~host_wall rows4 =
                    ("messages", Json.Int r.t4_stats.Stats.messages);
                    ("bytes", Json.Int r.t4_stats.Stats.bytes);
                    ("recv_wait_s", Json.Float r.t4_stats.Stats.recv_wait);
+                   ("recv_wait_hidden_s", Json.Float r.t4_stats.Stats.recv_wait_hidden);
                    ("sched_builds", Json.Int r.t4_stats.Stats.sched_builds);
                    ("sched_hits", Json.Int r.t4_stats.Stats.sched_hits);
                  ])

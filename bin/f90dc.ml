@@ -11,15 +11,21 @@ let read_source = function
   | path -> In_channel.with_open_text path In_channel.input_all
 
 let demo_source name nprocs =
+  let n =
+    match Sys.getenv_opt "F90D_DEMO_N" with
+    | Some s -> (try max 4 (int_of_string (String.trim s)) with _ -> 64)
+    | None -> 64
+  in
   match String.lowercase_ascii name with
-  | "gauss" -> F90d.Programs.gauss ~n:64
-  | "jacobi" -> F90d.Programs.jacobi ~n:64 ~iters:10
+  | "gauss" -> F90d.Programs.gauss ~n
+  | "gauss-cyclic" -> F90d.Programs.gauss_dist ~dist:`Cyclic ~n
+  | "jacobi" -> F90d.Programs.jacobi ~n ~iters:10
   | "jacobi2d" ->
       let rec split p q = if p <= q then (p, q) else split (p / 2) (q * 2) in
       let p, q = split nprocs 1 in
       F90d.Programs.jacobi2d ~n:30 ~iters:5 ~p ~q
-  | "irregular" -> F90d.Programs.irregular ~n:64
-  | "fft" -> F90d.Programs.fft_butterfly ~n:64
+  | "irregular" -> F90d.Programs.irregular ~n
+  | "fft" -> F90d.Programs.fft_butterfly ~n
   | other -> raise (Invalid_argument ("unknown demo program: " ^ other))
 
 let model_of_name = function
@@ -52,6 +58,8 @@ let run_cmd source demo nprocs jobs machine emit explain explain_json profile_js
           | "schedule-reuse" -> { f with F90d_opt.Passes.schedule_reuse = false }
           | "hoist-comm" -> { f with F90d_opt.Passes.hoist_comm = false }
           | "coalesce" -> { f with F90d_opt.Passes.coalesce = false }
+          | "split-comm" -> { f with F90d_opt.Passes.split_comm = false }
+          | "lookahead" -> { f with F90d_opt.Passes.lookahead = false }
           | other -> raise (Invalid_argument ("unknown optimization pass: " ^ other)))
         base no_passes
     in
@@ -117,7 +125,10 @@ let source =
   Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
 
 let demo =
-  let doc = "Compile a built-in demo program: gauss, jacobi, jacobi2d, irregular, fft." in
+  let doc =
+    "Compile a built-in demo program: gauss, gauss-cyclic, jacobi, jacobi2d, irregular, \
+     fft.  The F90D_DEMO_N environment variable overrides the problem size (default 64)."
+  in
   Arg.(value & opt (some string) None & info [ "demo" ] ~docv:"NAME" ~doc)
 
 let nprocs =
@@ -172,7 +183,7 @@ let no_passes =
       value & flag
       & info [ "fno-" ^ name ] ~doc:(Printf.sprintf "Disable the %s optimization pass." doc))
   in
-  let combine su fm sr hc co =
+  let combine su fm sr hc co sp la =
     List.concat
       [
         (if su then [ "shift-union" ] else []);
@@ -180,6 +191,8 @@ let no_passes =
         (if sr then [ "schedule-reuse" ] else []);
         (if hc then [ "hoist-comm" ] else []);
         (if co then [ "coalesce" ] else []);
+        (if sp then [ "split-comm" ] else []);
+        (if la then [ "lookahead" ] else []);
       ]
   in
   Term.(
@@ -188,7 +201,9 @@ let no_passes =
     $ pass "fuse-mshift" "multicast-shift fusion"
     $ pass "schedule-reuse" "inspector schedule reuse"
     $ pass "hoist-comm" "loop-invariant communication hoisting"
-    $ pass "coalesce" "cross-statement message coalescing (and its replica cache)")
+    $ pass "coalesce" "cross-statement message coalescing (and its replica cache)"
+    $ pass "split-comm" "split-phase communication (issue/wait overlap)"
+    $ pass "lookahead" "loop-carried multicast lookahead pipelining")
 
 let show_finals =
   let doc = "Print the final contents of every array of the main program." in

@@ -47,8 +47,8 @@ let spec =
     ("--jobs", Arg.String (fun s -> jobs := parse_csv s), "CSV  jobs axis (default 1,4)");
     ( "--flags",
       Arg.String (fun s -> flag_sets := parse_flag_sets s),
-      "CSV  pass-flag axis: on, off, hoist, coalesce, no-hoist, no-coalesce (default on,off)"
-    );
+      "CSV  pass-flag axis: on, off, hoist, coalesce, split, lookahead, no-hoist, \
+       no-coalesce, no-split, no-lookahead (default on,off)" );
     ("--quiet", Arg.Set quiet, "   only report failures");
     ("--replay", Arg.Set_string replay, "FILE  differentially check one .f90d source file");
   ]

@@ -218,19 +218,102 @@ let same_subscripts (a : Ast.ref_) (b : Ast.ref_) =
   List.length a.Ast.args = List.length b.Ast.args
   && List.for_all2 same_section a.Ast.args b.Ast.args
 
+(* Affine view of a subscript as constant + integer combination of
+   variables, for proving two subscripts never meet.  [const_diff e1 e2]
+   is [Some d] when e1 - e2 normalizes to the constant d (all variable
+   terms cancel symbolically). *)
+let rec affine (e : Ast.expr) : (int * (string * int) list) option =
+  let add_term vs (v, k) =
+    let k = k + Option.value (List.assoc_opt v vs) ~default:0 in
+    (v, k) :: List.remove_assoc v vs
+  in
+  let combine sign a b =
+    match (affine a, affine b) with
+    | Some (ca, va), Some (cb, vb) ->
+        Some
+          ( ca + (sign * cb),
+            List.fold_left add_term va (List.map (fun (v, k) -> (v, sign * k)) vb) )
+    | _ -> None
+  in
+  match e.Ast.e with
+  | Ast.Int_lit n -> Some (n, [])
+  | Ast.Var v -> Some (0, [ (v, 1) ])
+  | Ast.Bin (Ast.Add, a, b) -> combine 1 a b
+  | Ast.Bin (Ast.Sub, a, b) -> combine (-1) a b
+  | Ast.Bin (Ast.Mul, { Ast.e = Ast.Int_lit n; _ }, b) | Ast.Bin (Ast.Mul, b, { Ast.e = Ast.Int_lit n; _ })
+    -> (
+      match affine b with
+      | Some (c, vs) -> Some (n * c, List.map (fun (v, k) -> (v, n * k)) vs)
+      | None -> None)
+  | _ -> None
+
+let const_diff e1 e2 =
+  match (affine e1, affine e2) with
+  | Some (c1, v1), Some (c2, v2) ->
+      let keys = List.sort_uniq compare (List.map fst v1 @ List.map fst v2) in
+      if
+        List.for_all
+          (fun v ->
+            Option.value (List.assoc_opt v v1) ~default:0
+            = Option.value (List.assoc_opt v v2) ~default:0)
+          keys
+      then Some (c1 - c2)
+      else None
+  | _ -> None
+
 (* Does the loop need a pre-loop snapshot of the lhs local section?  Only
    Acc_direct reads are hazardous: every other access path reads a
    temporary filled during pre-communication, i.e. before any store.
    Reads with the exact lhs subscript are safe — each iteration reads its
-   own element strictly before writing it. *)
+   own element strictly before writing it.  A read with a different
+   subscript is still safe when one dimension provably separates every
+   write from every read: the lhs subscript there is a bare loop
+   variable (so it takes exactly the iterated values, all within
+   [lo, hi]), the read's subscript is loop-invariant, and the invariant
+   value lies strictly outside the variable's bounds (gauss's update
+   writes A(I,J), I = K+1..N while reading A(K,J)). *)
 let needs_snapshot (f : Ir.forall) =
   let direct (r : Ast.ref_) =
     match List.assoc_opt r.Ast.rid f.Ir.f_access with
     | None | Some Ir.Acc_direct -> true
     | Some _ -> false
   in
+  let var_names = List.map fst f.Ir.f_vars in
+  let invariant e = List.for_all (fun v -> not (List.mem v var_names)) (Ast.vars_of e) in
+  let never_equal (ri : Ast.range) e =
+    (* with an ascending range the iterated values satisfy
+       lo <= v <= hi, so either bound strictly beyond [e] separates;
+       mirrored for a descending literal step *)
+    let ascending =
+      match ri.Ast.st with
+      | None -> true
+      | Some { Ast.e = Ast.Int_lit n; _ } -> n > 0
+      | Some _ -> false
+    in
+    let descending =
+      match ri.Ast.st with Some { Ast.e = Ast.Int_lit n; _ } -> n < 0 | _ -> false
+    in
+    let lo = const_diff ri.Ast.lo e and hi = const_diff ri.Ast.hi e in
+    let gt = function Some d -> d > 0 | None -> false in
+    let lt = function Some d -> d < 0 | None -> false in
+    (ascending && (gt lo || lt hi)) || (descending && (lt lo || gt hi))
+  in
+  let separated_dim (la : Ast.section) (ra : Ast.section) =
+    match (la, ra) with
+    | Ast.Elem { Ast.e = Ast.Var i; _ }, Ast.Elem e -> (
+        match List.assoc_opt i f.Ir.f_vars with
+        | Some ri -> invariant e && never_equal ri e
+        | None -> false)
+    | _ -> false
+  in
+  let provably_disjoint (r : Ast.ref_) =
+    List.length r.Ast.args = List.length f.Ir.f_lhs.Ast.args
+    && List.exists2 separated_dim f.Ir.f_lhs.Ast.args r.Ast.args
+  in
   let hazardous (r : Ast.ref_) =
-    r.Ast.base = f.Ir.f_lhs.Ast.base && direct r && not (same_subscripts r f.Ir.f_lhs)
+    r.Ast.base = f.Ir.f_lhs.Ast.base && direct r
+    && not (same_subscripts r f.Ir.f_lhs)
+    && not (provably_disjoint r)
   in
   let refs =
     Ast.refs_of f.Ir.f_rhs

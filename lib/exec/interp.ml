@@ -25,6 +25,21 @@ type temp_val = Tbox of Ndarray.t | Tflat of Ndarray.t | Tglobal of Ndarray.t
    serve decision can never diverge across ranks. *)
 type replica = { rv_version : int; rv_dim : int; rv_g0 : int; rv_slab : Ndarray.t }
 
+(* A split-phase pre-communication between its issue and its wait.
+   [Pserved]: the issue was answered from the replica cache, nothing in
+   flight — the wait just publishes the slab.  [Pflight]: the broadcast
+   tree is running; the wait completes it and (like the blocking path)
+   publishes the received slab to the replica cache. *)
+type pending_comm =
+  | Pserved of { pc_temp : int; pc_slab : Ndarray.t }
+  | Pflight of {
+      pc_temp : int;
+      pc_arr : string;
+      pc_dim : int;
+      pc_g0 : int;
+      pc_bp : Collectives.bcast_pending;
+    }
+
 type ustate = {
   ctx : Rctx.t;
   prog : Ir.program_ir;
@@ -39,6 +54,10 @@ type ustate = {
           here when their own table misses *)
   replicas : (string, replica) Hashtbl.t;
   coalesce : bool;  (** runtime half of the coalesce pass (replica cache) *)
+  pending : (int, pending_comm) Hashtbl.t;
+      (** split-phase comms issued but not yet waited, keyed by the
+          pass-assigned slot id ([Ir.split.sp_hid]); empty between any
+          issue/wait-balanced program points *)
 }
 
 type frame = {
@@ -561,6 +580,60 @@ let multicast_slab st arr ~dim ~g0 =
         slab
   end
 
+(* The two halves of a split-phase multicast (pass 6).  The issue makes
+   the replica-cache serve/miss decision — at issue time, with the same
+   replicated inputs as {!multicast_slab}, so no rank diverges — and on a
+   miss starts the nonblocking broadcast tree.  The wait publishes the
+   slab into the unit's persistent temp table (split comms, like hoisted
+   ones, live outside any FORALL frame) and, on the in-flight path,
+   refreshes the replica cache exactly as the blocking path would. *)
+let exec_comm_issue st hid (c : Ir.comm) =
+  log_comm st c;
+  match c with
+  | Ir.Multicast { arr; dim; g; temp } ->
+      if Hashtbl.mem st.pending hid then Diag.bug "interp: double issue on split slot %d" hid;
+      let g0 = zero_based_sub st arr ~dim g in
+      let darr = darray_of st arr in
+      let served =
+        if not st.coalesce then None
+        else
+          let ver = Rctx.version st.ctx (version_key st arr) in
+          match Hashtbl.find_opt st.replicas arr with
+          | Some rv when rv.rv_version = ver && rv.rv_dim = dim && rv.rv_g0 = g0 ->
+              Some rv.rv_slab
+          | _ -> None
+      in
+      (match served with
+      | Some slab -> Hashtbl.replace st.pending hid (Pserved { pc_temp = temp; pc_slab = slab })
+      | None ->
+          let bp = Structured.multicast_issue st.ctx darr ~dim ~g:g0 in
+          Hashtbl.replace st.pending hid
+            (Pflight { pc_temp = temp; pc_arr = arr; pc_dim = dim; pc_g0 = g0; pc_bp = bp }))
+  | c -> Diag.bug "interp: split issue of non-multicast comm %s" (Ir.comm_name c)
+
+let exec_comm_wait st hid =
+  match Hashtbl.find_opt st.pending hid with
+  | None -> Diag.bug "interp: wait on empty split slot %d" hid
+  | Some p -> (
+      Hashtbl.remove st.pending hid;
+      match p with
+      | Pserved { pc_temp; pc_slab } -> Hashtbl.replace st.ptemps pc_temp (Tbox pc_slab)
+      | Pflight { pc_temp; pc_arr; pc_dim; pc_g0; pc_bp } ->
+          let slab = Structured.multicast_wait st.ctx pc_bp in
+          Hashtbl.replace st.ptemps pc_temp (Tbox slab);
+          if st.coalesce then
+            (* The intervening statements provably did not write the
+               broadcast slice (split legality), so the slab equals the
+               slice under the current version even if other parts of
+               the array changed since the issue. *)
+            Hashtbl.replace st.replicas pc_arr
+              {
+                rv_version = Rctx.version st.ctx (version_key st pc_arr);
+                rv_dim = pc_dim;
+                rv_g0 = pc_g0;
+                rv_slab = slab;
+              })
+
 (* Comms that do not need the FORALL frame (everything but the inspector
    ops) — executable from a loop pre-header, where [ftemps] is the unit's
    persistent table [st.ptemps]. *)
@@ -970,6 +1043,7 @@ let fresh_ustate st (u : Ir.unit_ir) =
     arrays;
     ptemps = Hashtbl.create 8;
     replicas = Hashtbl.create 4;
+    pending = Hashtbl.create 4;
   }
 
 (* Every statement stamps its provenance into the engine before running:
@@ -1098,6 +1172,47 @@ and exec_node st (s : Ir.stmt) =
             exec_comm_simple st st.ptemps hc)
           cb_members;
       Rctx.set_stmt st.ctx ~sid:s.Ir.sid ~loc:s.Ir.sloc
+  | Ir.Comm_issue { sp_hid; sp_comm; sp_guard } ->
+      if split_guard_active st sp_guard then begin
+        Rctx.set_stmt st.ctx ~sid:sp_comm.Ir.hc_sid ~loc:sp_comm.Ir.hc_loc;
+        exec_comm_issue st sp_hid sp_comm.Ir.hc;
+        Rctx.set_stmt st.ctx ~sid:s.Ir.sid ~loc:s.Ir.sloc
+      end
+  | Ir.Comm_wait { sp_hid; sp_comm; sp_guard } ->
+      if split_guard_active st sp_guard then begin
+        Rctx.set_stmt st.ctx ~sid:sp_comm.Ir.hc_sid ~loc:sp_comm.Ir.hc_loc;
+        exec_comm_wait st sp_hid;
+        Rctx.set_stmt st.ctx ~sid:s.Ir.sid ~loc:s.Ir.sloc
+      end
+
+(* Whether a split-phase half executes.  [Sg_trip] re-evaluates the
+   loop's own trip test (as [Guard_do] does); [Sg_next] asks whether the
+   surrounding DO loop — whose variable holds the current iteration —
+   has another iteration coming, using the same continuation test as the
+   loop itself so an issue for step k+1 never runs on the last step. *)
+and split_guard_active st = function
+  | Ir.Sg_always -> true
+  | Ir.Sg_trip range ->
+      let lo = Scalar.to_int (eval st Mscalar range.Ast.lo) in
+      let hi = Scalar.to_int (eval st Mscalar range.Ast.hi) in
+      let stp =
+        match range.Ast.st with Some e -> Scalar.to_int (eval st Mscalar e) | None -> 1
+      in
+      if stp = 0 then Diag.error "zero DO stride";
+      (stp > 0 && lo <= hi) || (stp < 0 && lo >= hi)
+  | Ir.Sg_next { var; range } ->
+      let v =
+        match Hashtbl.find_opt st.scalars var with
+        | Some r -> Scalar.to_int !r
+        | None -> Diag.bug "interp: split guard reads unset loop variable %s" var
+      in
+      let hi = Scalar.to_int (eval st Mscalar range.Ast.hi) in
+      let stp =
+        match range.Ast.st with Some e -> Scalar.to_int (eval st Mscalar e) | None -> 1
+      in
+      if stp = 0 then Diag.error "zero DO stride";
+      let v' = v + stp in
+      (stp > 0 && v' <= hi) || (stp < 0 && v' >= hi)
 
 and exec_call st ~sid ~loc sub args =
   let callee = Ir.find_unit st.prog sub in
@@ -1131,6 +1246,9 @@ and exec_call st ~sid ~loc sub args =
           | None -> Hashtbl.replace cst.scalars dummy (ref v)))
     dummies args;
   (try List.iter (exec_stmt cst) callee.Ir.u_body with Return_unwind -> ());
+  if Hashtbl.length cst.pending > 0 then
+    Diag.bug "interp: %d split-phase comm(s) issued but never waited in %s"
+      (Hashtbl.length cst.pending) sub;
   (* copy-back redistribution belongs to the CALL statement, not to
      whatever the callee executed last *)
   Rctx.set_stmt st.ctx ~sid ~loc;
@@ -1169,10 +1287,13 @@ let node_main ?(collect_finals = true) ?(coalesce = false) (prog : Ir.program_ir
       ptemps = Hashtbl.create 1;
       replicas = Hashtbl.create 1;
       coalesce;
+      pending = Hashtbl.create 1;
     }
   in
   let st = fresh_ustate proto u in
   (try List.iter (exec_stmt st) u.Ir.u_body with Return_unwind -> ());
+  if Hashtbl.length st.pending > 0 then
+    Diag.bug "interp: %d split-phase comm(s) issued but never waited" (Hashtbl.length st.pending);
   (* the finals gather below is real communication: attribute it to the
      unit's epilogue sid so no event is left on the last body statement *)
   Rctx.set_stmt ctx ~sid:u.Ir.u_epilogue.Ir.pv_sid ~loc:u.Ir.u_epilogue.Ir.pv_loc;

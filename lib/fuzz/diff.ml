@@ -33,6 +33,10 @@ let named_flag_sets =
     ("coalesce", { all_off with coalesce = true });
     ("no-hoist", { all_on with hoist_comm = false });
     ("no-coalesce", { all_on with coalesce = false });
+    ("split", { all_off with split_comm = true });
+    ("lookahead", { all_off with split_comm = true; lookahead = true });
+    ("no-split", { all_on with split_comm = false; lookahead = false });
+    ("no-lookahead", { all_on with lookahead = false });
   ]
 
 let flag_set name =

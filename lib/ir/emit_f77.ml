@@ -242,6 +242,39 @@ let rec emit_stmt b ind (s : Ir.stmt) =
       line (Printf.sprintf "if (%s) then" guard);
       List.iter (fun { Ir.hc; _ } -> emit_comm b (ind ^ "  ") hc) cb_members;
       line "end if"
+  | Ir.Comm_issue { sp_hid; sp_comm; sp_guard } ->
+      line "C --- split-phase: issue (nonblocking) half ---";
+      emit_split_guarded b ind sp_guard (fun ind ->
+          let line str = buf_add b (ind ^ str ^ "\n") in
+          (match sp_comm.Ir.hc with
+          | Ir.Multicast { arr; dim; g; temp } ->
+              line
+                (Printf.sprintf
+                   "call multicast_issue(H%d, %s, %s_DAD, TMP%d, source_proc=global_to_proc(%s), dim=%d)"
+                   sp_hid arr arr temp (expr_str g) (dim + 1))
+          | c -> emit_comm b ind c))
+  | Ir.Comm_wait { sp_hid; sp_comm = _; sp_guard } ->
+      line "C --- split-phase: wait (completion) half ---";
+      emit_split_guarded b ind sp_guard (fun ind ->
+          let line str = buf_add b (ind ^ str ^ "\n") in
+          line (Printf.sprintf "call comm_wait(H%d)" sp_hid))
+
+and emit_split_guarded b ind guard body =
+  let line str = buf_add b (ind ^ str ^ "\n") in
+  match guard with
+  | Ir.Sg_always -> body ind
+  | Ir.Sg_trip (r : Ast.range) ->
+      line
+        (Printf.sprintf "if (trip_count(%s, %s, %s) .gt. 0) then" (expr_str r.Ast.lo)
+           (expr_str r.Ast.hi)
+           (match r.Ast.st with Some s -> expr_str s | None -> "1"));
+      body (ind ^ "  ");
+      line "end if"
+  | Ir.Sg_next { var; range = (r : Ast.range) } ->
+      let st = match r.Ast.st with Some s -> expr_str s | None -> "1" in
+      line (Printf.sprintf "if (has_next(%s, %s, %s)) then" var (expr_str r.Ast.hi) st);
+      body (ind ^ "  ");
+      line "end if"
 
 let emit_unit (u : Ir.unit_ir) =
   label_counter := 0;

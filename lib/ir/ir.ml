@@ -98,6 +98,27 @@ type hoisted = { hc : comm; hc_sid : int; hc_loc : F90d_base.Loc.t }
     nothing, and its subscripts may not even be evaluable). *)
 type cb_guard = Guard_do of Ast.range | Guard_while of Ast.expr
 
+(** Guard on a split-phase communication half (see [Comm_issue] /
+    [Comm_wait]).  The split pass arranges that an issue and its wait
+    always execute the same number of times, so guards are how lookahead
+    handles loop edges: the pre-loop (prologue) issue runs only when the
+    loop trips at least once, and the in-body issue for step k+1 runs
+    only while the loop variable has a next iteration. *)
+type split_guard =
+  | Sg_always
+  | Sg_trip of Ast.range
+      (** execute iff the DO range yields at least one iteration
+          (same trip test as [Guard_do]) *)
+  | Sg_next of { var : string; range : Ast.range }
+      (** execute iff [var + step] is still within the range bounds —
+          i.e. the surrounding DO loop has another iteration coming *)
+
+(** One half of a split-phase communication.  [sp_hid] pairs an issue
+    with its wait at run time (a unit-unique slot id); [sp_comm] carries
+    the original comm and its origin sid/loc so traffic stays attributed
+    to the statement the data is for. *)
+type split = { sp_hid : int; sp_comm : hoisted; sp_guard : split_guard }
+
 (* Every statement carries provenance: a program-unique statement id
    (sid, allocated by Lower in emission order, > 0) and the source
    location of the Ast statement it was lowered from.  The sid is the
@@ -124,6 +145,15 @@ and stmt_node =
           shares its sid/sloc), executed once under the trip guard.
           [cb_loop] is a rendering of the loop head for reports, e.g.
           ["DO K"]. *)
+  | Comm_issue of split
+      (** start the communication: snapshot/send the source data and
+          post the receives, without blocking.  Synthesized by the
+          split-comm pass from a FORALL pre-comm; shares the reading
+          statement's sid/sloc. *)
+  | Comm_wait of split
+      (** complete the matching [Comm_issue]: block until the data has
+          arrived and store the communication temporary.  Placed
+          immediately before the first statement that reads the data. *)
 
 (** One provenance table entry: what a sid resolves to. *)
 type prov = {

@@ -36,6 +36,24 @@ type shared = {
      currently executing — maintained even when tracing is off so that
      Deadlock diagnostics can name the source line each rank is stuck
      on.  Rank-private, like the clocks. *)
+  outstanding : handle list array;
+  (* outstanding.(me): issued-but-unwaited receive handles, newest first.
+     Rank-private; read by [finish] for Deadlock diagnostics. *)
+}
+
+(* A posted (nonblocking) receive.  The message itself stays in the
+   mailbox until [wait] consumes it through the same Wait_recv effect a
+   blocking receive uses, so channel FIFO pairing — and therefore
+   bit-identity between engines — is unaffected by splitting.  Only the
+   cost accounting changes: latency that elapsed between [h_posted] and
+   the wait is counted as hidden rather than charged as blocking time. *)
+and handle = {
+  h_src : int;
+  h_tag : int;
+  h_posted : float;
+  h_sid : int;
+  h_loc : Loc.t;
+  mutable h_done : bool;
 }
 
 type ctx = { me : int; sh : shared }
@@ -91,6 +109,29 @@ let send ?parts ctx ~dest ~tag payload =
   Trace.send ?parts sh.traces.(ctx.me) ~t0 ~t1:(time ctx) ~dest ~tag ~bytes ~arrival;
   Queue.add (dest, { Message.src = ctx.me; tag; payload; bytes; arrival }) sh.outboxes.(ctx.me)
 
+(* Hand a just-arrived message onward without occupying the CPU: the
+   message system forwards it as soon as the data is available
+   ([from_t] — normally the arrival time of the message being relayed),
+   the way interrupt-driven broadcast forwarding behaves on the real
+   machines.  The relaying rank's clock is untouched; link startup and
+   transfer time are paid on the relay timeline instead.  Returns the
+   time the outgoing link falls idle so chained relays (one node
+   forwarding to several children) serialize on it.  Message counts,
+   bytes and per-channel send order are recorded exactly as for
+   {!send}. *)
+let relay ctx ~from_t ~dest ~tag payload =
+  let sh = ctx.sh in
+  if dest < 0 || dest >= sh.cfg.nprocs then Diag.bug "engine: relay to rank %d" dest;
+  let bytes = Message.payload_bytes payload in
+  let m = sh.cfg.model in
+  let t1 = from_t +. m.Model.alpha +. (float_of_int bytes *. m.Model.beta) in
+  let hops = Topology.hops sh.cfg.topology ~nprocs:sh.cfg.nprocs ctx.me dest in
+  let arrival = t1 +. (float_of_int (max 0 (hops - 1)) *. m.Model.hop) in
+  Stats.record_send ~tag sh.rank_stats.(ctx.me) ~bytes;
+  Trace.send ~relay:true sh.traces.(ctx.me) ~t0:from_t ~t1 ~dest ~tag ~bytes ~arrival;
+  Queue.add (dest, { Message.src = ctx.me; tag; payload; bytes; arrival }) sh.outboxes.(ctx.me);
+  t1
+
 let recv ctx ~src ~tag =
   let msg = perform (Wait_recv (ctx.me, src, tag)) in
   let sh = ctx.sh in
@@ -100,6 +141,47 @@ let recv ctx ~src ~tag =
     sh.clocks.(ctx.me) <- msg.Message.arrival
   end;
   Trace.recv sh.traces.(ctx.me) ~t0:before ~t1:(time ctx) ~src ~tag ~arrival:msg.Message.arrival;
+  msg
+
+(* Split-phase receive.  [irecv] only records the post time (and the
+   posting statement's provenance); no effect is performed, so the fiber
+   never suspends at issue.  [wait] suspends on the same (src, tag)
+   channel a blocking receive would, charges only the wait that remains
+   at the wait site, and books the latency the program overlapped —
+   max(0, arrival - posted) - charged wait — as hidden. *)
+let irecv ctx ~src ~tag =
+  let sh = ctx.sh in
+  if src < 0 || src >= sh.cfg.nprocs then Diag.bug "engine: irecv from rank %d" src;
+  let h =
+    {
+      h_src = src;
+      h_tag = tag;
+      h_posted = time ctx;
+      h_sid = sh.cur_sid.(ctx.me);
+      h_loc = sh.cur_loc.(ctx.me);
+      h_done = false;
+    }
+  in
+  sh.outstanding.(ctx.me) <- h :: sh.outstanding.(ctx.me);
+  h
+
+let wait ctx h =
+  if h.h_done then Diag.bug "engine: wait on an already-completed handle";
+  let msg = perform (Wait_recv (ctx.me, h.h_src, h.h_tag)) in
+  let sh = ctx.sh in
+  let before = time ctx in
+  if msg.Message.arrival > before then begin
+    Stats.record_wait sh.rank_stats.(ctx.me) (msg.Message.arrival -. before);
+    sh.clocks.(ctx.me) <- msg.Message.arrival
+  end;
+  let hidden =
+    Float.max 0. (msg.Message.arrival -. h.h_posted) -. (time ctx -. before)
+  in
+  if hidden > 0. then Stats.record_wait_hidden sh.rank_stats.(ctx.me) hidden;
+  h.h_done <- true;
+  sh.outstanding.(ctx.me) <- List.filter (fun h' -> h' != h) sh.outstanding.(ctx.me);
+  Trace.recv ~posted:h.h_posted sh.traces.(ctx.me) ~t0:before ~t1:(time ctx) ~src:h.h_src
+    ~tag:h.h_tag ~arrival:msg.Message.arrival;
   msg
 
 type 'a report = {
@@ -128,6 +210,7 @@ let make_shared cfg =
        else Array.make cfg.nprocs Trace.disabled);
     cur_sid = Array.make cfg.nprocs 0;
     cur_loc = Array.make cfg.nprocs Loc.none;
+    outstanding = Array.make cfg.nprocs [];
   }
 
 (* Move rank [me]'s pending sends into the destination mailboxes, in send
@@ -196,16 +279,31 @@ let finish (sh : shared) states =
       if sid = 0 && loc.Loc.line = 0 then ""
       else Printf.sprintf " at %s (stmt %d)" (Loc.file_line loc) sid
     in
+    let issued_of me =
+      (* Issued-but-unwaited split-phase receives: a rank stuck with
+         handles outstanding usually means a wait was sunk past the point
+         that should have consumed it. *)
+      match sh.outstanding.(me) with
+      | [] -> ""
+      | hs ->
+          List.rev_map
+            (fun h ->
+              Printf.sprintf "(src=%d,tag=%d, issued at stmt %d)" h.h_src h.h_tag h.h_sid)
+            hs
+          |> String.concat " "
+          |> Printf.sprintf ", issued-unwaited %s"
+    in
     let blocked =
       Array.to_seq states
       |> Seq.filter_map (function
            | Blocked ((me, src, tag), _) ->
                Some
-                 (Printf.sprintf "p%d waiting on (src=%d,tag=%d)%s, mailbox has %s" me src tag
-                    (stmt_of me)
+                 (Printf.sprintf "p%d waiting on (src=%d,tag=%d)%s, mailbox has %s%s" me src
+                    tag (stmt_of me)
                     (match pending_of me with
                     | [] -> "nothing"
-                    | l -> String.concat " " l))
+                    | l -> String.concat " " l)
+                    (issued_of me))
            | _ -> None)
       |> List.of_seq
     in

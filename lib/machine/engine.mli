@@ -34,8 +34,10 @@ exception Deadlock of string
 (** The payload lists, for every blocked processor, the awaited
     [(src, tag)] channel, the source [file:line] and statement id the
     rank was executing (when the node program supplied provenance via
-    {!set_stmt}) {e and} the channels actually pending in its mailbox —
-    enough to diagnose tag/source mismatches from the message alone. *)
+    {!set_stmt}), the channels actually pending in its mailbox {e and}
+    any issued-but-unwaited split-phase handles (channel plus issuing
+    statement id) — enough to diagnose tag/source mismatches and lost
+    waits from the message alone. *)
 
 (** {2 Node-program API} *)
 
@@ -53,6 +55,34 @@ val send : ?parts:(int * int) array -> ctx -> dest:int -> tag:int -> Message.pay
     charges and counts exactly one message. *)
 
 val recv : ctx -> src:int -> tag:int -> Message.t
+
+val relay : ctx -> from_t:float -> dest:int -> tag:int -> Message.payload -> float
+(** Forward a just-arrived message without occupying the CPU: the
+    transfer runs on the message system's timeline starting at [from_t]
+    (the relayed message's arrival, or the link-idle time a previous
+    relay returned), modelling interrupt-driven forwarding.  The
+    caller's clock
+    is not advanced; returns the time the outgoing link falls idle so
+    consecutive relays can serialize on it.  Counted and traced exactly
+    like a {!send}. *)
+
+type handle
+(** A posted (split-phase) receive — see {!irecv}/{!wait}. *)
+
+val irecv : ctx -> src:int -> tag:int -> handle
+(** Post a nonblocking receive on the (src, tag) channel.  Costs nothing
+    and never suspends; it records the post time and the posting
+    statement's provenance.  The message is consumed by the matching
+    {!wait} — through the same exact-match FIFO a blocking {!recv} uses,
+    so splitting a receive never changes which message it pairs with. *)
+
+val wait : ctx -> handle -> Message.t
+(** Complete a posted receive: suspend until the message is deliverable,
+    charge only the wait remaining at the wait site (clock advances to
+    the arrival if it is still in the future) and account the latency
+    that elapsed since {!irecv} as [recv_wait_hidden].  Waits on one
+    channel must be issued in the same order as their irecvs.  Waiting
+    twice on a handle is a bug. *)
 
 val advance : ctx -> float -> unit
 (** Charge raw seconds of local computation. *)

@@ -7,6 +7,7 @@ type rank = {
   mutable r_messages : int;
   mutable r_bytes : int;
   mutable r_recv_wait : float;
+  mutable r_recv_wait_hidden : float;
   r_by_tag : (int, int * int) Hashtbl.t;
   mutable r_sched_builds : int;
   mutable r_sched_hits : int;
@@ -16,6 +17,10 @@ type t = {
   messages : int;
   bytes : int;
   recv_wait : float;
+  recv_wait_hidden : float;
+  (* latency that a split-phase receive absorbed between issue and wait:
+     the message was in flight that long while the receiver kept
+     computing, so it never surfaced in [recv_wait] *)
   per_rank_messages : int array;
   per_rank_bytes : int array;
   by_tag : (int, int * int) Hashtbl.t;
@@ -28,6 +33,7 @@ let rank_create () =
     r_messages = 0;
     r_bytes = 0;
     r_recv_wait = 0.;
+    r_recv_wait_hidden = 0.;
     r_by_tag = Hashtbl.create 16;
     r_sched_builds = 0;
     r_sched_hits = 0;
@@ -40,18 +46,21 @@ let record_send ?(tag = 0) r ~bytes =
   Hashtbl.replace r.r_by_tag tag (m + 1, b + bytes)
 
 let record_wait r dt = r.r_recv_wait <- r.r_recv_wait +. dt
+let record_wait_hidden r dt = r.r_recv_wait_hidden <- r.r_recv_wait_hidden +. dt
 let record_sched_build r = r.r_sched_builds <- r.r_sched_builds + 1
 let record_sched_hit r = r.r_sched_hits <- r.r_sched_hits + 1
 
 let merge ranks =
   let by_tag = Hashtbl.create 16 in
   let messages = ref 0 and bytes = ref 0 and recv_wait = ref 0. in
+  let hidden = ref 0. in
   let builds = ref 0 and hits = ref 0 in
   Array.iter
     (fun r ->
       messages := !messages + r.r_messages;
       bytes := !bytes + r.r_bytes;
       recv_wait := !recv_wait +. r.r_recv_wait;
+      hidden := !hidden +. r.r_recv_wait_hidden;
       builds := !builds + r.r_sched_builds;
       hits := !hits + r.r_sched_hits;
       Hashtbl.iter
@@ -64,6 +73,7 @@ let merge ranks =
     messages = !messages;
     bytes = !bytes;
     recv_wait = !recv_wait;
+    recv_wait_hidden = !hidden;
     per_rank_messages = Array.map (fun r -> r.r_messages) ranks;
     per_rank_bytes = Array.map (fun r -> r.r_bytes) ranks;
     by_tag;

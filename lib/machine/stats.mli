@@ -18,6 +18,11 @@ type t = {
   messages : int;
   bytes : int;
   recv_wait : float;  (** total time receivers spent blocked *)
+  recv_wait_hidden : float;
+      (** latency absorbed between issue and wait of split-phase receives
+          — time the message spent in flight while the receiver kept
+          computing, which a blocking receive would have charged to
+          [recv_wait] *)
   per_rank_messages : int array;
   per_rank_bytes : int array;
   by_tag : (int, int * int) Hashtbl.t;  (** tag -> (messages, bytes) *)
@@ -28,6 +33,7 @@ type t = {
 val rank_create : unit -> rank
 val record_send : ?tag:int -> rank -> bytes:int -> unit
 val record_wait : rank -> float -> unit
+val record_wait_hidden : rank -> float -> unit
 val record_sched_build : rank -> unit
 val record_sched_hit : rank -> unit
 

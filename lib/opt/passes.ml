@@ -7,6 +7,8 @@ type flags = {
   schedule_reuse : bool;
   hoist_comm : bool;
   coalesce : bool;
+  split_comm : bool;
+  lookahead : bool;  (* only effective when split_comm is on *)
 }
 
 let all_on =
@@ -16,6 +18,8 @@ let all_on =
     schedule_reuse = true;
     hoist_comm = true;
     coalesce = true;
+    split_comm = true;
+    lookahead = true;
   }
 
 let all_off =
@@ -25,6 +29,8 @@ let all_off =
     schedule_reuse = false;
     hoist_comm = false;
     coalesce = false;
+    split_comm = false;
+    lookahead = false;
   }
 
 module S = Set.Make (String)
@@ -154,7 +160,7 @@ let rec written_of stmts =
             (w, unsafe)
             (els :: List.map snd arms)
       | Ir.Call_sub _ | Ir.Return_stmt -> (w, true)
-      | Ir.Print_stmt _ | Ir.Comm_block _ -> (w, unsafe))
+      | Ir.Print_stmt _ | Ir.Comm_block _ | Ir.Comm_issue _ | Ir.Comm_wait _ -> (w, unsafe))
     (S.empty, false) stmts
 
 (* An expression is loop-invariant when it mentions no scalar or array
@@ -365,6 +371,459 @@ and coalesce_stmt st =
   | _ -> st
 
 (* ------------------------------------------------------------------ *)
+(* Split-phase communication                                           *)
+(* ------------------------------------------------------------------ *)
+
+let subst_var v repl =
+  Ast.map_expr (fun x -> match x.Ast.e with Ast.Var n when n = v -> repl | _ -> x)
+
+(* Affine view of a subscript: integer constant + sum of coeff * var.
+   [None] for anything non-affine; all disjointness questions below are
+   answered [false] (= "may overlap") in that case. *)
+module Aff = struct
+  module M = Map.Make (String)
+
+  type t = { c : int; vs : int M.t }
+
+  let norm a = { a with vs = M.filter (fun _ k -> k <> 0) a.vs }
+  let add a b = norm { c = a.c + b.c; vs = M.union (fun _ x y -> Some (x + y)) a.vs b.vs }
+  let neg a = { c = -a.c; vs = M.map (fun k -> -k) a.vs }
+  let sub a b = add a (neg b)
+  let scale n a = norm { c = n * a.c; vs = M.map (fun k -> n * k) a.vs }
+
+  let rec of_expr (e : Ast.expr) =
+    match e.Ast.e with
+    | Ast.Int_lit n -> Some { c = n; vs = M.empty }
+    | Ast.Var v -> Some { c = 0; vs = M.singleton v 1 }
+    | Ast.Bin (Ast.Add, a, b) -> (
+        match (of_expr a, of_expr b) with Some a, Some b -> Some (add a b) | _ -> None)
+    | Ast.Bin (Ast.Sub, a, b) -> (
+        match (of_expr a, of_expr b) with Some a, Some b -> Some (sub a b) | _ -> None)
+    | Ast.Bin (Ast.Mul, a, b) -> (
+        match (of_expr a, of_expr b) with
+        | Some { c = n; vs }, Some x when M.is_empty vs -> Some (scale n x)
+        | Some x, Some { c = n; vs } when M.is_empty vs -> Some (scale n x)
+        | _ -> None)
+    | _ -> None
+
+  (* [e1 - e2] when it folds to a plain integer. *)
+  let const_diff e1 e2 =
+    match (of_expr e1, of_expr e2) with
+    | Some a, Some b ->
+        let d = sub a b in
+        if M.is_empty d.vs then Some d.c else None
+    | _ -> None
+
+  let coeff v a = Option.value (M.find_opt v a.vs) ~default:0
+  let vars a = List.map fst (M.bindings a.vs)
+end
+
+let range_pure (r : Ast.range) =
+  Ast.refs_of r.Ast.lo = [] && Ast.refs_of r.Ast.hi = []
+  && (match r.Ast.st with Some e -> Ast.refs_of e = [] | None -> true)
+
+(* A statement that provably performs no communication of its own, so a
+   split-phase message may stay in flight across it without disturbing
+   per-channel FIFO order or collective call order.  Conservative:
+   ref-free scalar assignments and owner-computes FORALLs whose every
+   read is already local (no pre-comms, no mask, no write-back; a
+   snapshot is a local copy and is fine). *)
+let comm_free st =
+  match st.Ir.s with
+  | Ir.Scalar_assign { rhs; _ } -> Ast.refs_of rhs = []
+  | Ir.Forall f ->
+      f.Ir.f_pre = [] && f.Ir.f_post = None && f.Ir.f_mask = None
+      && (match f.Ir.f_iter with Ir.It_canonical _ -> true | _ -> false)
+      && List.for_all (fun (_, r) -> range_pure r) f.Ir.f_vars
+      && List.for_all
+           (function Ast.Elem e -> Ast.refs_of e = [] | Ast.Range _ -> false)
+           f.Ir.f_lhs.Ast.args
+  | _ -> false
+
+(* May the issue half move up across [st]?  [arr] is the multicast
+   source and [gvars] the free variables of its slice subscript: the
+   data in flight is the source {e as of the issue}, so a crossed
+   statement must not communicate, not write [arr], and not change the
+   subscript's value. *)
+let issue_crossable ~arr ~gvars st =
+  comm_free st
+  && (match st.Ir.s with
+     | Ir.Scalar_assign { name; _ } -> name <> arr && not (S.mem name gvars)
+     | Ir.Forall f -> f.Ir.f_lhs.Ast.base <> arr && not (S.mem f.Ir.f_lhs.Ast.base gvars)
+     | _ -> false)
+
+(* Only plain multicasts split: they are the latency that dominates the
+   solver kernels (gauss's pivot column), the issue half is cheap on
+   every non-root (post one receive), and the slice subscript pins down
+   exactly which intervening writes are hazards.  A subscript that
+   itself reads an array stays blocking — evaluating it early would add
+   an array-element fetch whose safety we cannot see locally. *)
+let splittable = function
+  | Ir.Multicast { g; _ } -> Ast.refs_of g = []
+  | _ -> false
+
+(* Split eligible FORALL pre-comms in a statement list into an issue
+   and a wait.  The wait sits immediately before the reading FORALL
+   (sinking it further serves nothing: the next statement reads the
+   data); the issue then moves up across preceding crossable
+   statements, opening the window in which the message travels while
+   the processor still computes.  A pair whose issue cannot move stays
+   blocking — splitting it in place is pure IR noise — with one
+   exception: when the issue would come to rest at the very top of a DO
+   body it is kept split even with nothing to cross, because that is
+   exactly the shape the lookahead pass turns into cross-iteration
+   overlap. *)
+let rec split_stmts fresh ~do_body stmts =
+  let out = ref [] (* reversed *) in
+  List.iter
+    (fun st ->
+      let st = split_stmt fresh st in
+      match st.Ir.s with
+      | Ir.Forall f ->
+          let stay = ref [] in
+          let waits = ref [] in
+          List.iter
+            (fun c ->
+              let crossing () =
+                match c with
+                | Ir.Multicast { arr; g; _ } ->
+                    let gvars = S.of_list (Ast.vars_of g) in
+                    let rec count k = function
+                      | p :: rest when issue_crossable ~arr ~gvars p -> count (k + 1) rest
+                      | rest -> (k, rest = [])
+                    in
+                    let crossed, at_top = count 0 !out in
+                    (arr, gvars, crossed, at_top)
+                | _ -> assert false
+              in
+              if not (splittable c) then stay := c :: !stay
+              else begin
+                let arr, gvars, crossed, at_top = crossing () in
+                if crossed = 0 && not (do_body && at_top) then stay := c :: !stay
+                else begin
+                  incr fresh;
+                  let sp =
+                    {
+                      Ir.sp_hid = !fresh;
+                      sp_comm = { Ir.hc = c; hc_sid = st.Ir.sid; hc_loc = st.Ir.sloc };
+                      sp_guard = Ir.Sg_always;
+                    }
+                  in
+                  let issue = { st with Ir.s = Ir.Comm_issue sp } in
+                  let rec insert_rev = function
+                    | p :: rest when issue_crossable ~arr ~gvars p -> p :: insert_rev rest
+                    | rest -> issue :: rest
+                  in
+                  out := insert_rev !out;
+                  waits := { st with Ir.s = Ir.Comm_wait sp } :: !waits
+                end
+              end)
+            f.Ir.f_pre;
+          out :=
+            { st with Ir.s = Ir.Forall { f with Ir.f_pre = List.rev !stay } }
+            :: (!waits @ !out)
+      | _ -> out := st :: !out)
+    stmts;
+  List.rev !out
+
+and split_stmt fresh st =
+  let node =
+    match st.Ir.s with
+    | Ir.Do_loop { var; range; body } ->
+        Ir.Do_loop { var; range; body = split_stmts fresh ~do_body:true body }
+    | Ir.While_loop { cond; body } ->
+        Ir.While_loop { cond; body = split_stmts fresh ~do_body:false body }
+    | Ir.If_block { arms; els } ->
+        Ir.If_block
+          {
+            arms = List.map (fun (c, ss) -> (c, split_stmts fresh ~do_body:false ss)) arms;
+            els = split_stmts fresh ~do_body:false els;
+          }
+    | s -> s
+  in
+  { st with Ir.s = node }
+
+(* Fold back the split pairs lookahead could not use: an issue still
+   directly in front of its wait (both unconditional) gained nothing,
+   so the comm returns to the reading FORALL's blocking pre list. *)
+let rec refuse_stmts stmts =
+  let rec go = function
+    | { Ir.s = Ir.Comm_issue sp; _ }
+      :: { Ir.s = Ir.Comm_wait spw; _ }
+      :: ({ Ir.s = Ir.Forall f; _ } as fs)
+      :: rest
+      when sp.Ir.sp_hid = spw.Ir.sp_hid && sp.Ir.sp_guard = Ir.Sg_always ->
+        go
+          ({ fs with Ir.s = Ir.Forall { f with Ir.f_pre = sp.Ir.sp_comm.Ir.hc :: f.Ir.f_pre } }
+          :: rest)
+    | st :: rest -> refuse_stmt st :: go rest
+    | [] -> []
+  in
+  go stmts
+
+and refuse_stmt st =
+  let node =
+    match st.Ir.s with
+    | Ir.Do_loop { var; range; body } -> Ir.Do_loop { var; range; body = refuse_stmts body }
+    | Ir.While_loop { cond; body } -> Ir.While_loop { cond; body = refuse_stmts body }
+    | Ir.If_block { arms; els } ->
+        Ir.If_block
+          {
+            arms = List.map (fun (c, ss) -> (c, refuse_stmts ss)) arms;
+            els = refuse_stmts els;
+          }
+    | s -> s
+  in
+  { st with Ir.s = node }
+
+(* ------------------------------------------------------------------ *)
+(* Lookahead pipelining                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Is the value set of subscript [e] — with the FORALL variables
+   [fvars] ranging over their bounds — provably disjoint from the
+   single index [gn]?  Handles a subscript with no FORALL variable
+   (constant distance test) and a unit-coefficient, step-1 variable
+   (compare [gn] against the substituted range ends). *)
+let subscript_disjoint ~fvars e gn =
+  match Aff.of_expr e with
+  | None -> false
+  | Some ae -> (
+      match List.filter (fun v -> List.mem_assoc v fvars) (Aff.vars ae) with
+      | [] -> ( match Aff.const_diff e gn with Some d -> d <> 0 | None -> false)
+      | [ j ] when Aff.coeff j ae = 1 ->
+          let rj : Ast.range = List.assoc j fvars in
+          let step_one =
+            match rj.Ast.st with
+            | None -> true
+            | Some s -> ( match s.Ast.e with Ast.Int_lit 1 -> true | _ -> false)
+          in
+          step_one
+          && ((match Aff.const_diff (subst_var j rj.Ast.hi e) gn with
+              | Some d -> d < 0
+              | None -> false)
+             ||
+             match Aff.const_diff (subst_var j rj.Ast.lo e) gn with
+             | Some d -> d > 0
+             | None -> false)
+      | _ -> false)
+
+(* Does [st] possibly write the slice [dim = gn] of [arr]?  [false]
+   means provably not: either [arr] is untouched or every write lands
+   at a provably different [dim]-subscript. *)
+let rec writes_slice ~arr ~dim ~gn st =
+  match st.Ir.s with
+  | Ir.Forall f ->
+      f.Ir.f_lhs.Ast.base = arr
+      && not
+           (match List.nth_opt f.Ir.f_lhs.Ast.args dim with
+           | Some (Ast.Elem e) -> subscript_disjoint ~fvars:f.Ir.f_vars e gn
+           | _ -> false)
+  | Ir.Element_assign { lhs; _ } ->
+      lhs.Ast.base = arr
+      && not
+           (match List.nth_opt lhs.Ast.args dim with
+           | Some (Ast.Elem e) -> subscript_disjoint ~fvars:[] e gn
+           | _ -> false)
+  | Ir.Mover { target; _ } -> target = arr
+  | Ir.Call_sub _ -> true
+  | Ir.Do_loop { body; _ } | Ir.While_loop { body; _ } ->
+      List.exists (writes_slice ~arr ~dim ~gn) body
+  | Ir.If_block { arms; els } ->
+      List.exists
+        (fun ss -> List.exists (writes_slice ~arr ~dim ~gn) ss)
+        (els :: List.map snd arms)
+  | Ir.Scalar_assign _ | Ir.Print_stmt _ | Ir.Return_stmt | Ir.Comm_block _ | Ir.Comm_issue _
+  | Ir.Comm_wait _ ->
+      false
+
+(* Fission the last blocker — a FORALL writing the slice — into a head
+   iteration [b1] that performs the slice write and a provably disjoint
+   bulk [b2], so the next step's issue can slot between them (the
+   classic lookahead fission: peel the column the pipeline needs next
+   out of the bulk update).  Requires the [dim]-subscript to be a
+   step-1 FORALL variable (plus a constant) whose {e first} iteration
+   is exactly [gn], and every rhs read of [arr] to use that same
+   [dim]-subscript — then each [dim]-index is self-contained and the
+   halves touch disjoint slices outright, snapshot or not. *)
+let try_fission ~arr ~dim ~gn st =
+  match st.Ir.s with
+  | Ir.Forall f
+    when f.Ir.f_lhs.Ast.base = arr && f.Ir.f_pre = [] && f.Ir.f_post = None
+         && f.Ir.f_mask = None
+         && (match f.Ir.f_iter with Ir.It_canonical _ -> true | _ -> false)
+         && List.for_all (fun (_, r) -> range_pure r) f.Ir.f_vars -> (
+      match List.nth_opt f.Ir.f_lhs.Ast.args dim with
+      | Some (Ast.Elem e) -> (
+          match Aff.of_expr e with
+          | Some ae -> (
+              match List.filter (fun v -> List.mem_assoc v f.Ir.f_vars) (Aff.vars ae) with
+              | [ j ] when Aff.coeff j ae = 1 -> (
+                  let rj = List.assoc j f.Ir.f_vars in
+                  let step_one =
+                    match rj.Ast.st with
+                    | None -> true
+                    | Some s -> ( match s.Ast.e with Ast.Int_lit 1 -> true | _ -> false)
+                  in
+                  let same_dim_sub (r : Ast.ref_) =
+                    r.Ast.base <> arr
+                    || (match List.nth_opt r.Ast.args dim with
+                       | Some (Ast.Elem e') -> Aff.const_diff e' e = Some 0
+                       | _ -> false)
+                  in
+                  match Aff.const_diff (subst_var j rj.Ast.lo e) gn with
+                  | Some 0
+                    when step_one
+                         && List.for_all same_dim_sub (Ast.refs_of f.Ir.f_rhs) ->
+                      let with_range r =
+                        {
+                          st with
+                          Ir.s =
+                            Ir.Forall
+                              {
+                                f with
+                                Ir.f_vars =
+                                  List.map
+                                    (fun (v, r0) -> if v = j then (v, r) else (v, r0))
+                                    f.Ir.f_vars;
+                              };
+                        }
+                      in
+                      Some
+                        ( with_range { rj with Ast.hi = rj.Ast.lo; st = None },
+                          with_range
+                            {
+                              rj with
+                              Ast.lo = Ast.bin Ast.Add rj.Ast.lo (Ast.int_lit 1);
+                              st = None;
+                            } )
+                  | _ -> None)
+              | _ -> None)
+          | None -> None)
+      | _ -> None)
+  | _ -> None
+
+(* One-step lookahead on a DO loop whose body begins with a split
+   multicast of a slice that moves with the loop variable (gauss's
+   pivot column): issue step k+1's multicast during step k's update, so
+   its latency overlaps the bulk computation.  The issue for the first
+   step moves in front of the loop (guarded on the loop tripping at
+   all); the in-body issue for [v + step] is guarded on a next
+   iteration existing; the wait stays at the top of the body.  The
+   in-body issue goes after the {e last} statement that may write the
+   next slice — fissioned, when possible, so only the slice-writing
+   head iteration precedes it — and everything left between the issue
+   and the loop's back edge must be provably communication-free. *)
+let rec lookahead_stmts stmts = List.concat_map lookahead_stmt stmts
+
+and lookahead_stmt st =
+  match st.Ir.s with
+  | Ir.Do_loop { var; range; body } -> (
+      let body = lookahead_stmts body in
+      let keep = [ { st with Ir.s = Ir.Do_loop { var; range; body } } ] in
+      match try_lookahead st ~var ~range body with
+      | Some (prologue, body) ->
+          [ prologue; { st with Ir.s = Ir.Do_loop { var; range; body } } ]
+      | None -> keep)
+  | Ir.While_loop { cond; body } ->
+      [ { st with Ir.s = Ir.While_loop { cond; body = lookahead_stmts body } } ]
+  | Ir.If_block { arms; els } ->
+      [
+        {
+          st with
+          Ir.s =
+            Ir.If_block
+              {
+                arms = List.map (fun (c, ss) -> (c, lookahead_stmts ss)) arms;
+                els = lookahead_stmts els;
+              };
+        };
+      ]
+  | _ -> [ st ]
+
+and try_lookahead loop_st ~var ~range body =
+  match body with
+  | { Ir.s = Ir.Comm_issue sp; _ } :: ({ Ir.s = Ir.Comm_wait spw; _ } as wait_st) :: rest
+    when sp.Ir.sp_hid = spw.Ir.sp_hid
+         && sp.Ir.sp_guard = Ir.Sg_always
+         && spw.Ir.sp_guard = Ir.Sg_always -> (
+      match sp.Ir.sp_comm.Ir.hc with
+      | Ir.Multicast { arr; dim; g; temp } -> (
+          let step =
+            match range.Ast.st with
+            | None -> Some 1
+            | Some s -> ( match s.Ast.e with Ast.Int_lit n when n <> 0 -> Some n | _ -> None)
+          in
+          match step with
+          | Some stp when List.mem var (Ast.vars_of g) ->
+              let written, unsafe = written_of rest in
+              let forbidden =
+                S.add var
+                  (S.union (S.of_list (Ast.vars_of g))
+                     (S.union
+                        (S.of_list (Ast.vars_of range.Ast.hi))
+                        (match range.Ast.st with
+                        | Some s -> S.of_list (Ast.vars_of s)
+                        | None -> S.empty)))
+              in
+              if unsafe || not (S.is_empty (S.inter written forbidden)) then None
+              else begin
+                let gn = subst_var var (Ast.bin Ast.Add (Ast.var var) (Ast.int_lit stp)) g in
+                let stmts = Array.of_list rest in
+                let n = Array.length stmts in
+                let lb = ref (-1) in
+                Array.iteri (fun i s -> if writes_slice ~arr ~dim ~gn s then lb := i) stmts;
+                (* first index from which everything to the loop's end is
+                   provably communication-free *)
+                let cf = ref n in
+                (let i = ref (n - 1) in
+                 while !i >= 0 && comm_free stmts.(!i) do
+                   cf := !i;
+                   decr i
+                 done);
+                let issue guard g' =
+                  {
+                    loop_st with
+                    Ir.s =
+                      Ir.Comm_issue
+                        {
+                          sp with
+                          Ir.sp_comm =
+                            { sp.Ir.sp_comm with Ir.hc = Ir.Multicast { arr; dim; g = g'; temp } };
+                          sp_guard = guard;
+                        };
+                  }
+                in
+                let issue_next = issue (Ir.Sg_next { var; range }) gn in
+                let seg a b = Array.to_list (Array.sub stmts a (b - a)) in
+                let rebuilt =
+                  if !lb >= 0 && !cf <= !lb + 1 then
+                    (* the last blocker is followed only by comm-free
+                       statements: fission it if we can, else slot the
+                       issue right after it *)
+                    match try_fission ~arr ~dim ~gn stmts.(!lb) with
+                    | Some (b1, b2) ->
+                        Some (seg 0 !lb @ [ b1; issue_next; b2 ] @ seg (!lb + 1) n)
+                    | None -> Some (seg 0 (!lb + 1) @ [ issue_next ] @ seg (!lb + 1) n)
+                  else if !lb < 0 && !cf = 0 then
+                    (* nothing in the body writes the next slice and the
+                       whole body is comm-free: issue immediately *)
+                    Some (issue_next :: Array.to_list stmts)
+                  else None
+                in
+                match rebuilt with
+                | Some tail ->
+                    let prologue =
+                      issue (Ir.Sg_trip range) (subst_var var range.Ast.lo g)
+                    in
+                    Some (prologue, wait_st :: tail)
+                | None -> None
+              end
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
 (* Pass driver                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -404,6 +863,15 @@ let apply flags (ir : Ir.program_ir) =
         let body = List.map (map_stmt on_forall) u.Ir.u_body in
         let body = if flags.hoist_comm then hoist_stmts body else body in
         let body = if flags.coalesce then coalesce_stmts body else body in
+        let body =
+          if flags.split_comm then begin
+            let hid = ref 0 in
+            let body = split_stmts hid ~do_body:false body in
+            let body = if flags.lookahead then lookahead_stmts body else body in
+            refuse_stmts body
+          end
+          else body
+        in
         (name, { u with Ir.u_body = body }))
       ir.Ir.p_units
   in

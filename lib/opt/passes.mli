@@ -21,7 +21,19 @@
       different arrays batch into one {!F90d_ir.Ir.Comm_batch} — one
       packed message (one latency charge) per communicating rank pair.
       The flag also enables the runtime's multicast replica cache, which
-      serves later reads of an unmodified broadcast slice locally. *)
+      serves later reads of an unmodified broadcast slice locally;
+    - {e split-phase communication}: each FORALL's plain multicasts split
+      into a {!F90d_ir.Ir.Comm_issue} that moves up across provably
+      independent statements and a {!F90d_ir.Ir.Comm_wait} immediately
+      before the reading statement, so the message travels while the
+      processor computes;
+    - {e lookahead pipelining}: a loop-carried split multicast whose
+      slice moves with the DO variable (gauss's pivot column) is issued
+      one step ahead — the in-body issue for step k+1 slots after the
+      last statement writing that slice (fissioned out of the bulk
+      update when possible), the first step's issue moves in front of
+      the loop, and the wait stays at the top of the body.  Implies
+      nothing unless split-phase is also on. *)
 
 type flags = {
   shift_union : bool;
@@ -29,6 +41,8 @@ type flags = {
   schedule_reuse : bool;
   hoist_comm : bool;
   coalesce : bool;
+  split_comm : bool;
+  lookahead : bool;
 }
 
 val all_on : flags

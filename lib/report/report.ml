@@ -58,6 +58,13 @@ let rec stmt_comms acc (st : Ir.stmt) =
                 st.Ir.sloc.Loc.line;
             ])
         cb_members
+  | Ir.Comm_issue { Ir.sp_comm = { Ir.hc; hc_sid; _ }; _ } ->
+      (* the wait half carries the same handle; report the pair once,
+         on the statement that originally owned the communication *)
+      add_comms acc hc_sid
+        [ Printf.sprintf "%s (split-phase, issued at line %d)" (Ir.comm_name hc)
+            st.Ir.sloc.Loc.line ]
+  | Ir.Comm_wait _ -> ()
   | Ir.Do_loop { body; _ } | Ir.While_loop { body; _ } -> List.iter (stmt_comms acc) body
   | Ir.If_block { arms; els } ->
       List.iter (fun (_, b) -> List.iter (stmt_comms acc) b) arms;
@@ -194,6 +201,7 @@ type hot = {
   h_bytes : int;
   h_send_s : float;
   h_wait_s : float;
+  h_hidden_s : float;
   h_cp_s : float;
 }
 
@@ -228,6 +236,7 @@ let hot_statements (ir : Ir.program_ir) tr =
            h_bytes = r.F90d_trace.Analyze.s_bytes;
            h_send_s = r.F90d_trace.Analyze.s_send_s;
            h_wait_s = r.F90d_trace.Analyze.s_wait_s;
+           h_hidden_s = r.F90d_trace.Analyze.s_hidden_s;
            h_cp_s = r.F90d_trace.Analyze.s_cp_s;
          })
   |> List.sort (fun a b ->
@@ -239,13 +248,13 @@ let hot_text ?top hots =
   let hots = match top with Some k -> List.filteri (fun i _ -> i < k) hots | None -> hots in
   let b = Buffer.create 2048 in
   Printf.bprintf b "hot statements (compile-time decision vs measured cost)\n";
-  Printf.bprintf b "%-24s %-22s %-24s %8s %12s %12s %12s %10s\n" "source" "statement" "decision"
-    "msgs" "bytes" "send busy(s)" "recv wait(s)" "cp wire(s)";
+  Printf.bprintf b "%-24s %-22s %-24s %8s %12s %12s %12s %12s %10s\n" "source" "statement"
+    "decision" "msgs" "bytes" "send busy(s)" "recv wait(s)" "hidden(s)" "cp wire(s)";
   List.iter
     (fun h ->
-      Printf.bprintf b "%-24s %-22s %-24s %8d %12d %12.6f %12.6f %10.6f\n"
+      Printf.bprintf b "%-24s %-22s %-24s %8d %12d %12.6f %12.6f %12.6f %10.6f\n"
         (Printf.sprintf "%s (stmt %d)" (Loc.file_line h.h_loc) h.h_sid)
-        h.h_desc h.h_decision h.h_msgs h.h_bytes h.h_send_s h.h_wait_s h.h_cp_s)
+        h.h_desc h.h_decision h.h_msgs h.h_bytes h.h_send_s h.h_wait_s h.h_hidden_s h.h_cp_s)
     hots;
   Buffer.contents b
 
@@ -262,6 +271,7 @@ let hot_obj h =
       ("bytes", string_of_int h.h_bytes);
       ("send_busy_s", jfloat h.h_send_s);
       ("recv_wait_s", jfloat h.h_wait_s);
+      ("recv_wait_hidden_s", jfloat h.h_hidden_s);
       ("critical_path_wire_s", jfloat h.h_cp_s);
     ]
 
@@ -269,10 +279,16 @@ let profile_json (ir : Ir.program_ir) tr =
   let hots = hot_statements ir tr in
   let msgs = List.fold_left (fun a h -> a + h.h_msgs) 0 hots in
   let bytes = List.fold_left (fun a h -> a + h.h_bytes) 0 hots in
+  let hidden = List.fold_left (fun a h -> a +. h.h_hidden_s) 0. hots in
   jobj
     [
       ("statements", jlist (List.map hot_obj hots));
       ( "totals",
-        jobj [ ("messages", string_of_int msgs); ("bytes", string_of_int bytes) ] );
+        jobj
+          [
+            ("messages", string_of_int msgs);
+            ("bytes", string_of_int bytes);
+            ("recv_wait_hidden_s", jfloat hidden);
+          ] );
     ]
   ^ "\n"

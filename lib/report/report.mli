@@ -33,6 +33,7 @@ type hot = {
   h_bytes : int;
   h_send_s : float;
   h_wait_s : float;
+  h_hidden_s : float;  (** latency overlapped by split-phase receives *)
   h_cp_s : float;  (** this statement's wire time on the critical path *)
 }
 

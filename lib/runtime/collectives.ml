@@ -69,6 +69,94 @@ let broadcast ctx team ~root payload =
   done;
   !p
 
+(* ------------------------------------------------------------------ *)
+(* Split-phase broadcast                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The same binomial tree as {!broadcast}, cut at each node's receive:
+   the issue half performs everything up to (and excluding) the blocking
+   receive — the root sends to all its children, every other node posts
+   a nonblocking receive on its parent — and the wait half completes the
+   receive and forwards to the node's own children.  Message count,
+   peers and per-channel send order are identical to the blocking tree;
+   only the charging of receive latency moves. *)
+
+(* In virtual-rank space (vr = rank rotated so the root is 0), node [vr]
+   receives from [vr] with its top bit cleared and sends to [vr + k] for
+   each power of two k above its top bit (every k for the root), in
+   ascending order — read off the mask loop of {!broadcast}. *)
+let bcast_children ~vr ~m =
+  let rec above k = if vr < k then k else above (2 * k) in
+  let rec go k acc = if vr + k >= m then List.rev acc else go (2 * k) ((vr + k) :: acc) in
+  go (above 1) []
+
+let bcast_parent ~vr =
+  let rec top k = if 2 * k <= vr then top (2 * k) else k in
+  vr - top 1
+
+type bcast_pending = {
+  bp_team : team;
+  bp_root : int;
+  bp_vr : int;
+  bp_tag : int;  (* instance tag: concurrent trees must not share a channel *)
+  bp_payload : Message.payload option;  (* Some on the root *)
+  bp_handle : Engine.handle option;  (* Some everywhere else *)
+}
+
+(* Unlike the blocking tree, several split-phase broadcasts can be in
+   flight at once, and two trees can give a node the same parent — FIFO
+   matching on a shared (source, tag) channel would then cross-deliver
+   payloads between trees.  Each instance gets its own tag inside the
+   broadcast hundreds-family (so profiles still classify it), from the
+   replicated SPMD sequence counter. *)
+let split_bcast_tag ctx = Tags.broadcast + 1 + (Rctx.next_split_seq ctx mod 99)
+
+let broadcast_issue ctx team ~root payload =
+  spanned ctx "broadcast-issue" ~bytes_of:(fun () -> Message.payload_bytes payload)
+  @@ fun () ->
+  let m = Array.length team in
+  let vr = Util.modulo (my_index ctx team - root) m in
+  let tag = split_bcast_tag ctx in
+  if vr = 0 then begin
+    List.iter
+      (fun c -> Rctx.send ctx ~dest:team.(Util.modulo (c + root) m) ~tag payload)
+      (bcast_children ~vr ~m);
+    { bp_team = team; bp_root = root; bp_vr = vr; bp_tag = tag; bp_payload = Some payload;
+      bp_handle = None }
+  end
+  else begin
+    let parent = bcast_parent ~vr in
+    let h = Rctx.irecv ctx ~src:team.(Util.modulo (parent + root) m) ~tag in
+    { bp_team = team; bp_root = root; bp_vr = vr; bp_tag = tag; bp_payload = None;
+      bp_handle = Some h }
+  end
+
+let broadcast_wait ctx bp =
+  match bp.bp_payload with
+  | Some p -> p  (* the root kept its own copy; nothing to wait for *)
+  | None ->
+      let bytes = ref 0 in
+      spanned ctx "broadcast-wait" ~bytes_of:(fun () -> !bytes) @@ fun () ->
+      let h = match bp.bp_handle with Some h -> h | None -> Diag.bug "broadcast_wait: no handle" in
+      let msg = Rctx.wait_recv ctx h in
+      let p = msg.Message.payload in
+      bytes := Message.payload_bytes p;
+      let m = Array.length bp.bp_team in
+      (* Forward to our own children as relays stamped at the message's
+         arrival, not at the point the CPU reached the wait: the data
+         cascades down the tree while every node is still computing, so
+         the latency of the whole depth is hidden, not just the first
+         hop.  The link serializes the per-child forwards. *)
+      let link = ref msg.Message.arrival in
+      List.iter
+        (fun c ->
+          link :=
+            Rctx.relay ctx ~from_t:!link
+              ~dest:bp.bp_team.(Util.modulo (c + bp.bp_root) m)
+              ~tag:bp.bp_tag p)
+        (bcast_children ~vr:bp.bp_vr ~m);
+      p
+
 let reduce ctx team ~root ~combine payload =
   spanned ctx "reduce" ~bytes_of:(fun () -> Message.payload_bytes payload) @@ fun () ->
   let m = Array.length team in

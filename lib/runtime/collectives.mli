@@ -31,6 +31,22 @@ val broadcast : Rctx.t -> team -> root:int -> Message.payload -> Message.payload
 (** Binomial-tree multicast from team index [root]; only the root's
     [payload] argument is meaningful. *)
 
+type bcast_pending
+(** A split-phase broadcast in flight (see {!broadcast_issue}). *)
+
+val broadcast_issue : Rctx.t -> team -> root:int -> Message.payload -> bcast_pending
+(** The nonblocking half of {!broadcast}: the root sends to its binomial
+    children immediately, every other team member posts a receive on its
+    tree parent.  Peers, message count and per-channel send order are
+    identical to the blocking tree.  Collective — every team member must
+    call it, and must later complete it with {!broadcast_wait} (in the
+    same relative order when several are in flight). *)
+
+val broadcast_wait : Rctx.t -> bcast_pending -> Message.payload
+(** Complete a split broadcast: block for the parent's message (latency
+    since the issue is accounted as hidden), forward to this node's own
+    children, and return the payload. *)
+
 val reduce :
   Rctx.t ->
   team ->

@@ -9,13 +9,14 @@ type t = {
   grid : Grid.t;
   sched_cache : (string, cache_entry) Hashtbl.t;
   versions : (string, int) Hashtbl.t;
+  mutable split_seq : int;
 }
 
 let make eng grid =
   if Grid.size grid <> Engine.nprocs eng then
     Diag.bug "rctx: grid size %d does not cover the machine (%d nodes)" (Grid.size grid)
       (Engine.nprocs eng);
-  { eng; grid; sched_cache = Hashtbl.create 16; versions = Hashtbl.create 16 }
+  { eng; grid; sched_cache = Hashtbl.create 16; versions = Hashtbl.create 16; split_seq = 0 }
 
 let engine t = t.eng
 let grid t = t.grid
@@ -36,6 +37,24 @@ let send ?parts t ~dest ~tag payload =
   Engine.send ?parts t.eng ~dest:(Grid.phys_of_rank t.grid dest) ~tag payload
 
 let recv t ~src ~tag = Engine.recv t.eng ~src:(Grid.phys_of_rank t.grid src) ~tag
+
+(* Split-phase receive: the logical->physical rank translation happens at
+   issue time, so a handle is engine-level and valid regardless of later
+   grid lookups. *)
+let irecv t ~src ~tag = Engine.irecv t.eng ~src:(Grid.phys_of_rank t.grid src) ~tag
+let wait_recv t h = Engine.wait t.eng h
+
+(* Several split-phase collectives can be in flight at once, and their
+   trees may share a (source, tag) channel — FIFO matching would then
+   cross-deliver between trees.  Every rank executes the same sequence
+   of collective calls (SPMD), so a per-rank counter yields the same
+   instance number on all ranks with no extra messages. *)
+let next_split_seq t =
+  t.split_seq <- t.split_seq + 1;
+  t.split_seq
+
+let relay t ~from_t ~dest ~tag payload =
+  Engine.relay t.eng ~from_t ~dest:(Grid.phys_of_rank t.grid dest) ~tag payload
 
 let charge_flops t n = Engine.charge_flops t.eng n
 let charge_iops t n = Engine.charge_iops t.eng n

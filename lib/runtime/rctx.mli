@@ -58,6 +58,22 @@ val send :
 
 val recv : t -> src:int -> tag:int -> F90d_machine.Message.t
 
+val irecv : t -> src:int -> tag:int -> F90d_machine.Engine.handle
+(** Post a split-phase receive ([src] is a grid rank; the logical ->
+    physical translation happens here, at issue time). *)
+
+val wait_recv : t -> F90d_machine.Engine.handle -> F90d_machine.Message.t
+(** Complete a receive posted with {!irecv}. *)
+
+val next_split_seq : t -> int
+(** Replicated instance number for a split-phase collective.  Every rank
+    executes the same sequence of collective calls, so per-rank counting
+    agrees machine-wide; the caller folds it into the tag so concurrent
+    in-flight trees never share a (source, tag) channel. *)
+
+val relay : t -> from_t:float -> dest:int -> tag:int -> F90d_machine.Message.payload -> float
+(** {!F90d_machine.Engine.relay} with a grid-rank destination. *)
+
 val charge_flops : t -> int -> unit
 val charge_iops : t -> int -> unit
 val charge_copy_bytes : t -> int -> unit

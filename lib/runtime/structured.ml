@@ -73,6 +73,30 @@ let multicast ctx (darr : Darray.t) ~dim ~g =
   | Message.Arr slab -> slab
   | _ -> Diag.bug "multicast: protocol error"
 
+(* Split-phase multicast: the issue half gathers the owner's slab (so
+   the data in flight is the source as of the issue point — the split
+   pass only separates issue from wait across statements that provably
+   do not write the broadcast slice) and runs the nonblocking half of
+   the broadcast tree; the wait half completes it. *)
+let multicast_issue ctx (darr : Darray.t) ~dim ~g =
+  let me_coord = my_coord ctx darr dim in
+  let root_coord = owner_coord darr dim g in
+  let team = Collectives.team_along ctx ~dim:(pdim_of darr dim) in
+  let counts = my_counts ctx darr in
+  let payload =
+    if me_coord = root_coord then begin
+      let pos = Layout.local_of_global (Dad.layout_at darr.Darray.dad ~dim ~rank:(Rctx.me ctx)) g in
+      Message.Arr (gather_dim_slices ctx darr.Darray.local ~dim ~counts [| pos |])
+    end
+    else Message.Empty
+  in
+  Collectives.broadcast_issue ctx team ~root:root_coord payload
+
+let multicast_wait ctx pending =
+  match Collectives.broadcast_wait ctx pending with
+  | Message.Arr slab -> slab
+  | _ -> Diag.bug "multicast_wait: protocol error"
+
 let transfer ctx (darr : Darray.t) ~dim ~gsrc ~gdest =
   let me_coord = my_coord ctx darr dim in
   let src_coord = owner_coord darr dim gsrc in

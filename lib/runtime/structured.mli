@@ -17,6 +17,16 @@ val multicast : Rctx.t -> Darray.t -> dim:int -> g:int -> Ndarray.t
 (** Broadcast the slice [dim = g] from its owner along the grid dimension:
     result has extent 1 in [dim], the owned box elsewhere. *)
 
+val multicast_issue : Rctx.t -> Darray.t -> dim:int -> g:int -> Collectives.bcast_pending
+(** Nonblocking half of {!multicast}: the owner gathers its slab — the
+    data in flight is the source {e as of the issue point} — and starts
+    the broadcast tree; everyone else posts a receive.  Collective; must
+    be completed with {!multicast_wait} before the result is read. *)
+
+val multicast_wait : Rctx.t -> Collectives.bcast_pending -> Ndarray.t
+(** Complete a {!multicast_issue}: the latency since the issue is
+    accounted as hidden rather than charged as blocking wait. *)
+
 val transfer : Rctx.t -> Darray.t -> dim:int -> gsrc:int -> gdest:int -> Ndarray.t option
 (** One-to-one: processors owning [gsrc] send the slice to those owning
     [gdest] (pointwise along the other grid dimensions).  [Some slab] on

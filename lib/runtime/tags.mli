@@ -1,8 +1,12 @@
 (** Message-tag namespace of the run-time library.
 
-    Matching in the engine is FIFO per (source, tag), and SPMD programs
-    issue communication in identical program order on every node, so tags
-    exist for protocol clarity and debuggability rather than correctness. *)
+    Matching in the engine is FIFO per (source, tag).  For blocking
+    communication, SPMD programs issue in identical program order on
+    every node, so the family tag alone suffices.  Split-phase
+    collectives break that ordering — several trees can be in flight at
+    once — so each instance takes a distinct tag within its
+    hundreds-family (see {!Collectives.broadcast_issue}); profiles
+    classify by family, i.e. [tag / 100]. *)
 
 val transfer : int
 val broadcast : int

@@ -10,7 +10,15 @@ type prow = {
   p_bytes : int;
   p_send_s : float;  (* sender busy time: alpha + bytes*beta, summed *)
   p_wait_s : float;  (* receiver blocked time *)
+  p_hidden_s : float;  (* latency overlapped by split-phase receives *)
 }
+
+(* Latency a split-phase receive overlapped with computation: the wire
+   time since the receive was posted, minus whatever wait was still
+   charged.  Zero for blocking receives (posted = t0 >= send time never
+   holds spare overlap) and never negative. *)
+let hidden_of ~arrival ~posted ~t0 ~t1 =
+  Float.max 0. (Float.max 0. (arrival -. posted) -. (t1 -. t0))
 
 let per_tag_profile tr =
   let acc = Hashtbl.create 16 in
@@ -18,7 +26,9 @@ let per_tag_profile tr =
     match Hashtbl.find_opt acc tag with
     | Some r -> r
     | None ->
-        let r = ref { p_tag = tag; p_msgs = 0; p_bytes = 0; p_send_s = 0.; p_wait_s = 0. } in
+        let r =
+          ref { p_tag = tag; p_msgs = 0; p_bytes = 0; p_send_s = 0.; p_wait_s = 0.; p_hidden_s = 0. }
+        in
         Hashtbl.add acc tag r;
         r
   in
@@ -35,9 +45,15 @@ let per_tag_profile tr =
                 p_bytes = !r.p_bytes + bytes;
                 p_send_s = !r.p_send_s +. (ev.Trace.t1 -. ev.Trace.t0);
               }
-        | Trace.Recv { tag; _ } ->
+        | Trace.Recv { tag; arrival; posted; _ } ->
             let r = get tag in
-            r := { !r with p_wait_s = !r.p_wait_s +. (ev.Trace.t1 -. ev.Trace.t0) }
+            r :=
+              {
+                !r with
+                p_wait_s = !r.p_wait_s +. (ev.Trace.t1 -. ev.Trace.t0);
+                p_hidden_s =
+                  !r.p_hidden_s +. hidden_of ~arrival ~posted ~t0:ev.Trace.t0 ~t1:ev.Trace.t1;
+              }
         | _ -> ())
       (Trace.events tr ~rank)
   done;
@@ -57,6 +73,7 @@ type srow = {
   s_bytes : int;
   s_send_s : float;
   s_wait_s : float;
+  s_hidden_s : float;  (* latency overlapped by this statement's split receives *)
   s_cp_s : float;  (* critical-path wire time caused by this statement's sends *)
 }
 
@@ -69,7 +86,16 @@ let stmt_rows tr =
     | Some r -> r
     | None ->
         let r =
-          ref { s_sid = sid; s_msgs = 0; s_bytes = 0; s_send_s = 0.; s_wait_s = 0.; s_cp_s = 0. }
+          ref
+            {
+              s_sid = sid;
+              s_msgs = 0;
+              s_bytes = 0;
+              s_send_s = 0.;
+              s_wait_s = 0.;
+              s_hidden_s = 0.;
+              s_cp_s = 0.;
+            }
         in
         Hashtbl.add acc sid r;
         r
@@ -96,9 +122,15 @@ let stmt_rows tr =
                 let r = get psid in
                 r := { !r with s_bytes = !r.s_bytes + pbytes })
               parts
-        | Trace.Recv { sid; _ } ->
+        | Trace.Recv { sid; arrival; posted; _ } ->
             let r = get sid in
-            r := { !r with s_wait_s = !r.s_wait_s +. (ev.Trace.t1 -. ev.Trace.t0) }
+            r :=
+              {
+                !r with
+                s_wait_s = !r.s_wait_s +. (ev.Trace.t1 -. ev.Trace.t0);
+                s_hidden_s =
+                  !r.s_hidden_s +. hidden_of ~arrival ~posted ~t0:ev.Trace.t0 ~t1:ev.Trace.t1;
+              }
         | _ -> ())
       (Trace.events tr ~rank)
   done;
@@ -109,13 +141,14 @@ let breakdown tr ~name_of =
   List.iter
     (fun r ->
       let f = tag_family r.p_tag in
-      let m, b, s, w =
-        Option.value (Hashtbl.find_opt fams f) ~default:(0, 0, 0., 0.)
+      let m, b, s, w, h =
+        Option.value (Hashtbl.find_opt fams f) ~default:(0, 0, 0., 0., 0.)
       in
-      Hashtbl.replace fams f (m + r.p_msgs, b + r.p_bytes, s +. r.p_send_s, w +. r.p_wait_s))
+      Hashtbl.replace fams f
+        (m + r.p_msgs, b + r.p_bytes, s +. r.p_send_s, w +. r.p_wait_s, h +. r.p_hidden_s))
     (per_tag_profile tr);
-  Hashtbl.fold (fun f (m, b, s, w) acc -> (name_of f, m, b, s, w) :: acc) fams []
-  |> List.sort (fun (_, m1, _, _, _) (_, m2, _, _, _) -> compare m2 m1)
+  Hashtbl.fold (fun f (m, b, s, w, h) acc -> (name_of f, m, b, s, w, h) :: acc) fams []
+  |> List.sort (fun (_, m1, _, _, _, _) (_, m2, _, _, _, _) -> compare m2 m1)
 
 (* ------------------------------------------------------------------ *)
 (* Critical path                                                       *)
@@ -242,19 +275,19 @@ let render_profile tr ~name_of =
   let b = Buffer.create 4096 in
   Printf.bprintf b "communication profile (%d processors, %d events)\n" (Trace.nprocs tr)
     (Trace.total_events tr);
-  Printf.bprintf b "%-26s %10s %14s %14s %14s\n" "primitive (tag family)" "messages" "bytes"
-    "send busy (s)" "recv wait (s)";
+  Printf.bprintf b "%-26s %10s %14s %14s %14s %14s\n" "primitive (tag family)" "messages"
+    "bytes" "send busy (s)" "recv wait (s)" "hidden (s)";
   List.iter
-    (fun (name, m, by, s, w) ->
-      Printf.bprintf b "%-26s %10d %14d %14.6f %14.6f\n" name m by s w)
+    (fun (name, m, by, s, w, h) ->
+      Printf.bprintf b "%-26s %10d %14d %14.6f %14.6f %14.6f\n" name m by s w h)
     (breakdown tr ~name_of);
   Printf.bprintf b "\nper-tag detail:\n";
-  Printf.bprintf b "%8s %10s %14s %14s %14s\n" "tag" "messages" "bytes" "send busy (s)"
-    "recv wait (s)";
+  Printf.bprintf b "%8s %10s %14s %14s %14s %14s\n" "tag" "messages" "bytes" "send busy (s)"
+    "recv wait (s)" "hidden (s)";
   List.iter
     (fun r ->
-      Printf.bprintf b "%8d %10d %14d %14.6f %14.6f\n" r.p_tag r.p_msgs r.p_bytes r.p_send_s
-        r.p_wait_s)
+      Printf.bprintf b "%8d %10d %14d %14.6f %14.6f %14.6f\n" r.p_tag r.p_msgs r.p_bytes
+        r.p_send_s r.p_wait_s r.p_hidden_s)
     (per_tag_profile tr);
   Printf.bprintf b "\nper-rank compute (charged) vs final clock:\n";
   let clocks = Trace.clocks tr in

@@ -10,15 +10,20 @@ type prow = {
   p_bytes : int;
   p_send_s : float;  (** sender busy time ([alpha + bytes*beta], summed) *)
   p_wait_s : float;  (** receiver blocked time *)
+  p_hidden_s : float;
+      (** latency overlapped by split-phase receives: wire time since the
+          receive was posted minus the wait still charged, clamped at 0;
+          always 0 for blocking receives *)
 }
 
 val per_tag_profile : Trace.t -> prow list
 (** One row per message tag, sorted by tag.  Message and byte totals
     equal [Stats.per_tag] of the same run. *)
 
-val breakdown : Trace.t -> name_of:(int -> string) -> (string * int * int * float * float) list
-(** [(family name, messages, bytes, send busy s, recv wait s)] per tag
-    family (hundreds, matching [Stats.breakdown]), most messages
+val breakdown :
+  Trace.t -> name_of:(int -> string) -> (string * int * int * float * float * float) list
+(** [(family name, messages, bytes, send busy s, recv wait s, hidden s)]
+    per tag family (hundreds, matching [Stats.breakdown]), most messages
     first. *)
 
 (** {2 Per-statement profile} *)
@@ -29,6 +34,9 @@ type srow = {
   s_bytes : int;
   s_send_s : float;
   s_wait_s : float;
+  s_hidden_s : float;
+      (** latency overlapped by this statement's split-phase receives
+          (same clamp as {!prow.p_hidden_s}) *)
   s_cp_s : float;
       (** wire time on the critical path caused by this statement's
           sends (non-zero only on multi-hop topologies) *)

@@ -22,8 +22,15 @@ type kind =
       arrival : float;
       sid : int;
       parts : (int * int) array;
+      relay : bool;
+          (* a message-system forward of just-arrived data (split-phase
+             broadcast): t0/t1 lie on the relay timeline, not the CPU's,
+             so relays are excluded from per-rank CPU time accounting *)
     }
-  | Recv of { src : int; tag : int; arrival : float; sid : int }
+  | Recv of { src : int; tag : int; arrival : float; sid : int; posted : float }
+  (* [posted] is when the receive was issued: equal to t0 for a blocking
+     receive, earlier for the wait half of a split-phase receive.  The
+     hidden latency is max(0, arrival - posted) - (t1 - t0). *)
   | Span of { name : string; cat : string; bytes : int; sid : int }
   | Mark of { name : string; cat : string; sid : int }
 
@@ -65,15 +72,18 @@ let push r ev =
   r.ring.(r.len) <- ev;
   r.len <- r.len + 1
 
-let send ?(parts = [||]) h ~t0 ~t1 ~dest ~tag ~bytes ~arrival =
+let send ?(parts = [||]) ?(relay = false) h ~t0 ~t1 ~dest ~tag ~bytes ~arrival =
   match h with
   | None -> ()
-  | Some r -> push r { t0; t1; kind = Send { dest; tag; bytes; arrival; sid = r.sid; parts } }
+  | Some r ->
+      push r { t0; t1; kind = Send { dest; tag; bytes; arrival; sid = r.sid; parts; relay } }
 
-let recv h ~t0 ~t1 ~src ~tag ~arrival =
+let recv ?posted h ~t0 ~t1 ~src ~tag ~arrival =
   match h with
   | None -> ()
-  | Some r -> push r { t0; t1; kind = Recv { src; tag; arrival; sid = r.sid } }
+  | Some r ->
+      let posted = Option.value posted ~default:t0 in
+      push r { t0; t1; kind = Recv { src; tag; arrival; sid = r.sid; posted } }
 
 let computed h dt = match h with None -> () | Some r -> r.computed <- r.computed +. dt
 
@@ -156,11 +166,14 @@ let chrome_event b ~pid ev =
       (escape name) (escape cat) ph pid (us t)
   in
   (match ev.kind with
-  | Send { dest; tag; bytes; arrival; sid; parts } ->
-      common ~name:(Printf.sprintf "send tag=%d" tag) ~cat:"send" ~ph:"X" ~t:ev.t0;
+  | Send { dest; tag; bytes; arrival; sid; parts; relay } ->
+      common
+        ~name:(Printf.sprintf "%s tag=%d" (if relay then "relay" else "send") tag)
+        ~cat:"send" ~ph:"X" ~t:ev.t0;
       Printf.bprintf b
         ",\"dur\":%s,\"args\":{\"dest\":%d,\"tag\":%d,\"bytes\":%d,\"arrival_us\":%s,\"sid\":%d"
         (us (ev.t1 -. ev.t0)) dest tag bytes (us arrival) sid;
+      if relay then Buffer.add_string b ",\"relay\":true";
       if Array.length parts > 0 then begin
         Buffer.add_string b ",\"parts\":[";
         Array.iteri
@@ -171,13 +184,15 @@ let chrome_event b ~pid ev =
         Buffer.add_char b ']'
       end;
       Buffer.add_char b '}'
-  | Recv { src; tag; arrival; sid } ->
+  | Recv { src; tag; arrival; sid; posted } ->
       common ~name:(Printf.sprintf "recv tag=%d" tag) ~cat:"recv" ~ph:"X" ~t:ev.t0;
+      let hidden = Float.max 0. (arrival -. posted) -. (ev.t1 -. ev.t0) in
       Printf.bprintf b
-        ",\"dur\":%s,\"args\":{\"src\":%d,\"tag\":%d,\"arrival_us\":%s,\"waited\":%s,\"sid\":%d}"
+        ",\"dur\":%s,\"args\":{\"src\":%d,\"tag\":%d,\"arrival_us\":%s,\"waited\":%s,\"sid\":%d,\"posted_us\":%s,\"hidden_us\":%s}"
         (us (ev.t1 -. ev.t0)) src tag (us arrival)
         (if ev.t1 > ev.t0 then "true" else "false")
-        sid
+        sid (us posted)
+        (us (Float.max 0. hidden))
   | Span { name; cat; bytes; sid } ->
       common ~name ~cat ~ph:"X" ~t:ev.t0;
       Printf.bprintf b ",\"dur\":%s,\"args\":{\"bytes\":%d,\"sid\":%d}" (us (ev.t1 -. ev.t0))

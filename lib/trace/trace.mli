@@ -35,11 +35,19 @@ type kind =
       arrival : float;
       sid : int;
       parts : (int * int) array;
+      relay : bool;
     }
       (** [parts] is non-empty only for coalesced batch sends: (member
-          sid, member bytes) in packing order, summing to [bytes]. *)
-  | Recv of { src : int; tag : int; arrival : float; sid : int }
-      (** [t1 > t0] iff the receiver blocked ([t1] = arrival). *)
+          sid, member bytes) in packing order, summing to [bytes].
+          [relay] marks a message-system forward of just-arrived data
+          (split-phase broadcast): its [t0]/[t1] lie on the relay
+          timeline, not the CPU's, so relays must be excluded when
+          reconciling per-rank CPU time. *)
+  | Recv of { src : int; tag : int; arrival : float; sid : int; posted : float }
+      (** [t1 > t0] iff the receiver blocked ([t1] = arrival).  [posted]
+          is when the receive was issued — [t0] for a blocking receive,
+          earlier for the wait half of a split-phase receive; the latency
+          hidden by the split is [max 0 (arrival - posted) - (t1 - t0)]. *)
   | Span of { name : string; cat : string; bytes : int; sid : int }
       (** [sid] is captured at [span_begin] time. *)
   | Mark of { name : string; cat : string; sid : int }
@@ -66,6 +74,7 @@ val current_sid : handle -> int
 
 val send :
   ?parts:(int * int) array ->
+  ?relay:bool ->
   handle ->
   t0:float ->
   t1:float ->
@@ -75,7 +84,9 @@ val send :
   arrival:float ->
   unit
 
-val recv : handle -> t0:float -> t1:float -> src:int -> tag:int -> arrival:float -> unit
+val recv :
+  ?posted:float -> handle -> t0:float -> t1:float -> src:int -> tag:int -> arrival:float -> unit
+(** [posted] defaults to [t0] (blocking receive). *)
 
 val computed : handle -> float -> unit
 (** Accumulate charged local-computation seconds (not an event). *)

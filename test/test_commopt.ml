@@ -285,6 +285,181 @@ let test_profile_reconciles_with_batches () =
     batch_sids
 
 (* ------------------------------------------------------------------ *)
+(* Split-phase communication and lookahead (pass 6)                    *)
+(* ------------------------------------------------------------------ *)
+
+let split_only = { Passes.all_off with Passes.split_comm = true }
+let split_la = { Passes.all_off with Passes.split_comm = true; Passes.lookahead = true }
+
+let comm_issues ir =
+  ir_fold (fun acc s -> match s.Ir.s with Ir.Comm_issue sp -> sp :: acc | _ -> acc) [] ir
+
+let comm_waits ir =
+  ir_fold (fun acc s -> match s.Ir.s with Ir.Comm_wait sp -> sp :: acc | _ -> acc) [] ir
+
+let has_guard p ir =
+  List.exists (fun (sp : Ir.split) -> p sp.Ir.sp_guard) (comm_issues ir)
+
+let test_split_happens () =
+  (* the multicast's issue can cross the preceding comm-free FORALL *)
+  let src =
+    wrap {|      FORALL (I = 1:N) B(I) = 2.0*A(I)
+      FORALL (I = 1:N) B(I) = B(I) + A(3)|}
+  in
+  let opt = Driver.compile ~flags:split_only src in
+  checkb "Comm_issue present" true (comm_issues opt.Driver.c_ir <> []);
+  Alcotest.(check int) "every issue has its wait"
+    (List.length (comm_issues opt.Driver.c_ir))
+    (List.length (comm_waits opt.Driver.c_ir));
+  let r_opt = messages opt in
+  let r_plain = messages (Driver.compile ~flags:Passes.all_off src) in
+  Alcotest.(check int) "splitting moves, never adds, messages"
+    r_plain.Driver.stats.Stats.messages r_opt.Driver.stats.Stats.messages;
+  checkb "finals bit-identical" true (nd_eq (Driver.final r_opt "B") (Driver.final r_plain "B"))
+
+let test_split_refuse_intervening_write () =
+  (* the statement just before the reader writes the multicast source:
+     the issue cannot move, so the pair folds back to a blocking comm *)
+  let src =
+    wrap {|      FORALL (I = 1:N) A(I) = A(I) + 1.0
+      FORALL (I = 1:N) B(I) = B(I) + A(3)|}
+  in
+  let opt = Driver.compile ~flags:split_only src in
+  checkb "refuses: source written just before the reader" true
+    (comm_issues opt.Driver.c_ir = [])
+
+let test_split_refuse_conditional_use () =
+  (* the reading FORALL sits first inside an IF arm: the issue must not
+     escape the conditional (the comm would run when the arm does not) *)
+  let src =
+    wrap
+      {|      T = 1
+      FORALL (I = 1:N) B(I) = 2.0*A(I)
+      IF (T .GT. 0) THEN
+        FORALL (I = 1:N) B(I) = B(I) + A(3)
+      END IF|}
+  in
+  let opt = Driver.compile ~flags:split_only src in
+  checkb "refuses: use under a conditional" true (comm_issues opt.Driver.c_ir = []);
+  let r_opt = messages opt in
+  let r_plain = messages (Driver.compile ~flags:Passes.all_off src) in
+  checkb "finals bit-identical" true (nd_eq (Driver.final r_opt "B") (Driver.final r_plain "B"))
+
+let test_split_concurrent_trees () =
+  (* regression (fuzz seed 347): several split multicasts in flight at
+     once, rooted at different ranks — each tree must keep its own
+     channel, or FIFO matching cross-delivers the slabs *)
+  let src =
+    {|      PROGRAM SPLITC
+      INTEGER, PARAMETER :: N1 = 12
+      INTEGER, PARAMETER :: N2 = 4
+      INTEGER A1(N1)
+      REAL A3(N1)
+      REAL B1(N2, N2)
+      REAL B2(N2, N2)
+      INTEGER V(N1)
+C$    DISTRIBUTE A1(BLOCK)
+C$    DISTRIBUTE A3(BLOCK)
+C$    DISTRIBUTE B1(BLOCK, *)
+C$    DISTRIBUTE B2(*, BLOCK)
+C$    DISTRIBUTE V(BLOCK)
+      FORALL (I = 1:12) A1(I) = I
+      FORALL (I = 1:12) V(I) = 2*I
+      FORALL (I = 1:4, J = 1:4) B1(I, J) = I + J
+      FORALL (I = 1:3:2, J = 1:4) B2(I, J) = 1
+      A3 = (MIN((-2.25), A1(12)) - ABS((B1(1, 1) - V(5))))
+      END
+|}
+  in
+  let opt = Driver.compile ~flags:split_only src in
+  checkb "three concurrent issues (sanity)" true
+    (List.length (comm_issues opt.Driver.c_ir) >= 3);
+  let r_opt = messages ~nprocs:4 opt in
+  let r_plain = messages ~nprocs:4 (Driver.compile ~flags:Passes.all_off src) in
+  checkb "concurrent trees deliver the right slabs" true
+    (nd_eq (Driver.final r_opt "A3") (Driver.final r_plain "A3"))
+
+let lookahead_loop =
+  wrap {|      DO T = 1, 8
+        FORALL (I = 1:N) B(I) = B(I) + A(T)
+      END DO|}
+
+let test_lookahead_pipelines () =
+  let opt = Driver.compile ~flags:split_la lookahead_loop in
+  checkb "prologue issue guarded on the loop tripping" true
+    (has_guard (function Ir.Sg_trip _ -> true | _ -> false) opt.Driver.c_ir);
+  checkb "in-body issue guarded on a next iteration" true
+    (has_guard (function Ir.Sg_next _ -> true | _ -> false) opt.Driver.c_ir);
+  let r_opt = messages opt in
+  let r_plain = messages (Driver.compile ~flags:Passes.all_off lookahead_loop) in
+  checkb "finals bit-identical" true (nd_eq (Driver.final r_opt "B") (Driver.final r_plain "B"));
+  checkb "pipelining hides some receive latency" true
+    (r_opt.Driver.stats.Stats.recv_wait_hidden > 0.)
+
+let test_lookahead_refused_source_written () =
+  (* a swap-like write to the source mid-step, followed by a statement
+     that still communicates: the next step's issue has no safe slot *)
+  let src =
+    wrap
+      {|      DO T = 1, 8
+        FORALL (I = 1:N) B(I) = B(I) + A(T)
+        FORALL (I = 1:N) A(I) = A(I) + 1.0
+        FORALL (I = 1:N) U(I) = U(I) + B(3)
+      END DO|}
+  in
+  let opt = Driver.compile ~flags:split_la src in
+  checkb "no cross-iteration issue" true
+    (not (has_guard (function Ir.Sg_next _ | Ir.Sg_trip _ -> true | _ -> false) opt.Driver.c_ir));
+  let r_opt = messages opt in
+  let r_plain = messages (Driver.compile ~flags:Passes.all_off src) in
+  checkb "finals bit-identical" true (nd_eq (Driver.final r_opt "B") (Driver.final r_plain "B"))
+
+let test_split_zero_trip_loop () =
+  (* both lookahead guards evaluate false on a zero-trip loop: no issue
+     fires, no wait blocks, and the comm count matches the plain run *)
+  let src =
+    wrap {|      DO T = 5, 1
+        FORALL (I = 1:N) B(I) = B(I) + A(T)
+      END DO|}
+  in
+  let opt = Driver.compile ~flags:split_la src in
+  let r_opt = messages opt in
+  let r_plain = messages (Driver.compile ~flags:Passes.all_off src) in
+  Alcotest.(check int) "zero-trip loop adds no messages"
+    r_plain.Driver.stats.Stats.messages r_opt.Driver.stats.Stats.messages;
+  checkb "finals bit-identical" true (nd_eq (Driver.final r_opt "B") (Driver.final r_plain "B"))
+
+let test_split_trace_parallel_identical () =
+  (* nonblocking receives and relayed tree forwards must not disturb
+     engine determinism: full trace byte-identical seq vs 4 domains *)
+  let compiled = Driver.compile ~flags:split_la lookahead_loop in
+  let chrome r =
+    match r.Driver.trace with
+    | Some tr -> F90d_trace.Trace.to_chrome_json tr
+    | None -> Alcotest.fail "tracing was on"
+  in
+  let seq = messages ~trace:true compiled in
+  let par = messages ~trace:true ~jobs:4 compiled in
+  checkb "split traces byte-identical seq vs --jobs 4" true (chrome seq = chrome par)
+
+let test_gauss_split_wait_reduction () =
+  let src = Programs.gauss ~n:63 in
+  let run flags = messages ~nprocs:4 (Driver.compile ~flags src) in
+  let r_on = run Passes.all_on and r_off = run Passes.all_off in
+  checkb "gauss finals bit-identical" true (nd_eq (Driver.final r_on "A") (Driver.final r_off "A"));
+  checkb
+    (Printf.sprintf "gauss recv_wait strictly lower (%.4f < %.4f)"
+       r_on.Driver.stats.Stats.recv_wait r_off.Driver.stats.Stats.recv_wait)
+    true
+    (r_on.Driver.stats.Stats.recv_wait < r_off.Driver.stats.Stats.recv_wait);
+  checkb "gauss hides receive latency" true (r_on.Driver.stats.Stats.recv_wait_hidden > 0.);
+  checkb "gauss elapsed no worse" true (r_on.Driver.elapsed <= r_off.Driver.elapsed);
+  let r_par = messages ~nprocs:4 ~jobs:4 (Driver.compile ~flags:Passes.all_on src) in
+  checkb "gauss parallel engine bit-identical" true
+    (nd_eq (Driver.final r_on "A") (Driver.final r_par "A")
+    && r_on.Driver.elapsed = r_par.Driver.elapsed)
+
+(* ------------------------------------------------------------------ *)
 (* Explain annotations                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -328,6 +503,23 @@ let () =
             test_gauss_message_reduction;
           Alcotest.test_case "replica cache invalidates on write" `Quick
             test_replica_cache_invalidation;
+        ] );
+      ( "split",
+        [
+          Alcotest.test_case "splits across a crossable stmt" `Quick test_split_happens;
+          Alcotest.test_case "refuses intervening write" `Quick
+            test_split_refuse_intervening_write;
+          Alcotest.test_case "refuses conditional use" `Quick test_split_refuse_conditional_use;
+          Alcotest.test_case "concurrent trees keep channels" `Quick
+            test_split_concurrent_trees;
+          Alcotest.test_case "lookahead pipelines the loop" `Quick test_lookahead_pipelines;
+          Alcotest.test_case "lookahead refuses written source" `Quick
+            test_lookahead_refused_source_written;
+          Alcotest.test_case "zero-trip loop guarded" `Quick test_split_zero_trip_loop;
+          Alcotest.test_case "trace identical seq vs jobs=4" `Quick
+            test_split_trace_parallel_identical;
+          Alcotest.test_case "gauss hides receive latency" `Quick
+            test_gauss_split_wait_reduction;
         ] );
       ( "attribution",
         [

@@ -123,6 +123,31 @@ let test_deadlock () =
   | _ -> Alcotest.fail "expected deadlock"
   | exception Engine.Deadlock _ -> ()
 
+let test_deadlock_lists_unwaited_handles () =
+  (* a rank stuck with a split-phase handle outstanding: the diagnostic
+     must name the issued-but-unwaited channel, the usual sign of a wait
+     sunk past the point that should have consumed it *)
+  let cfg = Engine.config 2 in
+  match
+    Engine.run cfg (fun ctx ->
+        match Engine.rank ctx with
+        | 0 -> ignore (Engine.recv ctx ~src:1 ~tag:5)
+        | _ ->
+            Engine.set_stmt ctx ~sid:42 ~loc:F90d_base.Loc.none;
+            let _h = Engine.irecv ctx ~src:0 ~tag:7 in
+            ignore (Engine.recv ctx ~src:0 ~tag:5))
+  with
+  | _ -> Alcotest.fail "expected deadlock"
+  | exception Engine.Deadlock msg ->
+      let has s =
+        try
+          ignore (Str.search_forward (Str.regexp_string s) msg 0);
+          true
+        with Not_found -> false
+      in
+      checkb "names the unwaited channel" true (has "issued-unwaited (src=0,tag=7");
+      checkb "names the issuing statement" true (has "issued at stmt 42")
+
 let test_exception_propagation () =
   let cfg = Engine.config 2 in
   match
@@ -311,6 +336,8 @@ let () =
           Alcotest.test_case "FIFO order" `Quick test_fifo_order;
           Alcotest.test_case "tag matching" `Quick test_tag_matching;
           Alcotest.test_case "deadlock detection" `Quick test_deadlock;
+          Alcotest.test_case "deadlock lists unwaited handles" `Quick
+            test_deadlock_lists_unwaited_handles;
           Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
           Alcotest.test_case "all-to-all" `Quick test_all_to_all;
           Alcotest.test_case "compute charges" `Quick test_charges;
