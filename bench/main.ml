@@ -4,11 +4,12 @@
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe -- fig5    -- one experiment:
        fig3 | fig5 | table4 | fig6 | table1 | table2 | table3
-       ablation | dist | portability | micro
+       ablation | dist | portability | serve | micro
 
    Flags (after the experiment name):
      --json [PATH]   write machine-readable results to PATH (default
-                     BENCH_<experiment>.json); supported for table4 and fig5
+                     BENCH_<experiment>.json); supported for table4, fig5
+                     and serve
      --jobs N        verify and time the domain-parallel engine with N
                      worker domains (default: the F90D_JOBS environment
                      variable, else sequential only)
@@ -737,8 +738,141 @@ let json_ablation rows =
        rows)
 
 (* ------------------------------------------------------------------ *)
+(* serve: daemon throughput, cold vs warm caches (§ service mode)      *)
+(* ------------------------------------------------------------------ *)
+
+(* A mixed compile+run workload replayed twice against a fresh daemon:
+   the first pass populates all three cache levels, the second hits
+   them.  The same request list also replays against an in-process
+   Service with its own store, so every daemon response can be checked
+   byte-for-byte against the one-shot path at equal cache temperature. *)
+module SJ = F90d_serve.Json
+
+let serve_workload () =
+  let compile demo demo_n =
+    SJ.Obj
+      [ ("op", SJ.Str "compile"); ("demo", SJ.Str demo); ("demo_n", SJ.Int demo_n) ]
+  in
+  let run demo demo_n nprocs =
+    SJ.Obj
+      [
+        ("op", SJ.Str "run");
+        ("demo", SJ.Str demo);
+        ("demo_n", SJ.Int demo_n);
+        ("nprocs", SJ.Int nprocs);
+        ("finals", SJ.Bool true);
+      ]
+  in
+  (* compile-heavy on purpose: a build service sees many more compile
+     requests than simulations, and compilation is where the
+     content-addressed levels pay (a warm compile is a digest lookup) *)
+  List.map (compile "gauss") (List.init 40 (fun i -> 64 + i))
+  @ List.map (compile "jacobi") (List.init 20 (fun i -> 64 + i))
+  @ List.map (compile "irregular") (List.init 10 (fun i -> 64 + i))
+  @ [ run "irregular" 256 4; run "jacobi" 64 4; run "gauss" 32 4 ]
+
+type serve_phase = {
+  sv_wall : float;
+  sv_responses : SJ.t list;
+  sv_sched_builds : int;  (* summed over run responses *)
+  sv_sched_hits : int;
+  sv_errors : int;
+}
+
+let serve_phase responses wall =
+  let geti resp key = Option.value ~default:0 (Option.bind (SJ.mem resp key) SJ.int) in
+  {
+    sv_wall = wall;
+    sv_responses = responses;
+    sv_sched_builds = List.fold_left (fun a r -> a + geti r "sched_builds") 0 responses;
+    sv_sched_hits = List.fold_left (fun a r -> a + geti r "sched_hits") 0 responses;
+    sv_errors =
+      List.fold_left
+        (fun a r -> a + match SJ.mem r "ok" with Some (SJ.Bool true) -> 0 | _ -> 1)
+        0 responses;
+  }
+
+let run_serve () =
+  let tmp = Filename.temp_dir "f90d-bench-serve" "" in
+  let sock = Filename.concat tmp "daemon.sock" in
+  let workload = serve_workload () in
+  let service =
+    F90d_serve.Service.create
+      ~store:(F90d_serve.Store.create ~dir:(Filename.concat tmp "store-daemon"))
+      ~workers:2 ()
+  in
+  let srv = F90d_serve.Server.start ~workers:2 ~service ~sock_path:sock () in
+  let debug_lat = Sys.getenv_opt "F90D_SERVE_LAT" <> None in
+  let replay () =
+    F90d_serve.Client.with_conn sock (fun conn ->
+        let t0 = Unix.gettimeofday () in
+        let responses =
+          List.map
+            (fun req ->
+              let r0 = Unix.gettimeofday () in
+              let resp = F90d_serve.Client.request conn req in
+              if debug_lat then
+                Printf.printf "%8.3f ms  %s\n%!"
+                  ((Unix.gettimeofday () -. r0) *. 1000.)
+                  (String.sub (SJ.to_string req) 0 (min 60 (String.length (SJ.to_string req))));
+              resp)
+            workload
+        in
+        serve_phase responses (Unix.gettimeofday () -. t0))
+  in
+  let cold = replay () in
+  let warm = replay () in
+  let stats = F90d_serve.Client.with_conn sock (fun c ->
+      F90d_serve.Client.request c (SJ.Obj [ ("op", SJ.Str "stats") ])) in
+  F90d_serve.Client.with_conn sock (fun c ->
+      ignore (F90d_serve.Client.request c (SJ.Obj [ ("op", SJ.Str "shutdown") ])));
+  F90d_serve.Server.wait srv;
+  (* the one-shot reference: same requests, same order, its own caches *)
+  let solo =
+    F90d_serve.Service.create
+      ~store:(F90d_serve.Store.create ~dir:(Filename.concat tmp "store-solo"))
+      ()
+  in
+  let identical phase =
+    List.for_all2
+      (fun req daemon_resp ->
+        let solo_resp = F90d_serve.Service.handle solo req in
+        SJ.to_string (F90d_serve.Service.strip_volatile solo_resp)
+        = SJ.to_string (F90d_serve.Service.strip_volatile daemon_resp))
+      workload phase.sv_responses
+  in
+  let identical_cold = identical cold in
+  let identical_warm = identical warm in
+  (workload, cold, warm, stats, identical_cold, identical_warm)
+
+let serve_table (workload, cold, warm, _stats, identical_cold, identical_warm) =
+  section "Service mode: daemon throughput, cold vs warm content-addressed caches";
+  let n = List.length workload in
+  let rps p = float_of_int n /. p.sv_wall in
+  Printf.printf "%-6s %10s %12s %14s %14s %8s\n" "phase" "requests" "wall (s)" "throughput/s"
+    "sched_builds" "errors";
+  let row name p =
+    Printf.printf "%-6s %10d %12.3f %14.1f %14d %8d\n" name n p.sv_wall (rps p)
+      p.sv_sched_builds p.sv_errors
+  in
+  row "cold" cold;
+  row "warm" warm;
+  Printf.printf "\nwarm/cold throughput : %.2fx\n" (rps warm /. rps cold);
+  Printf.printf "warm sched_builds    : %d (schedules preloaded from the store)\n"
+    warm.sv_sched_builds;
+  Printf.printf "daemon = one-shot    : cold %s, warm %s\n"
+    (if identical_cold then "bit-identical" else "DIFFERS!")
+    (if identical_warm then "bit-identical" else "DIFFERS!")
+
+(* ------------------------------------------------------------------ *)
 (* JSON emitters                                                       *)
 (* ------------------------------------------------------------------ *)
+
+let version_fields =
+  [
+    ("version", Json.Str F90d_base.Util.package_version);
+    ("cache_version", Json.Int F90d_base.Util.cache_version);
+  ]
 
 (* Top-k hot statements of the traced 16-PE run: each row joins the
    compile-time decision (primitive + source line) with measured cost. *)
@@ -762,10 +896,50 @@ let json_hot_statements ?(top = 5) () =
            ])
   |> fun rows -> Json.List rows
 
+(* Convert a serve-protocol JSON value into the bench's own printer type
+   so BENCH_serve.json is emitted with the same pretty-printing as every
+   other bench artifact. *)
+let rec of_sj = function
+  | SJ.Null -> Json.Null
+  | SJ.Bool b -> Json.Bool b
+  | SJ.Int n -> Json.Int n
+  | SJ.Float x -> Json.Float x
+  | SJ.Str s -> Json.Str s
+  | SJ.List l -> Json.List (List.map of_sj l)
+  | SJ.Obj fields -> Json.Obj (List.map (fun (k, v) -> (k, of_sj v)) fields)
+
+let json_serve ~host_wall (workload, cold, warm, stats, identical_cold, identical_warm) =
+  let n = List.length workload in
+  let phase p =
+    Json.Obj
+      [
+        ("requests", Json.Int n);
+        ("wall_s", Json.Float p.sv_wall);
+        ("throughput_rps", Json.Float (float_of_int n /. p.sv_wall));
+        ("sched_builds", Json.Int p.sv_sched_builds);
+        ("sched_hits", Json.Int p.sv_sched_hits);
+        ("errors", Json.Int p.sv_errors);
+      ]
+  in
+  Json.Obj
+    (("experiment", Json.Str "serve") :: version_fields
+    @ [
+        ("workload", Json.List (List.map of_sj workload));
+        ("cold", phase cold);
+        ("warm", phase warm);
+        ( "warm_over_cold",
+          Json.Float ((float_of_int n /. warm.sv_wall) /. (float_of_int n /. cold.sv_wall))
+        );
+        ("identical_to_oneshot_cold", Json.Bool identical_cold);
+        ("identical_to_oneshot_warm", Json.Bool identical_warm);
+        ("daemon_stats", of_sj stats);
+        ("host_wall_total_s", Json.Float host_wall);
+      ])
+
 let json_table4 ?ablation ~jobs ~host_wall rows4 =
   Json.Obj
-    ([
-       ("experiment", Json.Str "table4");
+    (("experiment", Json.Str "table4") :: version_fields
+    @ [
        ("program", Json.Str "gauss");
        ("problem_size", Json.Int table4_n);
        ("model", Json.Str Model.ipsc860.Model.name);
@@ -779,13 +953,17 @@ let json_table4 ?ablation ~jobs ~host_wall rows4 =
           (List.map
              (fun r ->
                Json.Obj
-                 [
-                   ("nprocs", Json.Int r.t4_p);
-                   ("hand_elapsed_s", Json.Float r.t4_hand);
-                   ("f90d_elapsed_s", Json.Float r.t4_f90d);
-                   ("host_wall_seq_s", Json.Float r.t4_wall_seq);
-                   ( "host_wall_par_s",
-                     match r.t4_wall_par with Some w -> Json.Float w | None -> Json.Null );
+                 ([
+                    ("nprocs", Json.Int r.t4_p);
+                    ("hand_elapsed_s", Json.Float r.t4_hand);
+                    ("f90d_elapsed_s", Json.Float r.t4_f90d);
+                    ("host_wall_seq_s", Json.Float r.t4_wall_seq);
+                  ]
+                 (* measured value or no key at all — never a null row *)
+                 @ (match r.t4_wall_par with
+                   | Some w -> [ ("host_wall_par_s", Json.Float w) ]
+                   | None -> [])
+                 @ [
                    ("parallel_identical", Json.Bool r.t4_par_identical);
                    ("messages", Json.Int r.t4_stats.Stats.messages);
                    ("bytes", Json.Int r.t4_stats.Stats.bytes);
@@ -793,7 +971,7 @@ let json_table4 ?ablation ~jobs ~host_wall rows4 =
                    ("recv_wait_hidden_s", Json.Float r.t4_stats.Stats.recv_wait_hidden);
                    ("sched_builds", Json.Int r.t4_stats.Stats.sched_builds);
                    ("sched_hits", Json.Int r.t4_stats.Stats.sched_hits);
-                 ])
+                 ]))
              rows4) );
        ("hot_statements_16pe", json_hot_statements ());
      ]
@@ -801,8 +979,8 @@ let json_table4 ?ablation ~jobs ~host_wall rows4 =
 
 let json_fig5 ~host_wall rows =
   Json.Obj
-    [
-      ("experiment", Json.Str "fig5");
+    (("experiment", Json.Str "fig5") :: version_fields
+    @ [
       ("program", Json.Str "gauss");
       ("pass_flags", json_pass_flags F90d_opt.Passes.all_on);
       ("nprocs", Json.Int 16);
@@ -819,7 +997,7 @@ let json_fig5 ~host_wall rows =
                    ("ncube2_elapsed_s", Json.Float tn);
                  ])
              rows) );
-    ]
+    ])
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
@@ -874,7 +1052,8 @@ let () =
   let warn_json () =
     match !json_path with
     | Some _ ->
-        Printf.eprintf "warning: --json is only supported for table4 and fig5; ignoring\n"
+        Printf.eprintf
+          "warning: --json is only supported for table4, fig5 and serve; ignoring\n"
     | None -> ()
   in
   let warn_trace () =
@@ -915,6 +1094,14 @@ let () =
         !json_path;
       Option.iter (fun p -> table4_trace ~path:p ()) !trace_path;
       Option.iter (fun p -> table4_profile_json ~path:p ()) !profile_path
+  | "serve" ->
+      warn_trace ();
+      warn_profile ();
+      let res = run_serve () in
+      serve_table res;
+      Option.iter
+        (fun p -> Json.write p (json_serve ~host_wall:(Unix.gettimeofday () -. t0) res))
+        !json_path
   | "fig6" ->
       warn_json ();
       warn_trace ();
@@ -943,10 +1130,11 @@ let () =
       ablation ();
       dist_choice ();
       portability ();
+      serve_table (run_serve ());
       micro ()
   | other ->
       Printf.eprintf
-        "unknown experiment '%s' (fig5 | table4 | fig6 | table1 | table2 | table3 | fig3 | micro | ablation | dist | portability | all)\n"
+        "unknown experiment '%s' (fig5 | table4 | fig6 | table1 | table2 | table3 | fig3 | micro | ablation | dist | portability | serve | all)\n"
         other;
       exit 1);
   Printf.printf "\n[bench completed in %.1f s of host time]\n" (Unix.gettimeofday () -. t0)

@@ -2,7 +2,8 @@
 
    Compiles a Fortran 90D/HPF source file, optionally emits the generated
    Fortran 77+MP node program, and/or executes it on the simulated
-   distributed-memory machine. *)
+   distributed-memory machine.  --serve turns the same compiler into a
+   persistent daemon behind a Unix-domain socket; --client scripts it. *)
 
 open Cmdliner
 
@@ -16,109 +17,174 @@ let demo_source name nprocs =
     | Some s -> (try max 4 (int_of_string (String.trim s)) with _ -> 64)
     | None -> 64
   in
-  match String.lowercase_ascii name with
-  | "gauss" -> F90d.Programs.gauss ~n
-  | "gauss-cyclic" -> F90d.Programs.gauss_dist ~dist:`Cyclic ~n
-  | "jacobi" -> F90d.Programs.jacobi ~n ~iters:10
-  | "jacobi2d" ->
-      let rec split p q = if p <= q then (p, q) else split (p / 2) (q * 2) in
-      let p, q = split nprocs 1 in
-      F90d.Programs.jacobi2d ~n:30 ~iters:5 ~p ~q
-  | "irregular" -> F90d.Programs.irregular ~n
-  | "fft" -> F90d.Programs.fft_butterfly ~n
-  | other -> raise (Invalid_argument ("unknown demo program: " ^ other))
+  F90d_serve.Service.demo_source name ~nprocs ~n
 
-let model_of_name = function
-  | "ipsc860" -> F90d_machine.Model.ipsc860
-  | "ncube2" -> F90d_machine.Model.ncube2
-  | "ideal" -> F90d_machine.Model.ideal
-  | other -> raise (Invalid_argument ("unknown machine model: " ^ other))
+(* ------------------------------------------------------------------ *)
+(* Service mode                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let serve_cmd sock cache_dir no_cache request_timeout serve_workers =
+  let store =
+    if no_cache then None
+    else
+      let dir =
+        match cache_dir with
+        | Some d -> d
+        | None -> F90d_serve.Store.default_dir ()
+      in
+      Some (F90d_serve.Store.create ~dir)
+  in
+  let workers =
+    match serve_workers with Some n -> n | None -> 0 (* Server picks its default *)
+  in
+  let service =
+    F90d_serve.Service.create ?store
+      ?timeout:request_timeout
+      ~workers:(if workers > 0 then workers else 1)
+      ()
+  in
+  let srv =
+    if workers > 0 then F90d_serve.Server.start ~workers ~service ~sock_path:sock ()
+    else F90d_serve.Server.start ~service ~sock_path:sock ()
+  in
+  Printf.printf "f90dc: serving on %s%s\n%!" sock
+    (match store with
+    | Some st -> Printf.sprintf " (schedule store: %s)" (F90d_serve.Store.dir st)
+    | None -> " (caching disabled)");
+  F90d_serve.Server.wait srv;
+  Printf.printf "f90dc: daemon on %s stopped\n%!" sock
+
+(* Forward newline-delimited JSON requests from stdin, one frame each,
+   and print one response per line. *)
+let client_cmd sock =
+  F90d_serve.Client.with_conn sock (fun conn ->
+      let rec loop () =
+        match In_channel.input_line stdin with
+        | None -> ()
+        | Some line when String.trim line = "" -> loop ()
+        | Some line ->
+            let reply = F90d_serve.Client.request_raw conn line in
+            print_endline reply;
+            loop ()
+      in
+      try loop ()
+      with F90d_serve.Wire.Closed ->
+        prerr_endline "f90dc: daemon closed the connection")
+
+(* ------------------------------------------------------------------ *)
+(* One-shot mode                                                       *)
+(* ------------------------------------------------------------------ *)
 
 let run_cmd source demo nprocs jobs machine emit explain explain_json profile_json no_opt
-    no_passes show_finals trace profile log_comm =
+    no_passes show_finals trace profile log_comm serve client cache_dir no_cache
+    request_timeout serve_workers =
   try
-    if log_comm then begin
-      Logs.set_reporter (Logs.format_reporter ());
-      Logs.Src.set_level F90d_exec.Interp.log_src (Some Logs.Debug)
-    end;
-    let nprocs = max 1 nprocs in
-    let src =
-      match (demo, source) with
-      | Some d, _ -> demo_source d nprocs
-      | None, Some path -> read_source path
-      | None, None -> read_source "-"
-    in
-    let flags =
-      let base = if no_opt then F90d_opt.Passes.all_off else F90d_opt.Passes.all_on in
-      List.fold_left
-        (fun (f : F90d_opt.Passes.flags) name ->
-          match name with
-          | "shift-union" -> { f with F90d_opt.Passes.shift_union = false }
-          | "fuse-mshift" -> { f with F90d_opt.Passes.fuse_mshift = false }
-          | "schedule-reuse" -> { f with F90d_opt.Passes.schedule_reuse = false }
-          | "hoist-comm" -> { f with F90d_opt.Passes.hoist_comm = false }
-          | "coalesce" -> { f with F90d_opt.Passes.coalesce = false }
-          | "split-comm" -> { f with F90d_opt.Passes.split_comm = false }
-          | "lookahead" -> { f with F90d_opt.Passes.lookahead = false }
-          | other -> raise (Invalid_argument ("unknown optimization pass: " ^ other)))
-        base no_passes
-    in
-    let compiled = F90d.Driver.compile ~flags src in
-    if emit then print_string (F90d_ir.Emit_f77.emit_program compiled.F90d.Driver.c_ir)
-    else if explain then print_string (F90d_report.Report.explain_text compiled.F90d.Driver.c_ir)
-    else if explain_json then
-      print_string (F90d_report.Report.explain_json compiled.F90d.Driver.c_ir)
-    else begin
-      let model = model_of_name machine in
-      let topology =
-        if F90d_base.Util.is_pow2 nprocs then F90d_machine.Topology.Hypercube
-        else F90d_machine.Topology.Full
-      in
-      let tracing = trace <> None || profile || profile_json <> None in
-      let result =
-        F90d.Driver.run ~collect_finals:show_finals ~model ~topology ?jobs ~trace:tracing
-          ~nprocs compiled
-      in
-      print_string result.F90d.Driver.outcome.F90d_exec.Interp.output;
-      Printf.printf "--- %d processors on %s ---\n" nprocs model.F90d_machine.Model.name;
-      Printf.printf "simulated time : %.6f s\n" result.F90d.Driver.elapsed;
-      Printf.printf "messages       : %d (%d bytes)\n"
-        result.F90d.Driver.stats.F90d_machine.Stats.messages
-        result.F90d.Driver.stats.F90d_machine.Stats.bytes;
-      (match (result.F90d.Driver.trace, trace) with
-      | Some tr, Some file ->
-          Out_channel.with_open_text file (fun oc ->
-              Out_channel.output_string oc (F90d_trace.Trace.to_chrome_json tr));
-          Printf.printf "trace          : %s (%d events)\n" file
-            (F90d_trace.Trace.total_events tr)
-      | _ -> ());
-      (match result.F90d.Driver.trace with
-      | Some tr when profile ->
-          print_string
-            (F90d_trace.Analyze.render_profile tr ~name_of:F90d_runtime.Tags.family_name);
-          print_newline ();
-          print_string
-            (F90d_report.Report.hot_text
-               (F90d_report.Report.hot_statements compiled.F90d.Driver.c_ir tr))
-      | _ -> ());
-      (match (result.F90d.Driver.trace, profile_json) with
-      | Some tr, Some file ->
-          Out_channel.with_open_text file (fun oc ->
-              Out_channel.output_string oc
-                (F90d_report.Report.profile_json compiled.F90d.Driver.c_ir tr));
-          Printf.printf "profile json   : %s\n" file
-      | _ -> ());
-      if show_finals then
-        List.iter
-          (fun (name, arr) ->
-            Format.printf "%s = %a@." name F90d_base.Ndarray.pp arr)
-          result.F90d.Driver.outcome.F90d_exec.Interp.finals
-    end;
-    `Ok ()
+    match (serve, client) with
+    | Some sock, _ ->
+        serve_cmd sock cache_dir no_cache request_timeout serve_workers;
+        `Ok ()
+    | None, Some sock ->
+        client_cmd sock;
+        `Ok ()
+    | None, None ->
+        if log_comm then begin
+          Logs.set_reporter (Logs.format_reporter ());
+          Logs.Src.set_level F90d_exec.Interp.log_src (Some Logs.Debug)
+        end;
+        let nprocs = max 1 nprocs in
+        let src =
+          match (demo, source) with
+          | Some d, _ -> demo_source d nprocs
+          | None, Some path -> read_source path
+          | None, None -> read_source "-"
+        in
+        let flags = F90d_serve.Service.flags_of_names ~no_opt no_passes in
+        let compiled = F90d.Driver.compile ~flags src in
+        if emit then print_string (F90d_ir.Emit_f77.emit_program compiled.F90d.Driver.c_ir)
+        else if explain then
+          print_string (F90d_report.Report.explain_text compiled.F90d.Driver.c_ir)
+        else if explain_json then
+          print_string (F90d_report.Report.explain_json compiled.F90d.Driver.c_ir)
+        else begin
+          let model = F90d_serve.Service.model_of_name machine in
+          let topology =
+            if F90d_base.Util.is_pow2 nprocs then F90d_machine.Topology.Hypercube
+            else F90d_machine.Topology.Full
+          in
+          let tracing = trace <> None || profile || profile_json <> None in
+          let store =
+            match (cache_dir, no_cache) with
+            | Some dir, false -> Some (F90d_serve.Store.create ~dir)
+            | _ -> None
+          in
+          let sio =
+            F90d_serve.Service.sched_io store ~use:(store <> None) ~source:src ~flags ~nprocs
+          in
+          let poll =
+            match request_timeout with
+            | Some s when s > 0. ->
+                let deadline = Unix.gettimeofday () +. s in
+                Some
+                  (fun () ->
+                    if Unix.gettimeofday () > deadline then
+                      raise (F90d_serve.Service.Timed_out s))
+            | _ -> None
+          in
+          let result =
+            F90d.Driver.run ~collect_finals:show_finals ~model ~topology ?jobs ~trace:tracing
+              ?poll ?sched_preload:sio.F90d_serve.Service.sio_preload
+              ?sched_collect:sio.F90d_serve.Service.sio_collect ~nprocs compiled
+          in
+          sio.F90d_serve.Service.sio_commit ();
+          print_string result.F90d.Driver.outcome.F90d_exec.Interp.output;
+          Printf.printf "--- %d processors on %s ---\n" nprocs model.F90d_machine.Model.name;
+          Printf.printf "simulated time : %.6f s\n" result.F90d.Driver.elapsed;
+          Printf.printf "messages       : %d (%d bytes)\n"
+            result.F90d.Driver.stats.F90d_machine.Stats.messages
+            result.F90d.Driver.stats.F90d_machine.Stats.bytes;
+          (match store with
+          | Some st ->
+              Printf.printf "schedule store : %s (%s)\n"
+                sio.F90d_serve.Service.sio_temp (F90d_serve.Store.dir st)
+          | None -> ());
+          (match (result.F90d.Driver.trace, trace) with
+          | Some tr, Some file ->
+              Out_channel.with_open_text file (fun oc ->
+                  Out_channel.output_string oc (F90d_trace.Trace.to_chrome_json tr));
+              Printf.printf "trace          : %s (%d events)\n" file
+                (F90d_trace.Trace.total_events tr)
+          | _ -> ());
+          (match result.F90d.Driver.trace with
+          | Some tr when profile ->
+              print_string
+                (F90d_trace.Analyze.render_profile tr ~name_of:F90d_runtime.Tags.family_name);
+              print_newline ();
+              print_string
+                (F90d_report.Report.hot_text
+                   (F90d_report.Report.hot_statements compiled.F90d.Driver.c_ir tr))
+          | _ -> ());
+          (match (result.F90d.Driver.trace, profile_json) with
+          | Some tr, Some file ->
+              Out_channel.with_open_text file (fun oc ->
+                  Out_channel.output_string oc
+                    (F90d_report.Report.profile_json compiled.F90d.Driver.c_ir tr));
+              Printf.printf "profile json   : %s\n" file
+          | _ -> ());
+          if show_finals then
+            List.iter
+              (fun (name, arr) ->
+                Format.printf "%s = %a@." name F90d_base.Ndarray.pp arr)
+              result.F90d.Driver.outcome.F90d_exec.Interp.finals
+        end;
+        `Ok ()
   with
   | F90d_base.Diag.Error (loc, msg) ->
       `Error (false, Format.asprintf "%a: %s" F90d_base.Loc.pp loc msg)
-  | Invalid_argument msg -> `Error (false, msg)
+  | F90d_serve.Service.Timed_out s ->
+      `Error (false, Printf.sprintf "run exceeded its %gs wall-clock limit" s)
+  | Failure msg | Invalid_argument msg -> `Error (false, msg)
+  | Unix.Unix_error (e, fn, arg) ->
+      `Error (false, Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message e))
 
 let source =
   let doc = "Fortran 90D/HPF source file ('-' for stdin)." in
@@ -227,6 +293,48 @@ let log_comm =
   let doc = "Log every communication primitive to stderr as the node programs execute." in
   Arg.(value & flag & info [ "log-comm" ] ~doc)
 
+let serve =
+  let doc =
+    "Run as a compile-and-simulate daemon on the Unix-domain socket $(docv): accepts \
+     length-prefixed JSON requests (ops: compile, run, trace, explain, profile, stats, \
+     shutdown), dispatches them to a pool of worker domains, and answers through a \
+     three-level content-addressed cache (front IR, optimized IR, persisted PARTI \
+     schedules)."
+  in
+  Arg.(value & opt (some string) None & info [ "serve" ] ~docv:"SOCK" ~doc)
+
+let client =
+  let doc =
+    "Connect to a daemon at $(docv), forward one JSON request per stdin line, and print \
+     one JSON response per line."
+  in
+  Arg.(value & opt (some string) None & info [ "client" ] ~docv:"SOCK" ~doc)
+
+let cache_dir =
+  let doc =
+    "Directory of the persistent schedule store.  With --serve this overrides the default \
+     (\\$XDG_CACHE_HOME/f90d or ~/.cache/f90d); in one-shot mode it $(i,enables) the \
+     store, so a rerun of the same program preloads its PARTI schedules and reports \
+     sched_builds = 0."
+  in
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
+let no_cache =
+  let doc = "Disable the persistent schedule store (serve mode caches nothing on disk)." in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
+let request_timeout =
+  let doc =
+    "Wall-clock limit in seconds for a run; in serve mode the per-request default \
+     (requests may override it with \"timeout_s\").  A timed-out request is cancelled \
+     cooperatively and answered with an error; the daemon keeps serving."
+  in
+  Arg.(value & opt (some float) None & info [ "request-timeout" ] ~docv:"SECS" ~doc)
+
+let serve_workers =
+  let doc = "Size of the daemon's worker-domain pool." in
+  Arg.(value & opt (some int) None & info [ "serve-workers" ] ~docv:"N" ~doc)
+
 let cmd =
   let doc = "Fortran 90D/HPF compiler for (simulated) distributed-memory MIMD computers" in
   let info = Cmd.info "f90dc" ~version:"1.0" ~doc in
@@ -235,6 +343,6 @@ let cmd =
       ret
         (const run_cmd $ source $ demo $ nprocs $ jobs $ machine $ emit $ explain
        $ explain_json $ profile_json $ no_opt $ no_passes $ show_finals $ trace $ profile
-       $ log_comm))
+       $ log_comm $ serve $ client $ cache_dir $ no_cache $ request_timeout $ serve_workers))
 
 let () = exit (Cmd.eval cmd)

@@ -19,6 +19,7 @@ let jobs = ref Diff.default_jobs
 let flag_sets = ref Diff.default_flag_sets
 let quiet = ref false
 let replay = ref ""
+let daemon_seeds = ref 0
 
 let parse_csv s = List.map int_of_string (String.split_on_char ',' s)
 
@@ -51,6 +52,10 @@ let spec =
        no-coalesce, no-split, no-lookahead (default on,off)" );
     ("--quiet", Arg.Set quiet, "   only report failures");
     ("--replay", Arg.Set_string replay, "FILE  differentially check one .f90d source file");
+    ( "--daemon",
+      Arg.Set_int daemon_seeds,
+      "N  replay N seeds through a --serve daemon (cold + warm) and diff each response \
+       bit-for-bit against the in-process service" );
   ]
 
 let usage = "fuzz/main.exe [--seeds N] [--start S] [--shrink] ..."
@@ -94,8 +99,69 @@ let report_failure seed (p : Gen.prog) (failures : Diff.failure list) =
   close_out oc;
   Printf.printf "  repro written to %s\n%!" path
 
+(* Daemon axis: the same generated programs, but routed through a real
+   [--serve] daemon over its Unix socket.  Each seed is requested twice
+   (cold, then warm — the second hits every cache level) and every
+   response must be byte-identical to an in-process service following
+   the identical request sequence against its own store, which pins the
+   whole transport + worker-pool + persistence path to the reference. *)
+let run_daemon_axis n =
+  let module S = F90d_serve in
+  let dir = Filename.temp_dir "f90d-fuzz-daemon" "" in
+  let sock = Filename.concat dir "fuzz.sock" in
+  let service =
+    S.Service.create ~store:(S.Store.create ~dir:(Filename.concat dir "store-daemon")) ()
+  in
+  let srv = S.Server.start ~workers:2 ~service ~sock_path:sock () in
+  let solo =
+    S.Service.create ~store:(S.Store.create ~dir:(Filename.concat dir "store-solo")) ()
+  in
+  let nprocs = List.fold_left max 1 !ranks in
+  let strip r = S.Json.to_string (S.Service.strip_volatile r) in
+  let diverged = ref 0 in
+  let done_ = ref 0 in
+  S.Client.with_conn sock (fun c ->
+      for seed = !start to !start + n - 1 do
+        let source = Gen.print ~nprocs (Gen.generate ~seed) in
+        let req =
+          S.Json.Obj
+            [
+              ("op", S.Json.Str "run");
+              ("source", S.Json.Str source);
+              ("nprocs", S.Json.Int nprocs);
+              ("finals", S.Json.Bool true);
+            ]
+        in
+        List.iter
+          (fun phase ->
+            let via_daemon = S.Client.request c req in
+            let in_process = S.Service.handle solo req in
+            if strip via_daemon <> strip in_process then begin
+              incr diverged;
+              Printf.printf "seed %d (%s): daemon response DIVERGED from in-process\n%!" seed
+                phase
+            end)
+          [ "cold"; "warm" ];
+        incr done_;
+        if (not !quiet) && !done_ mod 25 = 0 then
+          Printf.printf "... %d/%d daemon seeds, %d divergence(s)\n%!" !done_ n !diverged
+      done);
+  S.Client.with_conn sock (fun c ->
+      ignore (S.Client.request c (S.Json.Obj [ ("op", S.Json.Str "shutdown") ])));
+  S.Server.wait srv;
+  if !diverged = 0 then begin
+    if not !quiet then
+      Printf.printf "OK: %d seeds bit-identical through the daemon (cold and warm)\n" n;
+    exit 0
+  end
+  else begin
+    Printf.printf "FAILED: %d divergence(s) across %d seeds through the daemon\n" !diverged n;
+    exit 1
+  end
+
 let () =
   Arg.parse spec (fun s -> raise (Arg.Bad ("unexpected argument " ^ s))) usage;
+  if !daemon_seeds > 0 then run_daemon_axis !daemon_seeds;
   if !replay <> "" then begin
     let ic = open_in !replay in
     let n = in_channel_length ic in

@@ -53,3 +53,10 @@ let popcount n =
 let range a b = List.init (max 0 (b - a + 1)) (fun i -> a + i)
 let sum_floats = List.fold_left ( +. ) 0.
 let mean = function [] -> 0. | l -> sum_floats l /. float_of_int (List.length l)
+
+(* Version identity, stamped into persisted cache artifacts and bench
+   JSON so stale files and old baselines are self-identifying.  Keep
+   [package_version] in sync with dune-project; bump [cache_version]
+   whenever an on-disk serve-cache layout changes. *)
+let package_version = "f90d 1.0.0"
+let cache_version = 1

@@ -40,3 +40,11 @@ val range : int -> int -> int list
 
 val sum_floats : float list -> float
 val mean : float list -> float
+
+val package_version : string
+(** The dune package name and version ("f90d 1.0.0"), recorded in every
+    bench JSON document and persisted cache artifact. *)
+
+val cache_version : int
+(** Layout version of on-disk cache artifacts ([f90d_cache_version] in
+    their headers); readers reject artifacts from other versions. *)

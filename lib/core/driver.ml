@@ -11,12 +11,27 @@ type compiled = {
   c_flags : F90d_opt.Passes.flags;
 }
 
-let compile ?(flags = F90d_opt.Passes.all_on) ?(file = "<input>") source =
+(* The front half (parse, analyze, lower) is independent of the pass
+   flags, so the serve-mode compile cache can keep one front per source
+   digest and re-optimize it per flag set.  Both stages produce immutable
+   structures: a cached [front] or [compiled] can be optimized or run
+   from concurrent domains. *)
+type front = { f_source : string; f_env : Sema.program_env; f_ir : F90d_ir.Ir.program_ir }
+
+let front ?(file = "<input>") source =
   let ast = Parser.parse ~file source in
   let env = Sema.analyze ast in
-  let ir = F90d_codegen.Lower.lower_program env in
-  let ir = F90d_opt.Passes.apply flags ir in
-  { c_source = source; c_env = env; c_ir = ir; c_flags = flags }
+  { f_source = source; f_env = env; f_ir = F90d_codegen.Lower.lower_program env }
+
+let optimize ?(flags = F90d_opt.Passes.all_on) f =
+  {
+    c_source = f.f_source;
+    c_env = f.f_env;
+    c_ir = F90d_opt.Passes.apply flags f.f_ir;
+    c_flags = flags;
+  }
+
+let compile ?flags ?file source = optimize ?flags (front ?file source)
 
 type run_result = {
   outcome : F90d_exec.Interp.outcome;
@@ -43,15 +58,30 @@ let default_jobs () =
           1)
 
 let run ?(collect_finals = true) ?(model = Model.ideal) ?(topology = Topology.Full) ?jobs
-    ?(trace = false) ~nprocs compiled =
+    ?(trace = false) ?poll ?sched_preload ?sched_collect ~nprocs compiled =
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
   let dims = Sema.grid_dims compiled.c_env ~nprocs in
   let phys_of_rank = Topology.grid_embedding topology ~nprocs dims in
   let grid = Grid.make ?phys_of_rank dims in
-  let cfg = Engine.config ~model ~topology ~tracing:trace nprocs in
+  let cfg = Engine.config ~model ~topology ~tracing:trace ?poll nprocs in
   let node eng =
-    F90d_exec.Interp.node_main ~collect_finals
-      ~coalesce:compiled.c_flags.F90d_opt.Passes.coalesce compiled.c_ir (Rctx.make eng grid)
+    let rctx = Rctx.make eng grid in
+    (* Seed the rank's schedule cache from the persistent store (serve
+       mode).  Preloading is all-or-nothing across ranks — the store
+       layer guarantees it by keeping every rank's schedules in one
+       digest-checked artifact — so either every rank hits a key or
+       every rank rebuilds it collectively. *)
+    (match sched_preload with
+    | Some load -> Schedule.preload rctx (load (Rctx.me rctx))
+    | None -> ());
+    let outcome =
+      F90d_exec.Interp.node_main ~collect_finals
+        ~coalesce:compiled.c_flags.F90d_opt.Passes.coalesce compiled.c_ir rctx
+    in
+    (match sched_collect with
+    | Some collect -> collect (Rctx.me rctx) (Schedule.export rctx)
+    | None -> ());
+    outcome
   in
   let report = if jobs > 1 then Engine.run_parallel ~jobs cfg node else Engine.run cfg node in
   (* rank 0 of the grid carries the program output *)

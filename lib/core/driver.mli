@@ -21,6 +21,23 @@ val compile : ?flags:F90d_opt.Passes.flags -> ?file:string -> string -> compiled
     optimize.  @raise F90d_base.Diag.Error on any front-end or lowering
     diagnostic. *)
 
+type front = {
+  f_source : string;
+  f_env : F90d_frontend.Sema.program_env;
+  f_ir : F90d_ir.Ir.program_ir;  (** lowered, pre-optimization *)
+}
+(** The pass-flag-independent half of {!compile}.  Both [front] and
+    {!compiled} are immutable once built: the serve-mode caches hand one
+    instance to concurrent {!optimize}/{!run} calls on separate domains. *)
+
+val front : ?file:string -> string -> front
+(** Parse, analyze and lower — everything up to (but excluding) the
+    optimization passes. *)
+
+val optimize : ?flags:F90d_opt.Passes.flags -> front -> compiled
+(** Apply the optimization passes ([Passes.all_on] by default).  Pure:
+    the same [front] can be optimized under several flag sets. *)
+
 type run_result = {
   outcome : F90d_exec.Interp.outcome;
   elapsed : float;  (** simulated parallel execution time, seconds *)
@@ -44,6 +61,9 @@ val run :
   ?topology:Topology.t ->
   ?jobs:int ->
   ?trace:bool ->
+  ?poll:(unit -> unit) ->
+  ?sched_preload:(int -> (string * string) list) ->
+  ?sched_collect:(int -> (string * string) list -> unit) ->
   nprocs:int ->
   compiled ->
   run_result
@@ -55,7 +75,19 @@ val run :
     the sequential engine); the default comes from the [F90D_JOBS]
     environment variable, falling back to the sequential engine.  Run-time
     state (mailboxes, statistics, schedule caches) is per-run, so
-    consecutive runs are fully independent. *)
+    consecutive runs are fully independent.
+
+    [poll] is the engine's cooperative-cancellation hook (see
+    {!F90d_machine.Engine.config}): serve mode raises from it to enforce
+    per-request timeouts.
+
+    [sched_preload rank] supplies persisted PARTI schedules (as
+    {!F90d_runtime.Schedule.export} pairs) to seed that grid rank's cache
+    before its node program starts; [sched_collect rank entries] receives
+    the rank's cache contents when its node program finishes.  Both are
+    called from the node's fiber — under [jobs > 1] that means
+    concurrently from worker domains, so callers must touch only
+    rank-private state (e.g. one array slot per rank). *)
 
 val final : run_result -> string -> F90d_base.Ndarray.t
 (** A gathered final array by name (requires [collect_finals]). *)

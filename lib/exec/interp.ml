@@ -1050,6 +1050,7 @@ let fresh_ustate st (u : Ir.unit_ir) =
    trace events recorded during it carry its sid, and a deadlock or a
    location-less runtime error is reported against its source line. *)
 let rec exec_stmt st (s : Ir.stmt) =
+  Engine.check_cancel (Rctx.engine st.ctx);
   Rctx.set_stmt st.ctx ~sid:s.Ir.sid ~loc:s.Ir.sloc;
   try exec_node st s with
   | Diag.Error (loc, msg) when loc.Loc.line = 0 ->

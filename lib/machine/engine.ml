@@ -4,11 +4,17 @@ open Effect.Deep
 
 open F90d_trace
 
-type config = { nprocs : int; model : Model.t; topology : Topology.t; tracing : bool }
+type config = {
+  nprocs : int;
+  model : Model.t;
+  topology : Topology.t;
+  tracing : bool;
+  poll : (unit -> unit) option;
+}
 
-let config ?(model = Model.ideal) ?(topology = Topology.Full) ?(tracing = false) nprocs =
+let config ?(model = Model.ideal) ?(topology = Topology.Full) ?(tracing = false) ?poll nprocs =
   if nprocs < 1 then Diag.bug "engine: nprocs %d < 1" nprocs;
-  { nprocs; model; topology; tracing }
+  { nprocs; model; topology; tracing; poll }
 
 exception Deadlock of string
 
@@ -132,7 +138,16 @@ let relay ctx ~from_t ~dest ~tag payload =
   Queue.add (dest, { Message.src = ctx.me; tag; payload; bytes; arrival }) sh.outboxes.(ctx.me);
   t1
 
+(* Cooperative cancellation: the poll hook (when configured) runs inside
+   the calling fiber, so raising from it unwinds that rank's node program
+   like any other node failure — the scheduler keeps delivering until no
+   runnable fiber remains, worker domains are joined, and [finish]
+   re-raises the poll's exception.  Called at every receive point and by
+   the interpreter once per statement. *)
+let check_cancel ctx = match ctx.sh.cfg.poll with Some f -> f () | None -> ()
+
 let recv ctx ~src ~tag =
+  check_cancel ctx;
   let msg = perform (Wait_recv (ctx.me, src, tag)) in
   let sh = ctx.sh in
   let before = time ctx in
@@ -166,6 +181,7 @@ let irecv ctx ~src ~tag =
   h
 
 let wait ctx h =
+  check_cancel ctx;
   if h.h_done then Diag.bug "engine: wait on an already-completed handle";
   let msg = perform (Wait_recv (ctx.me, h.h_src, h.h_tag)) in
   let sh = ctx.sh in

@@ -18,11 +18,17 @@ type config = {
   model : Model.t;
   topology : Topology.t;
   tracing : bool;
+  poll : (unit -> unit) option;
+      (** cooperative-cancellation hook, called inside node fibers at
+          every receive point (and by the interpreter per statement);
+          raise from it to abort the run — the engine unwinds every
+          fiber, joins its worker domains and re-raises *)
 }
 
-val config : ?model:Model.t -> ?topology:Topology.t -> ?tracing:bool -> int -> config
-(** Defaults: {!Model.ideal}, [Full] crossbar, tracing off.  With
-    [~tracing:true] every send, receive, collective span and compute
+val config :
+  ?model:Model.t -> ?topology:Topology.t -> ?tracing:bool -> ?poll:(unit -> unit) -> int -> config
+(** Defaults: {!Model.ideal}, [Full] crossbar, tracing off, no poll hook.
+    With [~tracing:true] every send, receive, collective span and compute
     charge is recorded into per-rank {!F90d_trace.Trace} buffers and the
     merged trace is returned in the report; with tracing off every
     recording call is a no-op and the run is unchanged. *)
@@ -109,6 +115,12 @@ val set_stmt : ctx -> sid:int -> loc:F90d_base.Loc.t -> unit
 val current_stmt : ctx -> int * F90d_base.Loc.t
 (** The provenance last declared with {!set_stmt} —
     [(0, Loc.none)] initially. *)
+
+val check_cancel : ctx -> unit
+(** Run the config's poll hook, if any.  The interpreter calls this once
+    per statement so a request-timeout can interrupt long computations
+    between communication points; {!recv} and {!wait} call it
+    themselves. *)
 
 (** {2 Driving the machine} *)
 

@@ -27,6 +27,7 @@ let time t = Engine.time t.eng
 
 let cache_find t key = Hashtbl.find_opt t.sched_cache key
 let cache_store t key entry = Hashtbl.replace t.sched_cache key entry
+let cache_fold t f acc = Hashtbl.fold f t.sched_cache acc
 let version t key = Option.value (Hashtbl.find_opt t.versions key) ~default:0
 let bump_version t key = Hashtbl.replace t.versions key (version t key + 1)
 let trace t = Engine.trace t.eng

@@ -21,6 +21,10 @@ val make : F90d_machine.Engine.ctx -> F90d_dist.Grid.t -> t
 val cache_find : t -> string -> cache_entry option
 val cache_store : t -> string -> cache_entry -> unit
 
+val cache_fold : t -> (string -> cache_entry -> 'a -> 'a) -> 'a -> 'a
+(** Iterate the cache (order unspecified).  {!F90d_runtime.Schedule}
+    uses this to export its entries for cross-process persistence. *)
+
 val version : t -> string -> int
 (** Monotonic write-version counter under a caller-chosen key (0 until the
     first {!bump_version}).  The interpreter bumps one counter per array

@@ -191,6 +191,78 @@ let write ctx sched (darr : Darray.t) tmp =
 
 type Rctx.cache_entry += Cached_schedule of t
 
+(* ------------------------------------------------------------------ *)
+(* (De)serialization for the cross-process schedule store               *)
+(* ------------------------------------------------------------------ *)
+
+(* A schedule is plain index data (peer ranks and buffer positions), so a
+   hand-rolled little-endian binary layout is used instead of [Marshal]:
+   the bytes are stable across compiler builds, which keeps the store's
+   content digests meaningful, and a malformed blob can only raise
+   [Corrupt] — never segfault the daemon. *)
+
+exception Corrupt of string
+
+let ser_int b n = Buffer.add_int64_le b (Int64.of_int n)
+
+let ser_int_array b a =
+  ser_int b (Array.length a);
+  Array.iter (ser_int b) a
+
+let ser_segs b segs =
+  ser_int b (List.length segs);
+  List.iter
+    (fun s ->
+      ser_int b s.peer;
+      ser_int_array b s.positions)
+    segs
+
+let to_string t =
+  let b = Buffer.create 256 in
+  ser_segs b t.out_segs;
+  ser_segs b t.in_segs;
+  ser_int_array b t.self_src;
+  ser_int_array b t.self_dst;
+  ser_int b t.tmp_size;
+  Buffer.contents b
+
+let of_string s =
+  let pos = ref 0 in
+  let de_int () =
+    if !pos + 8 > String.length s then raise (Corrupt "schedule blob truncated");
+    let n = Int64.to_int (String.get_int64_le s !pos) in
+    pos := !pos + 8;
+    n
+  in
+  let de_len what =
+    let n = de_int () in
+    if n < 0 || n > String.length s then raise (Corrupt ("bad " ^ what ^ " length"));
+    n
+  in
+  let de_int_array what = Array.init (de_len what) (fun _ -> de_int ()) in
+  let de_segs what =
+    List.init (de_len what) (fun _ ->
+        let peer = de_int () in
+        { peer; positions = de_int_array (what ^ " positions") })
+  in
+  let out_segs = de_segs "out_segs" in
+  let in_segs = de_segs "in_segs" in
+  let self_src = de_int_array "self_src" in
+  let self_dst = de_int_array "self_dst" in
+  let tmp_size = de_int () in
+  if !pos <> String.length s then raise (Corrupt "trailing bytes in schedule blob");
+  { out_segs; in_segs; self_src; self_dst; tmp_size }
+
+let export ctx =
+  Rctx.cache_fold ctx
+    (fun key entry acc ->
+      match entry with Cached_schedule s -> (key, to_string s) :: acc | _ -> acc)
+    []
+  |> List.sort compare
+
+let preload ctx entries =
+  List.iter (fun (key, blob) -> Rctx.cache_store ctx key (Cached_schedule (of_string blob))) entries
+
 let cached ctx ~key builder =
   let tr = Rctx.trace ctx in
   match Rctx.cache_find ctx key with

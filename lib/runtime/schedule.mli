@@ -52,3 +52,35 @@ val cached : Rctx.t -> key:string -> (unit -> t) -> t
     Builds and hits are recorded in the processor's {!F90d_machine.Stats}
     collector and appear as [sched_builds]/[sched_hits] in the run
     report. *)
+
+(** {2 Cross-process persistence}
+
+    Schedules are pure index data, so a rank's cache can be exported at
+    the end of a run and preloaded into a fresh {!Rctx.t} before the
+    next run of the {e same} (program, distribution, machine size) —
+    the deterministic SPMD replay then generates the same key sequence
+    on every rank, each lookup hits, and the inspector (including its
+    index-list exchange messages) is skipped.  Preloading must be
+    all-or-nothing across ranks: a rank that rebuilds while its peers
+    hit would wait for index lists nobody sends. *)
+
+exception Corrupt of string
+(** Raised by {!of_string} on a malformed blob (truncated, negative
+    lengths, trailing bytes).  Store layers turn this into a cache-miss
+    plus rebuild, never a crash. *)
+
+val to_string : t -> string
+(** Stable little-endian binary encoding (no [Marshal]: blobs survive
+    compiler rebuilds and digest checks stay meaningful). *)
+
+val of_string : string -> t
+(** Inverse of {!to_string}; raises {!Corrupt} on malformed input. *)
+
+val export : Rctx.t -> (string * string) list
+(** This rank's cached schedules as [(key, to_string blob)] pairs,
+    sorted by key (deterministic across engines). *)
+
+val preload : Rctx.t -> (string * string) list -> unit
+(** Seed a fresh context's cache; subsequent {!cached} lookups on these
+    keys record hits, so a fully warm run reports [sched_builds = 0].
+    Raises {!Corrupt} on a bad blob. *)

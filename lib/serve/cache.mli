@@ -1,0 +1,39 @@
+(** In-memory content-addressed compile caches (levels 1 and 2).
+
+    Level 1 maps a source digest to the front half of the compiler
+    (parse, analyze, lower — pass-flag independent); level 2 maps
+    (source digest, pass flags) to the optimized program.  Both caches
+    hold immutable values ({!F90d.Driver.front}/{!F90d.Driver.compiled}
+    never change after construction), so a cached entry is handed out to
+    concurrent domain workers without copying.  Lookup and insert take a
+    mutex; compilation itself runs outside it, so a miss never blocks
+    other workers (two racing misses both compile and idempotently
+    store the same value). *)
+
+type t
+
+val create : unit -> t
+
+val source_digest : string -> string
+(** Hex MD5 of the source text — the content address. *)
+
+val flags_fp : F90d_opt.Passes.flags -> string
+(** Stable fingerprint of a flag set, e.g. ["su1fm1sr1hc1co1sp1la1"]. *)
+
+type temp = Hit | Miss
+
+val compile :
+  t -> use:bool -> flags:F90d_opt.Passes.flags -> string -> F90d.Driver.compiled * temp * temp
+(** [compile t ~use ~flags source] returns the optimized program and the
+    (level-1, level-2) cache temperatures.  With [use = false] both
+    levels are bypassed (and not populated): the request runs exactly
+    like batch [f90dc].  Compilation diagnostics propagate as
+    [F90d_base.Diag.Error] and are never cached. *)
+
+val l1_hits : t -> int
+val l1_misses : t -> int
+val l2_hits : t -> int
+val l2_misses : t -> int
+
+val entries : t -> int * int
+(** Current (level-1, level-2) entry counts. *)

@@ -1,0 +1,19 @@
+type t = { fd : Unix.file_descr }
+
+let connect path =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd }
+
+let request_raw t payload =
+  Wire.write_frame t.fd payload;
+  Wire.read_frame t.fd
+
+let request t json = Json.parse (request_raw t (Json.to_string json))
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+let with_conn path f =
+  let t = connect path in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

@@ -1,0 +1,23 @@
+(** Client side of the serve protocol ([f90dc --client], the benches,
+    the fuzzer's daemon axis): one connection, synchronous
+    request/response frames. *)
+
+type t
+
+val connect : string -> t
+(** Connect to the daemon socket at the given path.
+    @raise Unix.Unix_error if nothing is listening. *)
+
+val request : t -> Json.t -> Json.t
+(** Send one request frame and block for its response frame.
+    @raise Wire.Closed if the daemon hung up,
+    @raise Json.Parse_error on an unparseable response. *)
+
+val request_raw : t -> string -> string
+(** Same, exchanging raw frame payloads — the transport used when byte
+    equality of responses matters. *)
+
+val close : t -> unit
+
+val with_conn : string -> (t -> 'a) -> 'a
+(** Connect, run, close (also on exceptions). *)

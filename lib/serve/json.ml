@@ -1,0 +1,300 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Printer                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let escape b s =
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let float_str f =
+  if Float.is_integer f && Float.abs f < 1e16 then Printf.sprintf "%.1f" f
+  else if Float.is_nan f then "\"nan\""
+  else if f = Float.infinity then "\"inf\""
+  else if f = Float.neg_infinity then "\"-inf\""
+  else Printf.sprintf "%.17g" f (* round-trips doubles: bit-identity survives the wire *)
+
+let to_string ?(pretty = false) v =
+  let b = Buffer.create 256 in
+  let rec emit indent = function
+    | Null -> Buffer.add_string b "null"
+    | Bool v -> Buffer.add_string b (if v then "true" else "false")
+    | Int i -> Buffer.add_string b (string_of_int i)
+    | Float f -> Buffer.add_string b (float_str f)
+    | Str s ->
+        Buffer.add_char b '"';
+        escape b s;
+        Buffer.add_char b '"'
+    | List vs ->
+        Buffer.add_char b '[';
+        List.iteri
+          (fun k v ->
+            if k > 0 then Buffer.add_string b (if pretty then ",\n" else ",")
+            else if pretty then Buffer.add_char b '\n';
+            if pretty then Buffer.add_string b (String.make (indent + 2) ' ');
+            emit (indent + 2) v)
+          vs;
+        if pretty && vs <> [] then begin
+          Buffer.add_char b '\n';
+          Buffer.add_string b (String.make indent ' ')
+        end;
+        Buffer.add_char b ']'
+    | Obj fields ->
+        Buffer.add_char b '{';
+        List.iteri
+          (fun k (key, v) ->
+            if k > 0 then Buffer.add_string b (if pretty then ",\n" else ",")
+            else if pretty then Buffer.add_char b '\n';
+            if pretty then Buffer.add_string b (String.make (indent + 2) ' ');
+            Buffer.add_char b '"';
+            escape b key;
+            Buffer.add_string b (if pretty then "\": " else "\":");
+            emit (indent + 2) v)
+          fields;
+        if pretty && fields <> [] then begin
+          Buffer.add_char b '\n';
+          Buffer.add_string b (String.make indent ' ')
+        end;
+        Buffer.add_char b '}'
+  in
+  emit 0 v;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type state = { src : string; mutable pos : int }
+
+let fail st msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg st.pos))
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let next st =
+  match peek st with
+  | Some c ->
+      st.pos <- st.pos + 1;
+      c
+  | None -> fail st "unexpected end of input"
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      st.pos <- st.pos + 1;
+      skip_ws st
+  | _ -> ()
+
+let expect st c = if next st <> c then fail st (Printf.sprintf "expected '%c'" c)
+
+let literal st word v =
+  String.iter (fun c -> if next st <> c then fail st ("bad literal " ^ word)) word;
+  v
+
+let add_utf8 b code =
+  if code < 0x80 then Buffer.add_char b (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char b (Char.chr (0xc0 lor (code lsr 6)));
+    Buffer.add_char b (Char.chr (0x80 lor (code land 0x3f)))
+  end
+  else if code < 0x10000 then begin
+    Buffer.add_char b (Char.chr (0xe0 lor (code lsr 12)));
+    Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+    Buffer.add_char b (Char.chr (0x80 lor (code land 0x3f)))
+  end
+  else begin
+    Buffer.add_char b (Char.chr (0xf0 lor (code lsr 18)));
+    Buffer.add_char b (Char.chr (0x80 lor ((code lsr 12) land 0x3f)));
+    Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+    Buffer.add_char b (Char.chr (0x80 lor (code land 0x3f)))
+  end
+
+let hex4 st =
+  let digit () =
+    match next st with
+    | '0' .. '9' as c -> Char.code c - Char.code '0'
+    | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+    | _ -> fail st "bad \\u escape"
+  in
+  let a = digit () in
+  let b = digit () in
+  let c = digit () in
+  let d = digit () in
+  (a lsl 12) lor (b lsl 8) lor (c lsl 4) lor d
+
+let parse_string st =
+  let b = Buffer.create 16 in
+  let rec go () =
+    match next st with
+    | '"' -> Buffer.contents b
+    | '\\' ->
+        (match next st with
+        | '"' -> Buffer.add_char b '"'
+        | '\\' -> Buffer.add_char b '\\'
+        | '/' -> Buffer.add_char b '/'
+        | 'b' -> Buffer.add_char b '\b'
+        | 'f' -> Buffer.add_char b '\012'
+        | 'n' -> Buffer.add_char b '\n'
+        | 'r' -> Buffer.add_char b '\r'
+        | 't' -> Buffer.add_char b '\t'
+        | 'u' ->
+            let code = hex4 st in
+            if code >= 0xd800 && code <= 0xdbff then
+              (* high surrogate: pair with the following \uXXXX if present *)
+              if peek st = Some '\\' && st.pos + 1 < String.length st.src
+                 && st.src.[st.pos + 1] = 'u'
+              then begin
+                st.pos <- st.pos + 2;
+                let lo = hex4 st in
+                if lo >= 0xdc00 && lo <= 0xdfff then
+                  add_utf8 b (0x10000 + ((code - 0xd800) lsl 10) + (lo - 0xdc00))
+                else begin
+                  add_utf8 b 0xfffd;
+                  add_utf8 b 0xfffd
+                end
+              end
+              else add_utf8 b 0xfffd
+            else if code >= 0xdc00 && code <= 0xdfff then add_utf8 b 0xfffd
+            else add_utf8 b code
+        | _ -> fail st "bad escape");
+        go ()
+    | c -> (
+        Buffer.add_char b c;
+        go ())
+  in
+  go ()
+
+let parse_number st =
+  let start = st.pos in
+  let is_float = ref false in
+  let consume () =
+    let rec go () =
+      match peek st with
+      | Some ('0' .. '9' | '-' | '+') ->
+          st.pos <- st.pos + 1;
+          go ()
+      | Some ('.' | 'e' | 'E') ->
+          is_float := true;
+          st.pos <- st.pos + 1;
+          go ()
+      | _ -> ()
+    in
+    go ()
+  in
+  consume ();
+  let text = String.sub st.src start (st.pos - start) in
+  if !is_float then
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> fail st ("bad number " ^ text)
+  else
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> (
+        (* integer overflowing 63 bits: keep it as a float *)
+        match float_of_string_opt text with
+        | Some f -> Float f
+        | None -> fail st ("bad number " ^ text))
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some '"' ->
+      st.pos <- st.pos + 1;
+      Str (parse_string st)
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some '[' ->
+      st.pos <- st.pos + 1;
+      skip_ws st;
+      if peek st = Some ']' then begin
+        st.pos <- st.pos + 1;
+        List []
+      end
+      else begin
+        let items = ref [ parse_value st ] in
+        let rec go () =
+          skip_ws st;
+          match next st with
+          | ',' ->
+              items := parse_value st :: !items;
+              go ()
+          | ']' -> ()
+          | _ -> fail st "expected ',' or ']'"
+        in
+        go ();
+        List (List.rev !items)
+      end
+  | Some '{' ->
+      st.pos <- st.pos + 1;
+      skip_ws st;
+      if peek st = Some '}' then begin
+        st.pos <- st.pos + 1;
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws st;
+          expect st '"';
+          let key = parse_string st in
+          skip_ws st;
+          expect st ':';
+          (key, parse_value st)
+        in
+        let fields = ref [ field () ] in
+        let rec go () =
+          skip_ws st;
+          match next st with
+          | ',' ->
+              fields := field () :: !fields;
+              go ()
+          | '}' -> ()
+          | _ -> fail st "expected ',' or '}'"
+        in
+        go ();
+        Obj (List.rev !fields)
+      end
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> fail st (Printf.sprintf "unexpected character %C" c)
+
+let parse s =
+  let st = { src = s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then fail st "trailing garbage";
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let mem v key = match v with Obj fields -> List.assoc_opt key fields | _ -> None
+let str = function Str s -> Some s | _ -> None
+
+let int = function
+  | Int i -> Some i
+  | Float f when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let float = function Float f -> Some f | Int i -> Some (float_of_int i) | _ -> None
+let bool = function Bool b -> Some b | _ -> None
+let list = function List l -> Some l | _ -> None

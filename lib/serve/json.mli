@@ -1,0 +1,41 @@
+(** Minimal JSON codec for the serve protocol.
+
+    Self-contained (the container has no JSON package) and strict enough
+    for a daemon boundary: the parser rejects trailing garbage, unpaired
+    surrogates stay as replacement characters, and numbers keep their
+    int/float identity.  Floats print with [%.17g] so values round-trip
+    bit-for-bit — the serve protocol's bit-identity guarantees depend on
+    it. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+(** Malformed input, with a byte offset in the message. *)
+
+val parse : string -> t
+(** @raise Parse_error on malformed input or trailing garbage. *)
+
+val to_string : ?pretty:bool -> t -> string
+(** Compact by default; [~pretty:true] indents like the bench JSON. *)
+
+(** {2 Object accessors} — all total; [mem] distinguishes absent from [Null]. *)
+
+val mem : t -> string -> t option
+(** Field of an [Obj] ([None] for other constructors or missing keys). *)
+
+val str : t -> string option
+val int : t -> int option
+(** [Int n] and integral [Float] values. *)
+
+val float : t -> float option
+(** [Float] and [Int] values. *)
+
+val bool : t -> bool option
+val list : t -> t list option

@@ -1,0 +1,216 @@
+(* One thread per connection for the blocking socket I/O, a fixed pool
+   of domains for the actual compile/simulate work.  The pool is the
+   only place requests execute, so its size bounds daemon parallelism
+   regardless of how many clients connect. *)
+
+module Ivar = struct
+  type 'a t = { m : Mutex.t; c : Condition.t; mutable v : 'a option }
+
+  let create () = { m = Mutex.create (); c = Condition.create (); v = None }
+
+  let fill t v =
+    Mutex.lock t.m;
+    t.v <- Some v;
+    Condition.broadcast t.c;
+    Mutex.unlock t.m
+
+  let wait t =
+    Mutex.lock t.m;
+    while t.v = None do
+      Condition.wait t.c t.m
+    done;
+    let v = Option.get t.v in
+    Mutex.unlock t.m;
+    v
+end
+
+type reply = string * [ `Continue | `Shutdown ]
+
+module Pool = struct
+  type job = Job of string * reply Ivar.t | Stop
+
+  type t = {
+    q : job Queue.t;
+    m : Mutex.t;
+    c : Condition.t;
+    mutable closed : bool;
+    mutable domains : unit Domain.t array;
+  }
+
+  let rec worker t service =
+    Mutex.lock t.m;
+    while Queue.is_empty t.q do
+      Condition.wait t.c t.m
+    done;
+    let job = Queue.pop t.q in
+    Mutex.unlock t.m;
+    match job with
+    | Stop -> ()
+    | Job (line, ivar) ->
+        (* handle_line never raises, but a hung reply cell would wedge a
+           connection thread forever — so belt and braces. *)
+        let reply =
+          try Service.handle_line service line
+          with e ->
+            ( Json.to_string
+                (Json.Obj
+                   [
+                     ("ok", Json.Bool false);
+                     ("error", Json.Str ("internal error: " ^ Printexc.to_string e));
+                   ]),
+              `Continue )
+        in
+        Ivar.fill ivar reply;
+        worker t service
+
+  let create ~workers service =
+    let t =
+      { q = Queue.create (); m = Mutex.create (); c = Condition.create (); closed = false;
+        domains = [||] }
+    in
+    t.domains <- Array.init workers (fun _ -> Domain.spawn (fun () -> worker t service));
+    t
+
+  let submit t line =
+    Mutex.lock t.m;
+    if t.closed then begin
+      Mutex.unlock t.m;
+      None
+    end
+    else begin
+      let ivar = Ivar.create () in
+      Queue.push (Job (line, ivar)) t.q;
+      Condition.signal t.c;
+      Mutex.unlock t.m;
+      Some ivar
+    end
+
+  (* Stop sentinels queue behind every already-submitted job, so closing
+     drains in-flight work before the workers exit. *)
+  let close t =
+    Mutex.lock t.m;
+    if not t.closed then begin
+      t.closed <- true;
+      Array.iter (fun _ -> Queue.push Stop t.q) t.domains;
+      Condition.broadcast t.c
+    end;
+    Mutex.unlock t.m;
+    Array.iter Domain.join t.domains;
+    t.domains <- [||]
+end
+
+type t = {
+  service : Service.t;
+  path : string;
+  lsock : Unix.file_descr;
+  pool : Pool.t;
+  stopping : bool Atomic.t;
+  conns : (Unix.file_descr, Thread.t) Hashtbl.t;
+  conns_m : Mutex.t;
+  mutable accept_t : Thread.t option;
+}
+
+let sock_path t = t.path
+let stop t = Atomic.set t.stopping true
+
+let frame_error msg =
+  Json.to_string
+    (Json.Obj [ ("ok", Json.Bool false); ("error", Json.Str msg) ])
+
+let serve_conn t fd =
+  (try
+     let rec loop () =
+       let line = Wire.read_frame fd in
+       match Pool.submit t.pool line with
+       | None -> Wire.write_frame fd (frame_error "server is shutting down")
+       | Some ivar -> (
+           let reply, next = Ivar.wait ivar in
+           Wire.write_frame fd reply;
+           match next with `Shutdown -> stop t | `Continue -> loop ())
+     in
+     loop ()
+   with
+  | Wire.Closed -> ()
+  | Wire.Framing msg ->
+      (* the stream cannot be resynchronized after a framing violation,
+         so answer once and drop the connection *)
+      (try Wire.write_frame fd (frame_error ("framing error: " ^ msg)) with _ -> ())
+  | _ -> ());
+  Mutex.lock t.conns_m;
+  Hashtbl.remove t.conns fd;
+  Mutex.unlock t.conns_m;
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let accept_loop t =
+  while not (Atomic.get t.stopping) do
+    match Unix.select [ t.lsock ] [] [] 0.2 with
+    | [ _ ], _, _ -> (
+        match Unix.accept ~cloexec:true t.lsock with
+        | fd, _ ->
+            Mutex.lock t.conns_m;
+            let th = Thread.create (fun () -> serve_conn t fd) () in
+            Hashtbl.replace t.conns fd th;
+            Mutex.unlock t.conns_m
+        | exception Unix.Unix_error _ -> ())
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  (try Unix.close t.lsock with Unix.Unix_error _ -> ());
+  try Sys.remove t.path with Sys_error _ -> ()
+
+let bind_sock path =
+  if Sys.file_exists path then begin
+    (* replace a dead socket file, refuse to shadow a live daemon *)
+    let probe = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      try
+        Unix.connect probe (Unix.ADDR_UNIX path);
+        true
+      with Unix.Unix_error _ -> false
+    in
+    (try Unix.close probe with Unix.Unix_error _ -> ());
+    if live then failwith ("a daemon is already listening on " ^ path);
+    try Sys.remove path with Sys_error _ -> ()
+  end;
+  let s = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.bind s (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close s with Unix.Unix_error _ -> ());
+     raise e);
+  Unix.listen s 64;
+  s
+
+let default_workers () = min 4 (max 1 (Domain.recommended_domain_count () - 1))
+
+let start ?workers ~service ~sock_path () =
+  let workers = match workers with Some n -> max 1 n | None -> default_workers () in
+  let lsock = bind_sock sock_path in
+  let t =
+    {
+      service;
+      path = sock_path;
+      lsock;
+      pool = Pool.create ~workers service;
+      stopping = Atomic.make false;
+      conns = Hashtbl.create 16;
+      conns_m = Mutex.create ();
+      accept_t = None;
+    }
+  in
+  t.accept_t <- Some (Thread.create (fun () -> accept_loop t) ());
+  t
+
+let wait t =
+  (match t.accept_t with Some th -> Thread.join th | None -> ());
+  t.accept_t <- None;
+  Pool.close t.pool;
+  (* Idle connections sit in read_frame; shutting down their read side
+     turns that into a clean EOF.  In-flight replies already drained
+     through the pool, and the write side stays open for them. *)
+  Mutex.lock t.conns_m;
+  let remaining = Hashtbl.fold (fun fd th acc -> (fd, th) :: acc) t.conns [] in
+  Mutex.unlock t.conns_m;
+  List.iter
+    (fun (fd, _) -> try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+    remaining;
+  List.iter (fun (_, th) -> Thread.join th) remaining

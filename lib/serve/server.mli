@@ -1,0 +1,31 @@
+(** The [f90dc --serve] daemon: a Unix-domain socket accept loop feeding
+    a fixed pool of domain workers.
+
+    Threads do the blocking I/O (one per connection, cheap under the
+    runtime lock); the {!Service} dispatch — compilation and simulated
+    execution — runs on the worker domains, so concurrent requests
+    genuinely run in parallel.  Connection failures are strictly
+    per-connection: a framing violation gets an error frame and that
+    connection closed, a request that times out or fails replies
+    ["ok": false], and none of it disturbs other in-flight requests.
+
+    Shutdown (a [shutdown] request, or {!stop}) is graceful: the
+    listener closes, queued requests drain through the workers, idle
+    connections are released, and {!wait} returns with every thread and
+    domain joined and the socket path unlinked. *)
+
+type t
+
+val start : ?workers:int -> service:Service.t -> sock_path:string -> unit -> t
+(** Bind [sock_path] (an existing dead socket file is replaced), start
+    the worker domains and the accept thread, and return immediately.
+    [workers] defaults to a small pool sized from
+    [Domain.recommended_domain_count].
+    @raise Failure if a live daemon already listens on [sock_path]. *)
+
+val sock_path : t -> string
+val stop : t -> unit
+(** Request shutdown; returns immediately ({!wait} observes it). *)
+
+val wait : t -> unit
+(** Block until shutdown is requested, then drain and join everything. *)

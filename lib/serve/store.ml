@@ -1,0 +1,178 @@
+let magic = "f90d-sched-store"
+
+type t = {
+  dir : string;
+  seq : int Atomic.t;  (* unique temp-file names within the process *)
+  n_hits : int Atomic.t;
+  n_misses : int Atomic.t;
+  n_corrupt : int Atomic.t;
+}
+
+let rec mkdir_p path =
+  if path <> "/" && path <> "." && not (Sys.file_exists path) then begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ~dir =
+  mkdir_p dir;
+  ignore (Unix.stat dir);
+  {
+    dir;
+    seq = Atomic.make 0;
+    n_hits = Atomic.make 0;
+    n_misses = Atomic.make 0;
+    n_corrupt = Atomic.make 0;
+  }
+
+let default_dir () =
+  match Sys.getenv_opt "XDG_CACHE_HOME" with
+  | Some d when d <> "" -> Filename.concat d "f90d"
+  | _ -> (
+      match Sys.getenv_opt "HOME" with
+      | Some h when h <> "" -> Filename.concat h ".cache/f90d"
+      | _ -> ".f90d-cache")
+
+let dir t = t.dir
+let hits t = Atomic.get t.n_hits
+let misses t = Atomic.get t.n_misses
+let corrupt t = Atomic.get t.n_corrupt
+
+let path_of t key = Filename.concat t.dir ("sched-" ^ key ^ ".bin")
+
+let log_warning fmt =
+  Printf.ksprintf (fun msg -> Printf.eprintf "f90d-serve: store: %s\n%!" msg) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Body encoding: per-rank (key, blob) lists in the same little-endian  *)
+(* framing Schedule.to_string uses.                                     *)
+(* ------------------------------------------------------------------ *)
+
+let ser_int b n = Buffer.add_int64_le b (Int64.of_int n)
+
+let ser_str b s =
+  ser_int b (String.length s);
+  Buffer.add_string b s
+
+let encode_body ranks =
+  let b = Buffer.create 4096 in
+  ser_int b (Array.length ranks);
+  Array.iter
+    (fun entries ->
+      ser_int b (List.length entries);
+      List.iter
+        (fun (key, blob) ->
+          ser_str b key;
+          ser_str b blob)
+        entries)
+    ranks;
+  Buffer.contents b
+
+exception Bad of string
+
+let decode_body s =
+  let pos = ref 0 in
+  let de_int () =
+    if !pos + 8 > String.length s then raise (Bad "truncated body");
+    let n = Int64.to_int (String.get_int64_le s !pos) in
+    pos := !pos + 8;
+    n
+  in
+  let de_len what =
+    let n = de_int () in
+    if n < 0 || n > String.length s then raise (Bad ("bad " ^ what ^ " length"));
+    n
+  in
+  let de_str what =
+    let n = de_len what in
+    if !pos + n > String.length s then raise (Bad ("truncated " ^ what));
+    let r = String.sub s !pos n in
+    pos := !pos + n;
+    r
+  in
+  let nranks = de_len "rank count" in
+  let ranks =
+    Array.init nranks (fun _ ->
+        List.init (de_len "entry count") (fun _ ->
+            let key = de_str "entry key" in
+            let blob = de_str "entry blob" in
+            (key, blob)))
+  in
+  if !pos <> String.length s then raise (Bad "trailing bytes");
+  ranks
+
+(* ------------------------------------------------------------------ *)
+(* Artifact header                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let header body =
+  Printf.sprintf "%s\nf90d_cache_version %d %s\n%s\n" magic F90d_base.Util.cache_version
+    F90d_base.Util.package_version
+    (Digest.to_hex (Digest.string body))
+
+let split_artifact content =
+  (* magic line, version line, digest line, then the binary body *)
+  let line from =
+    match String.index_from_opt content from '\n' with
+    | Some nl -> (String.sub content from (nl - from), nl + 1)
+    | None -> raise (Bad "truncated header")
+  in
+  let l1, p1 = line 0 in
+  if l1 <> magic then raise (Bad "not a schedule-store artifact");
+  let l2, p2 = line p1 in
+  (match String.split_on_char ' ' l2 with
+  | "f90d_cache_version" :: v :: _ ->
+      if int_of_string_opt v <> Some F90d_base.Util.cache_version then
+        raise (Bad (Printf.sprintf "layout version %s (expected %d)" v F90d_base.Util.cache_version))
+  | _ -> raise (Bad "missing f90d_cache_version header"));
+  let l3, p3 = line p2 in
+  let body = String.sub content p3 (String.length content - p3) in
+  if l3 <> Digest.to_hex (Digest.string body) then raise (Bad "content digest mismatch");
+  body
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load t ~key =
+  let path = path_of t key in
+  if not (Sys.file_exists path) then begin
+    Atomic.incr t.n_misses;
+    None
+  end
+  else
+    match decode_body (split_artifact (read_file path)) with
+    | ranks ->
+        Atomic.incr t.n_hits;
+        Some ranks
+    | exception e ->
+        (* Corruption is detected, logged, and the artifact removed so
+           the next save rebuilds it; the caller just sees a miss. *)
+        let why = match e with Bad m -> m | e -> Printexc.to_string e in
+        log_warning "dropping corrupt artifact %s (%s)" path why;
+        (try Sys.remove path with Sys_error _ -> ());
+        Atomic.incr t.n_corrupt;
+        Atomic.incr t.n_misses;
+        None
+
+let save t ~key ranks =
+  let body = encode_body ranks in
+  let path = path_of t key in
+  let tmp =
+    Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ()) (Atomic.fetch_and_add t.seq 1)
+  in
+  match
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc (header body);
+        output_string oc body);
+    Sys.rename tmp path
+  with
+  | () -> ()
+  | exception e ->
+      log_warning "failed to persist %s (%s)" path (Printexc.to_string e);
+      (try Sys.remove tmp with Sys_error _ -> ())

@@ -1,0 +1,45 @@
+(** The persistent level-3 cache: PARTI schedules keyed by
+    (program digest, distribution, nprocs), surviving process restarts.
+
+    One artifact per key holds {e every} rank's exported schedules, so a
+    single content-digest check makes preloading all-or-nothing across
+    ranks — the property that keeps a warm SPMD replay deadlock-free (a
+    rank that rebuilt while its peers hit would wait on index-list
+    messages nobody sends).
+
+    Artifacts are self-identifying: a text header carries the magic, the
+    [f90d_cache_version] layout version with the package version string,
+    and an MD5 digest of the body.  Any mismatch (truncation, bit flip,
+    stale layout) is detected on load, logged, and the artifact deleted
+    — the caller sees a miss and rebuilds.  Writes go through a
+    temp-file + atomic rename, so concurrent readers never observe a
+    half-written artifact and concurrent writers of the same key
+    last-write-win with either side valid. *)
+
+type t
+
+val create : dir:string -> t
+(** Creates [dir] (and parents) on first use.  Raises [Unix.Unix_error]
+    if the path exists but is not a writable directory. *)
+
+val default_dir : unit -> string
+(** [$XDG_CACHE_HOME/f90d], else [$HOME/.cache/f90d], else
+    [./.f90d-cache] when neither variable is set. *)
+
+val dir : t -> string
+
+val load : t -> key:string -> (string * string) list array option
+(** The per-rank schedule entries persisted under [key] ([Some] iff a
+    valid artifact exists).  Thread- and domain-safe. *)
+
+val save : t -> key:string -> (string * string) list array -> unit
+(** Persist per-rank entries (index = grid rank) under [key]
+    atomically.  Failures to write (full disk, permissions) are logged
+    and swallowed: the store is a cache, never a correctness
+    dependency. *)
+
+val hits : t -> int
+val misses : t -> int
+
+val corrupt : t -> int
+(** Artifacts rejected (and deleted) by the header or digest check. *)

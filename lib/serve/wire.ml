@@ -1,0 +1,47 @@
+exception Closed
+exception Framing of string
+
+let max_frame = 256 * 1024 * 1024
+
+(* One-byte reads for the header only; the body reads in bulk. *)
+let read_byte fd =
+  let b = Bytes.create 1 in
+  match Unix.read fd b 0 1 with 0 -> None | _ -> Some (Bytes.get b 0)
+
+let read_exact fd n =
+  let buf = Bytes.create n in
+  let rec go off =
+    if off < n then
+      match Unix.read fd buf off (n - off) with
+      | 0 -> raise (Framing (Printf.sprintf "eof %d bytes into a %d-byte frame" off n))
+      | k -> go (off + k)
+  in
+  go 0;
+  Bytes.unsafe_to_string buf
+
+let read_frame fd =
+  let header = Buffer.create 12 in
+  let rec go () =
+    match read_byte fd with
+    | None -> if Buffer.length header = 0 then raise Closed else raise (Framing "eof in frame header")
+    | Some '\n' -> ()
+    | Some ('0' .. '9' as c) ->
+        if Buffer.length header >= 20 then raise (Framing "frame header too long");
+        Buffer.add_char header c;
+        go ()
+    | Some c -> raise (Framing (Printf.sprintf "bad frame header byte %C" c))
+  in
+  go ();
+  match int_of_string_opt (Buffer.contents header) with
+  | None -> raise (Framing "empty frame header")
+  | Some n when n > max_frame -> raise (Framing (Printf.sprintf "frame of %d bytes exceeds limit" n))
+  | Some n -> read_exact fd n
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let rec go off =
+    if off < Bytes.length b then go (off + Unix.write fd b off (Bytes.length b - off))
+  in
+  go 0
+
+let write_frame fd s = write_all fd (Printf.sprintf "%d\n%s" (String.length s) s)

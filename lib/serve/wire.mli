@@ -1,0 +1,23 @@
+(** Length-prefixed message framing for the serve protocol.
+
+    A frame is the payload's byte length as ASCII decimal, a newline,
+    then the payload — trivially debuggable with [od] and producible
+    from a shell script with [printf].  Reads are bounded: a frame
+    header longer than 20 bytes, a non-numeric length or a length above
+    {!max_frame} tears the connection down rather than letting a rogue
+    client allocate arbitrary memory. *)
+
+exception Closed
+(** Orderly end of stream while expecting a frame header. *)
+
+exception Framing of string
+(** Protocol violation (bad header, oversized frame, truncated body). *)
+
+val max_frame : int
+(** Upper bound on payload size, 256 MiB. *)
+
+val read_frame : Unix.file_descr -> string
+(** @raise Closed on clean EOF before any header byte.
+    @raise Framing on malformed headers or mid-frame EOF. *)
+
+val write_frame : Unix.file_descr -> string -> unit
