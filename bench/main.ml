@@ -792,6 +792,47 @@ let serve_phase responses wall =
         0 responses;
   }
 
+type serve_result = {
+  sr_workload : SJ.t list;
+  sr_cold : serve_phase;
+  sr_warm : serve_phase;
+  sr_stats : SJ.t;  (* daemon stats op, after both passes *)
+  sr_metrics_cold : string;  (* exposition scrape after the cold pass *)
+  sr_metrics_warm : string;  (* ... and after the warm pass *)
+  sr_identical_cold : bool;
+  sr_identical_warm : bool;
+}
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* Sum of a family's samples in an exposition text, optionally filtered
+   to lines whose label block contains [label] (e.g. {|level="l3"|}). *)
+let metric_value ?(label = "") text family =
+  String.split_on_char '\n' text
+  |> List.fold_left
+       (fun acc line ->
+         if String.length line = 0 || line.[0] = '#' then acc
+         else
+           match String.rindex_opt line ' ' with
+           | None -> acc
+           | Some sp ->
+               let name_labels = String.sub line 0 sp in
+               let name =
+                 match String.index_opt name_labels '{' with
+                 | Some i -> String.sub name_labels 0 i
+                 | None -> name_labels
+               in
+               if name = family && (label = "" || contains name_labels label) then
+                 acc
+                 +. Option.value ~default:0.
+                      (float_of_string_opt
+                         (String.sub line (sp + 1) (String.length line - sp - 1)))
+               else acc)
+       0.
+
 let run_serve () =
   let tmp = Filename.temp_dir "f90d-bench-serve" "" in
   let sock = Filename.concat tmp "daemon.sock" in
@@ -820,8 +861,15 @@ let run_serve () =
         in
         serve_phase responses (Unix.gettimeofday () -. t0))
   in
+  let scrape () =
+    F90d_serve.Client.with_conn sock (fun c ->
+        let r = F90d_serve.Client.request c (SJ.Obj [ ("op", SJ.Str "metrics") ]) in
+        Option.value ~default:"" (Option.bind (SJ.mem r "body") SJ.str))
+  in
   let cold = replay () in
+  let metrics_cold = scrape () in
   let warm = replay () in
+  let metrics_warm = scrape () in
   let stats = F90d_serve.Client.with_conn sock (fun c ->
       F90d_serve.Client.request c (SJ.Obj [ ("op", SJ.Str "stats") ])) in
   F90d_serve.Client.with_conn sock (fun c ->
@@ -843,11 +891,20 @@ let run_serve () =
   in
   let identical_cold = identical cold in
   let identical_warm = identical warm in
-  (workload, cold, warm, stats, identical_cold, identical_warm)
+  {
+    sr_workload = workload;
+    sr_cold = cold;
+    sr_warm = warm;
+    sr_stats = stats;
+    sr_metrics_cold = metrics_cold;
+    sr_metrics_warm = metrics_warm;
+    sr_identical_cold = identical_cold;
+    sr_identical_warm = identical_warm;
+  }
 
-let serve_table (workload, cold, warm, _stats, identical_cold, identical_warm) =
+let serve_table res =
   section "Service mode: daemon throughput, cold vs warm content-addressed caches";
-  let n = List.length workload in
+  let n = List.length res.sr_workload in
   let rps p = float_of_int n /. p.sv_wall in
   Printf.printf "%-6s %10s %12s %14s %14s %8s\n" "phase" "requests" "wall (s)" "throughput/s"
     "sched_builds" "errors";
@@ -855,14 +912,25 @@ let serve_table (workload, cold, warm, _stats, identical_cold, identical_warm) =
     Printf.printf "%-6s %10d %12.3f %14.1f %14d %8d\n" name n p.sv_wall (rps p)
       p.sv_sched_builds p.sv_errors
   in
-  row "cold" cold;
-  row "warm" warm;
-  Printf.printf "\nwarm/cold throughput : %.2fx\n" (rps warm /. rps cold);
+  row "cold" res.sr_cold;
+  row "warm" res.sr_warm;
+  Printf.printf "\nwarm/cold throughput : %.2fx\n" (rps res.sr_warm /. rps res.sr_cold);
   Printf.printf "warm sched_builds    : %d (schedules preloaded from the store)\n"
-    warm.sv_sched_builds;
+    res.sr_warm.sv_sched_builds;
+  let mc f ?label () = metric_value ?label res.sr_metrics_cold f in
+  let mw f ?label () = metric_value ?label res.sr_metrics_warm f in
+  Printf.printf "metrics scrape       : sched_builds_total %.0f -> %.0f (warm delta %.0f)\n"
+    (mc "f90d_sched_builds_total" ())
+    (mw "f90d_sched_builds_total" ())
+    (mw "f90d_sched_builds_total" () -. mc "f90d_sched_builds_total" ());
+  Printf.printf "                       l3 cache hits %.0f -> %.0f, requests %.0f -> %.0f\n"
+    (mc "f90d_cache_hits_total" ~label:{|level="l3"|} ())
+    (mw "f90d_cache_hits_total" ~label:{|level="l3"|} ())
+    (mc "f90d_requests_total" ())
+    (mw "f90d_requests_total" ());
   Printf.printf "daemon = one-shot    : cold %s, warm %s\n"
-    (if identical_cold then "bit-identical" else "DIFFERS!")
-    (if identical_warm then "bit-identical" else "DIFFERS!")
+    (if res.sr_identical_cold then "bit-identical" else "DIFFERS!")
+    (if res.sr_identical_warm then "bit-identical" else "DIFFERS!")
 
 (* ------------------------------------------------------------------ *)
 (* JSON emitters                                                       *)
@@ -908,8 +976,8 @@ let rec of_sj = function
   | SJ.List l -> Json.List (List.map of_sj l)
   | SJ.Obj fields -> Json.Obj (List.map (fun (k, v) -> (k, of_sj v)) fields)
 
-let json_serve ~host_wall (workload, cold, warm, stats, identical_cold, identical_warm) =
-  let n = List.length workload in
+let json_serve ~host_wall res =
+  let n = List.length res.sr_workload in
   let phase p =
     Json.Obj
       [
@@ -921,18 +989,34 @@ let json_serve ~host_wall (workload, cold, warm, stats, identical_cold, identica
         ("errors", Json.Int p.sv_errors);
       ]
   in
+  (* the per-pass scrape, reduced to the families the acceptance gates
+     read, plus the warm exposition text verbatim for the artifact *)
+  let scrape text =
+    Json.Obj
+      [
+        ("requests_total", Json.Float (metric_value text "f90d_requests_total"));
+        ("sched_builds_total", Json.Float (metric_value text "f90d_sched_builds_total"));
+        ( "cache_hits_l3_total",
+          Json.Float (metric_value ~label:{|level="l3"|} text "f90d_cache_hits_total") );
+        ("store_corrupt_total", Json.Float (metric_value text "f90d_store_corrupt_total"));
+      ]
+  in
   Json.Obj
     (("experiment", Json.Str "serve") :: version_fields
     @ [
-        ("workload", Json.List (List.map of_sj workload));
-        ("cold", phase cold);
-        ("warm", phase warm);
+        ("workload", Json.List (List.map of_sj res.sr_workload));
+        ("cold", phase res.sr_cold);
+        ("warm", phase res.sr_warm);
         ( "warm_over_cold",
-          Json.Float ((float_of_int n /. warm.sv_wall) /. (float_of_int n /. cold.sv_wall))
+          Json.Float
+            ((float_of_int n /. res.sr_warm.sv_wall) /. (float_of_int n /. res.sr_cold.sv_wall))
         );
-        ("identical_to_oneshot_cold", Json.Bool identical_cold);
-        ("identical_to_oneshot_warm", Json.Bool identical_warm);
-        ("daemon_stats", of_sj stats);
+        ("identical_to_oneshot_cold", Json.Bool res.sr_identical_cold);
+        ("identical_to_oneshot_warm", Json.Bool res.sr_identical_warm);
+        ("daemon_stats", of_sj res.sr_stats);
+        ("metrics_cold", scrape res.sr_metrics_cold);
+        ("metrics_warm", scrape res.sr_metrics_warm);
+        ("metrics_warm_exposition", Json.Str res.sr_metrics_warm);
         ("host_wall_total_s", Json.Float host_wall);
       ])
 

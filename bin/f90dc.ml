@@ -23,7 +23,9 @@ let demo_source name nprocs =
 (* Service mode                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let serve_cmd sock cache_dir no_cache request_timeout serve_workers =
+module Log = F90d_obs.Log
+
+let serve_cmd sock cache_dir no_cache request_timeout serve_workers log_slow =
   let store =
     if no_cache then None
     else
@@ -39,7 +41,7 @@ let serve_cmd sock cache_dir no_cache request_timeout serve_workers =
   in
   let service =
     F90d_serve.Service.create ?store
-      ?timeout:request_timeout
+      ?timeout:request_timeout ?slow:log_slow
       ~workers:(if workers > 0 then workers else 1)
       ()
   in
@@ -47,11 +49,22 @@ let serve_cmd sock cache_dir no_cache request_timeout serve_workers =
     if workers > 0 then F90d_serve.Server.start ~workers ~service ~sock_path:sock ()
     else F90d_serve.Server.start ~service ~sock_path:sock ()
   in
-  Printf.printf "f90dc: serving on %s%s\n%!" sock
+  Printf.printf "f90dc: serving on %s (%s, f90d_cache_version %d)%s\n%!" sock
+    F90d_base.Util.package_version F90d_base.Util.cache_version
     (match store with
     | Some st -> Printf.sprintf " (schedule store: %s)" (F90d_serve.Store.dir st)
     | None -> " (caching disabled)");
+  Log.info "daemon_start"
+    [
+      ("socket", Log.S sock);
+      ("version", Log.S F90d_base.Util.package_version);
+      ("cache_version", Log.I F90d_base.Util.cache_version);
+      ( "store",
+        Log.S
+          (match store with Some st -> F90d_serve.Store.dir st | None -> "disabled") );
+    ];
   F90d_serve.Server.wait srv;
+  Log.info "daemon_stop" [ ("socket", Log.S sock) ];
   Printf.printf "f90dc: daemon on %s stopped\n%!" sock
 
 (* Forward newline-delimited JSON requests from stdin, one frame each,
@@ -71,22 +84,50 @@ let client_cmd sock =
       with F90d_serve.Wire.Closed ->
         prerr_endline "f90dc: daemon closed the connection")
 
+(* Scrape a running daemon: one metrics request, print the exposition
+   text — `f90dc --metrics /run/f90d.sock | promtool check metrics`. *)
+let metrics_cmd sock =
+  F90d_serve.Client.with_conn sock (fun conn ->
+      let reply =
+        F90d_serve.Client.request conn (F90d_serve.Json.Obj [ ("op", F90d_serve.Json.Str "metrics") ])
+      in
+      match F90d_serve.Json.mem reply "body" with
+      | Some body when F90d_serve.Json.str body <> None ->
+          print_string (Option.get (F90d_serve.Json.str body))
+      | _ ->
+          failwith
+            (match F90d_serve.Json.mem reply "error" with
+            | Some e when F90d_serve.Json.str e <> None ->
+                "daemon refused the metrics request: " ^ Option.get (F90d_serve.Json.str e)
+            | _ -> "daemon returned no metrics body"))
+
 (* ------------------------------------------------------------------ *)
 (* One-shot mode                                                       *)
 (* ------------------------------------------------------------------ *)
 
 let run_cmd source demo nprocs jobs machine emit explain explain_json profile_json no_opt
     no_passes show_finals trace profile log_comm serve client cache_dir no_cache
-    request_timeout serve_workers =
+    request_timeout serve_workers metrics_sock metrics_out log_file log_level log_slow =
   try
-    match (serve, client) with
-    | Some sock, _ ->
-        serve_cmd sock cache_dir no_cache request_timeout serve_workers;
+    (match log_file with Some path -> Log.set_file path | None -> ());
+    (match log_level with
+    | Some s -> (
+        match Log.level_of_string s with
+        | Ok l -> Log.set_level l
+        | Error msg -> failwith msg)
+    | None -> ());
+    match (serve, client, metrics_sock) with
+    | Some sock, _, _ ->
+        serve_cmd sock cache_dir no_cache request_timeout serve_workers log_slow;
         `Ok ()
-    | None, Some sock ->
+    | None, Some sock, _ ->
         client_cmd sock;
         `Ok ()
-    | None, None ->
+    | None, None, Some sock ->
+        metrics_cmd sock;
+        `Ok ()
+    | None, None, None ->
+        let t_start = Unix.gettimeofday () in
         if log_comm then begin
           Logs.set_reporter (Logs.format_reporter ());
           Logs.Src.set_level F90d_exec.Interp.log_src (Some Logs.Debug)
@@ -100,6 +141,8 @@ let run_cmd source demo nprocs jobs machine emit explain explain_json profile_js
         in
         let flags = F90d_serve.Service.flags_of_names ~no_opt no_passes in
         let compiled = F90d.Driver.compile ~flags src in
+        let metrics_store = ref None in
+        let metrics_run = ref None in
         if emit then print_string (F90d_ir.Emit_f77.emit_program compiled.F90d.Driver.c_ir)
         else if explain then
           print_string (F90d_report.Report.explain_text compiled.F90d.Driver.c_ir)
@@ -136,6 +179,18 @@ let run_cmd source demo nprocs jobs machine emit explain explain_json profile_js
               ?sched_collect:sio.F90d_serve.Service.sio_collect ~nprocs compiled
           in
           sio.F90d_serve.Service.sio_commit ();
+          metrics_store := store;
+          metrics_run := Some result;
+          Log.info "run_done"
+            [
+              ("nprocs", Log.I nprocs);
+              ("machine", Log.S model.F90d_machine.Model.name);
+              ("sim_elapsed_s", Log.F result.F90d.Driver.elapsed);
+              ("messages", Log.I result.F90d.Driver.stats.F90d_machine.Stats.messages);
+              ( "sched_builds",
+                Log.I result.F90d.Driver.stats.F90d_machine.Stats.sched_builds );
+              ("host_s", Log.F (Unix.gettimeofday () -. t_start));
+            ];
           print_string result.F90d.Driver.outcome.F90d_exec.Interp.output;
           Printf.printf "--- %d processors on %s ---\n" nprocs model.F90d_machine.Model.name;
           Printf.printf "simulated time : %.6f s\n" result.F90d.Driver.elapsed;
@@ -176,6 +231,28 @@ let run_cmd source demo nprocs jobs machine emit explain explain_json profile_js
                 Format.printf "%s = %a@." name F90d_base.Ndarray.pp arr)
               result.F90d.Driver.outcome.F90d_exec.Interp.finals
         end;
+        (* One-shot metrics dump: the same families the daemon's metrics
+           op exposes, with this invocation counted as one request. *)
+        (match metrics_out with
+        | None -> ()
+        | Some path ->
+            let tel =
+              F90d_serve.Telemetry.create ?store:!metrics_store ~started:t_start
+                ~ops:F90d_serve.Service.ops ()
+            in
+            let op =
+              if emit then "compile" else if explain || explain_json then "explain" else "run"
+            in
+            F90d_serve.Telemetry.count_request tel op;
+            F90d_serve.Telemetry.observe_duration tel op (Unix.gettimeofday () -. t_start);
+            (match !metrics_run with
+            | Some r ->
+                F90d_serve.Telemetry.observe_run tel ~elapsed:r.F90d.Driver.elapsed
+                  r.F90d.Driver.stats
+            | None -> ());
+            Out_channel.with_open_text path (fun oc ->
+                Out_channel.output_string oc (F90d_serve.Telemetry.render tel));
+            Printf.printf "metrics        : %s\n" path);
         `Ok ()
   with
   | F90d_base.Diag.Error (loc, msg) ->
@@ -335,14 +412,52 @@ let serve_workers =
   let doc = "Size of the daemon's worker-domain pool." in
   Arg.(value & opt (some int) None & info [ "serve-workers" ] ~docv:"N" ~doc)
 
+let metrics_sock =
+  let doc =
+    "Scrape a running daemon at $(docv): print its metrics (request counters and latency \
+     histograms per op, cache hits/misses per level, store size, worker-pool gauges, \
+     engine totals) in the Prometheus text exposition format."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"SOCK" ~doc)
+
+let metrics_out =
+  let doc =
+    "After a one-shot compile or run, write the same metric families the daemon's metrics \
+     op exposes to $(docv) (Prometheus text exposition)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let log_file =
+  let doc =
+    "Append structured JSON-lines log records to $(docv) instead of stderr (one object \
+     per line: ts, level, event, fields)."
+  in
+  Arg.(value & opt (some string) None & info [ "log-file" ] ~docv:"FILE" ~doc)
+
+let log_level =
+  let doc = "Minimum log level: debug, info, warn or error (default warn)." in
+  Arg.(value & opt (some string) None & info [ "log-level" ] ~docv:"LEVEL" ~doc)
+
+let log_slow =
+  let doc =
+    "In serve mode, log a warn-level slow_request record for any request taking longer \
+     than $(docv) seconds (default 10; 0 disables)."
+  in
+  Arg.(value & opt (some float) None & info [ "log-slow" ] ~docv:"SECS" ~doc)
+
 let cmd =
   let doc = "Fortran 90D/HPF compiler for (simulated) distributed-memory MIMD computers" in
-  let info = Cmd.info "f90dc" ~version:"1.0" ~doc in
+  let version =
+    Printf.sprintf "%s (f90d_cache_version %d)" F90d_base.Util.package_version
+      F90d_base.Util.cache_version
+  in
+  let info = Cmd.info "f90dc" ~version ~doc in
   Cmd.v info
     Term.(
       ret
         (const run_cmd $ source $ demo $ nprocs $ jobs $ machine $ emit $ explain
        $ explain_json $ profile_json $ no_opt $ no_passes $ show_finals $ trace $ profile
-       $ log_comm $ serve $ client $ cache_dir $ no_cache $ request_timeout $ serve_workers))
+       $ log_comm $ serve $ client $ cache_dir $ no_cache $ request_timeout $ serve_workers
+       $ metrics_sock $ metrics_out $ log_file $ log_level $ log_slow))
 
 let () = exit (Cmd.eval cmd)

@@ -101,3 +101,22 @@ let breakdown t ~name_of =
 
 let pp ppf t =
   Format.fprintf ppf "messages=%d bytes=%d recv_wait=%.6fs" t.messages t.bytes t.recv_wait
+
+(* The canonical export of a run's totals to the fleet-metrics layer:
+   one (Prometheus family name, value) pair per counter.  The serve
+   telemetry accumulates these into its registry after every run, and
+   builds its counter set from this list — adding a field here is the
+   single step that adds the family everywhere. *)
+let metric_families t =
+  [
+    ("f90d_sim_messages_total", "simulated messages sent", float_of_int t.messages);
+    ("f90d_sim_bytes_total", "simulated bytes sent", float_of_int t.bytes);
+    ("f90d_sim_recv_wait_seconds_total", "simulated time receivers spent blocked", t.recv_wait);
+    ( "f90d_sim_recv_wait_hidden_seconds_total",
+      "simulated receive latency overlapped with compute by split-phase comms",
+      t.recv_wait_hidden );
+    ("f90d_sched_builds_total", "PARTI inspector schedules built", float_of_int t.sched_builds);
+    ("f90d_sched_hits_total", "PARTI schedule-cache hits", float_of_int t.sched_hits);
+  ]
+
+let empty = merge [||]

@@ -50,3 +50,16 @@ val breakdown : t -> name_of:(int -> string) -> (string * int * int) list
     hundreds, matching the runtime's namespace), most messages first. *)
 
 val pp : Format.formatter -> t -> unit
+
+val metric_families : t -> (string * string * float) list
+(** The run's totals as [(Prometheus family name, help, value)] rows —
+    the canonical contract between a finished run and the fleet-metrics
+    layer ([f90d_sim_messages_total], [f90d_sim_bytes_total],
+    [f90d_sim_recv_wait_seconds_total],
+    [f90d_sim_recv_wait_hidden_seconds_total], [f90d_sched_builds_total],
+    [f90d_sched_hits_total]).  Consumers build their counter set from
+    this list, so a new [t] field propagates by adding one row here. *)
+
+val empty : t
+(** An all-zero totals record ([merge] of no ranks) — the family list of
+    [metric_families empty] names every family at value 0. *)

@@ -1,0 +1,122 @@
+(* Leveled structured logging: one JSON object per line, written and
+   flushed under a mutex so concurrent domains never interleave bytes.
+   The level check happens before any formatting work, so disabled
+   levels cost one atomic load. *)
+
+type level = Debug | Info | Warn | Error
+
+let severity = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+let level_name = function Debug -> "debug" | Info -> "info" | Warn -> "warn" | Error -> "error"
+
+let level_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "debug" -> Ok Debug
+  | "info" -> Ok Info
+  | "warn" | "warning" -> Ok Warn
+  | "error" -> Ok Error
+  | other -> Error (Printf.sprintf "unknown log level %S (debug|info|warn|error)" other)
+
+(* current minimum severity, stored as an int for the cheap fast path *)
+let threshold = Atomic.make (severity Warn)
+let set_level l = Atomic.set threshold (severity l)
+let enabled l = severity l >= Atomic.get threshold
+
+type value = S of string | I of int | F of float | B of bool
+
+type sink = { mutable chan : out_channel; mutable close_old : bool }
+
+let sink = { chan = stderr; close_old = false }
+let m = Mutex.create ()
+
+let set_channel chan =
+  Mutex.lock m;
+  if sink.close_old then close_out_noerr sink.chan;
+  sink.chan <- chan;
+  sink.close_old <- false;
+  Mutex.unlock m
+
+let set_file path =
+  let chan = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  Mutex.lock m;
+  if sink.close_old then close_out_noerr sink.chan;
+  sink.chan <- chan;
+  sink.close_old <- true;
+  Mutex.unlock m
+
+(* ------------------------------------------------------------------ *)
+(* JSON-line emission                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let escape b s =
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let add_value b = function
+  | S s ->
+      Buffer.add_char b '"';
+      escape b s;
+      Buffer.add_char b '"'
+  | I n -> Buffer.add_string b (string_of_int n)
+  | F x ->
+      if Float.is_finite x then Buffer.add_string b (Printf.sprintf "%.17g" x)
+      else begin
+        (* JSON has no Inf/NaN literals *)
+        Buffer.add_char b '"';
+        Buffer.add_string b (Printf.sprintf "%g" x);
+        Buffer.add_char b '"'
+      end
+  | B v -> Buffer.add_string b (if v then "true" else "false")
+
+let iso8601 t =
+  let tm = Unix.gmtime t in
+  let ms = int_of_float (Float.rem t 1. *. 1000.) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec ms
+
+let log level event fields =
+  if enabled level then begin
+    let b = Buffer.create 128 in
+    Buffer.add_string b "{\"ts\":\"";
+    Buffer.add_string b (iso8601 (Unix.gettimeofday ()));
+    Buffer.add_string b "\",\"level\":\"";
+    Buffer.add_string b (level_name level);
+    Buffer.add_string b "\",\"event\":\"";
+    escape b event;
+    Buffer.add_char b '"';
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_string b ",\"";
+        escape b k;
+        Buffer.add_string b "\":";
+        add_value b v)
+      fields;
+    Buffer.add_string b "}\n";
+    Mutex.lock m;
+    (try
+       output_string sink.chan (Buffer.contents b);
+       flush sink.chan
+     with Sys_error _ -> ());
+    Mutex.unlock m
+  end
+
+let debug event fields = log Debug event fields
+let info event fields = log Info event fields
+let warn event fields = log Warn event fields
+let error event fields = log Error event fields
+
+(* Request ids: unique within the process, cheap, and readable in a
+   grep — "r42" not a UUID.  The pid distinguishes processes sharing a
+   log file. *)
+let rid_counter = Atomic.make 0
+
+let next_request_id () =
+  Printf.sprintf "r%d-%d" (Unix.getpid ()) (Atomic.fetch_and_add rid_counter 1)

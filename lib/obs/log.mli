@@ -1,0 +1,39 @@
+(** Leveled structured logging: one JSON object per line.
+
+    Every record carries ["ts"] (ISO-8601 UTC, millisecond precision),
+    ["level"], ["event"] and the caller's fields, written and flushed
+    atomically so lines from concurrent domains never interleave.  The
+    default sink is [stderr] at level {!Warn}; [f90dc --log-file] and
+    [--log-level] re-point it.  A disabled level costs one atomic load
+    before any formatting happens. *)
+
+type level = Debug | Info | Warn | Error
+
+val level_of_string : string -> (level, string) result
+val level_name : level -> string
+
+val set_level : level -> unit
+(** Records strictly below this level are dropped.  Default: {!Warn}. *)
+
+val enabled : level -> bool
+
+val set_file : string -> unit
+(** Append JSON lines to [path] (created if absent), replacing the
+    current sink.  @raise Sys_error if the file cannot be opened. *)
+
+val set_channel : out_channel -> unit
+(** Point the sink at an already-open channel (not closed on
+    replacement; used by tests). *)
+
+type value = S of string | I of int | F of float | B of bool
+
+val debug : string -> (string * value) list -> unit
+val info : string -> (string * value) list -> unit
+val warn : string -> (string * value) list -> unit
+val error : string -> (string * value) list -> unit
+(** [info event fields] — [event] is a stable machine-greppable name
+    ("request", "daemon_start", "slow_request"), fields carry the data. *)
+
+val next_request_id : unit -> string
+(** Process-unique request id ("r<pid>-<seq>") stamped into the request
+    lifecycle records so one request's lines join across levels. *)

@@ -1,0 +1,330 @@
+(* A process-wide metrics registry in the Prometheus data model.
+
+   Write paths are lock-free: counters and histograms accumulate into a
+   small fixed array of per-domain shards (one Atomic per shard, picked
+   by the writing domain's id), so worker domains hammering the same
+   family never contend on a mutex or invalidate each other's cache
+   line.  Shards are merged only at scrape time — a registry that is
+   never rendered costs one atomic read-modify-write per event and
+   nothing else.  The registry mutex guards registration and the
+   instrument-list snapshot taken by [render]; it is never held while a
+   sample is recorded. *)
+
+type kind = Kcounter | Kgauge | Khistogram
+
+(* Enough shards that a daemon-sized worker pool (default <= 4 domains,
+   capped well below 16 in practice) rarely collides; power of two so
+   the pick is a mask, and collisions only cost a shared atomic, never a
+   wrong count. *)
+let nshards = 16
+
+let shard_id () = (Domain.self () :> int) land (nshards - 1)
+
+let fadd cell x =
+  (* CAS loop: [compare_and_set] compares the physical value we just
+     read, so concurrent adders retry rather than lose updates *)
+  let rec go () =
+    let v = Atomic.get cell in
+    if not (Atomic.compare_and_set cell v (v +. x)) then go ()
+  in
+  go ()
+
+type hist = {
+  h_bounds : float array;  (* strictly increasing upper bounds, +Inf implicit *)
+  h_counts : float Atomic.t array array;  (* shard -> bucket (len bounds + 1) *)
+  h_sums : float Atomic.t array;  (* shard *)
+}
+
+type value =
+  | Sharded of float Atomic.t array  (* counters: per-domain shards *)
+  | Cell of float Atomic.t  (* gauges: single set/add cell *)
+  | Callback of (unit -> float)  (* read at scrape time only *)
+  | Hist of hist
+
+type instrument = { i_labels : (string * string) list; i_value : value }
+
+type family = {
+  f_name : string;
+  f_help : string;
+  f_kind : kind;
+  mutable f_instruments : instrument list;  (* reverse registration order *)
+}
+
+type registry = { mutable families : family list; rm : Mutex.t }
+
+let create () = { families = []; rm = Mutex.create () }
+let default = create ()
+
+(* ------------------------------------------------------------------ *)
+(* Name and label validation (the Prometheus exposition grammar)       *)
+(* ------------------------------------------------------------------ *)
+
+let validate_metric_name s =
+  s <> ""
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false)
+       s
+
+let validate_label_name s =
+  s <> ""
+  && not (String.length s >= 2 && s.[0] = '_' && s.[1] = '_')
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       s
+
+let invalid fmt = Printf.ksprintf invalid_arg fmt
+
+let check_name name =
+  if not (validate_metric_name name) then invalid "invalid metric name %S" name
+
+let check_labels name labels =
+  List.iter
+    (fun (k, _) ->
+      if not (validate_label_name k) then invalid "invalid label name %S on %S" k name)
+    labels;
+  let keys = List.map fst labels in
+  if List.length (List.sort_uniq compare keys) <> List.length keys then
+    invalid "duplicate label names on %S" name
+
+(* ------------------------------------------------------------------ *)
+(* Registration                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let kind_name = function
+  | Kcounter -> "counter"
+  | Kgauge -> "gauge"
+  | Khistogram -> "histogram"
+
+(* Find or create the family, then attach the instrument.  A second
+   registration of the same (name, labels) replaces the first when
+   [replace] (callbacks re-wired to a new pool or store) and is an error
+   otherwise — two owners of one counter is always a bug. *)
+let register ?(registry = default) ?(replace = false) ~kind ~help name labels value =
+  check_name name;
+  check_labels name labels;
+  (if kind = Khistogram && List.mem_assoc "le" labels then
+     invalid "label \"le\" is reserved on histogram %S" name);
+  Mutex.lock registry.rm;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry.rm)
+    (fun () ->
+      let fam =
+        match List.find_opt (fun f -> f.f_name = name) registry.families with
+        | Some f ->
+            if f.f_kind <> kind then
+              invalid "metric %S re-registered as %s (was %s)" name (kind_name kind)
+                (kind_name f.f_kind);
+            f
+        | None ->
+            let f = { f_name = name; f_help = help; f_kind = kind; f_instruments = [] } in
+            registry.families <- f :: registry.families;
+            f
+      in
+      let same i = List.sort compare i.i_labels = List.sort compare labels in
+      (match List.find_opt same fam.f_instruments with
+      | Some _ when replace ->
+          fam.f_instruments <- List.filter (fun i -> not (same i)) fam.f_instruments
+      | Some _ -> invalid "metric %S already has an instrument with these labels" name
+      | None -> ());
+      fam.f_instruments <- { i_labels = labels; i_value = value } :: fam.f_instruments)
+
+let shards () = Array.init nshards (fun _ -> Atomic.make 0.)
+let merge_shards a = Array.fold_left (fun acc c -> acc +. Atomic.get c) 0. a
+
+(* ------------------------------------------------------------------ *)
+(* Instrument front-ends                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Counter = struct
+  type t = float Atomic.t array
+
+  let v ?registry ?(labels = []) ~help name =
+    let cells = shards () in
+    register ?registry ~kind:Kcounter ~help name labels (Sharded cells);
+    cells
+
+  let inc_float t x =
+    if x < 0. then invalid "counter decremented by %g" x;
+    fadd t.(shard_id ()) x
+
+  let inc ?(by = 1) t = inc_float t (float_of_int by)
+  let value t = merge_shards t
+end
+
+module Gauge = struct
+  type t = float Atomic.t
+
+  let v ?registry ?(labels = []) ~help name =
+    let cell = Atomic.make 0. in
+    register ?registry ~kind:Kgauge ~help name labels (Cell cell);
+    cell
+
+  let set t x = Atomic.set t x
+  let add t x = fadd t x
+  let value t = Atomic.get t
+end
+
+module Histogram = struct
+  type t = hist
+
+  let default_buckets =
+    [| 0.001; 0.005; 0.01; 0.025; 0.05; 0.1; 0.25; 0.5; 1.; 2.5; 5.; 10.; 30. |]
+
+  let v ?registry ?(labels = []) ?(buckets = default_buckets) ~help name =
+    if Array.length buckets = 0 then invalid "histogram %S needs at least one bucket" name;
+    Array.iteri
+      (fun i b ->
+        if not (Float.is_finite b) then invalid "histogram %S has a non-finite bucket" name;
+        if i > 0 && b <= buckets.(i - 1) then
+          invalid "histogram %S buckets must be strictly increasing" name)
+      buckets;
+    let h =
+      {
+        h_bounds = Array.copy buckets;
+        h_counts =
+          Array.init nshards (fun _ ->
+              Array.init (Array.length buckets + 1) (fun _ -> Atomic.make 0.));
+        h_sums = shards ();
+      }
+    in
+    register ?registry ~kind:Khistogram ~help name labels (Hist h);
+    h
+
+  let observe t x =
+    let nb = Array.length t.h_bounds in
+    let rec bucket i = if i >= nb || x <= t.h_bounds.(i) then i else bucket (i + 1) in
+    let s = shard_id () in
+    fadd t.h_counts.(s).(bucket 0) 1.;
+    fadd t.h_sums.(s) x
+
+  (* merged (non-cumulative) bucket counts, then sum and count *)
+  let snapshot t =
+    let nb = Array.length t.h_bounds in
+    let counts = Array.make (nb + 1) 0. in
+    Array.iter
+      (fun shard -> Array.iteri (fun i c -> counts.(i) <- counts.(i) +. Atomic.get c) shard)
+      t.h_counts;
+    (counts, merge_shards t.h_sums)
+
+  let count t = Array.fold_left ( +. ) 0. (fst (snapshot t))
+  let sum t = snd (snapshot t)
+end
+
+let register_callback ?registry ?(labels = []) ~kind ~help name f =
+  let kind = match kind with `Counter -> Kcounter | `Gauge -> Kgauge in
+  register ?registry ~replace:true ~kind ~help name labels (Callback f)
+
+(* ------------------------------------------------------------------ *)
+(* Text exposition                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Sample values: integers render bare, everything else through %.17g so
+   a scraper recovers the exact double. *)
+let float_str f =
+  if Float.is_nan f then "NaN"
+  else if f = Float.infinity then "+Inf"
+  else if f = Float.neg_infinity then "-Inf"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+(* Bucket boundaries are identity, not measurement: use the shortest
+   decimal that round-trips, so le="0.005" rather than le="0.005000...1". *)
+let shortest_float f =
+  if f = Float.infinity then "+Inf"
+  else
+    let rec go p =
+      if p > 17 then Printf.sprintf "%.17g" f
+      else
+        let s = Printf.sprintf "%.*g" p f in
+        if float_of_string s = f then s else go (p + 1)
+    in
+    go 1
+
+let escape_label b s =
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s
+
+let escape_help b s =
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s
+
+let add_labels b = function
+  | [] -> ()
+  | labels ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b k;
+          Buffer.add_string b "=\"";
+          escape_label b v;
+          Buffer.add_char b '"')
+        labels;
+      Buffer.add_char b '}'
+
+let add_sample b name labels value =
+  Buffer.add_string b name;
+  add_labels b labels;
+  Buffer.add_char b ' ';
+  Buffer.add_string b (float_str value);
+  Buffer.add_char b '\n'
+
+let render ?(registry = default) () =
+  let families =
+    Mutex.lock registry.rm;
+    let fams =
+      List.rev_map (fun f -> (f, List.rev f.f_instruments)) registry.families
+    in
+    Mutex.unlock registry.rm;
+    List.sort (fun ((a : family), _) (b, _) -> compare a.f_name b.f_name) fams
+  in
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (fam, instruments) ->
+      Buffer.add_string b "# HELP ";
+      Buffer.add_string b fam.f_name;
+      Buffer.add_char b ' ';
+      escape_help b fam.f_help;
+      Buffer.add_char b '\n';
+      Buffer.add_string b "# TYPE ";
+      Buffer.add_string b fam.f_name;
+      Buffer.add_char b ' ';
+      Buffer.add_string b (kind_name fam.f_kind);
+      Buffer.add_char b '\n';
+      List.iter
+        (fun i ->
+          match i.i_value with
+          | Sharded cells -> add_sample b fam.f_name i.i_labels (merge_shards cells)
+          | Cell c -> add_sample b fam.f_name i.i_labels (Atomic.get c)
+          | Callback f ->
+              let v = try f () with _ -> Float.nan in
+              add_sample b fam.f_name i.i_labels v
+          | Hist h ->
+              let counts, sum = Histogram.snapshot h in
+              let cum = ref 0. in
+              Array.iteri
+                (fun k c ->
+                  cum := !cum +. c;
+                  let le =
+                    if k = Array.length h.h_bounds then Float.infinity else h.h_bounds.(k)
+                  in
+                  add_sample b (fam.f_name ^ "_bucket")
+                    (i.i_labels @ [ ("le", shortest_float le) ])
+                    !cum)
+                counts;
+              add_sample b (fam.f_name ^ "_sum") i.i_labels sum;
+              add_sample b (fam.f_name ^ "_count") i.i_labels !cum)
+        instruments)
+    families;
+  Buffer.contents b

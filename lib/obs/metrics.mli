@@ -1,0 +1,100 @@
+(** Process-wide metrics in the Prometheus data model: counters, gauges
+    and fixed-bucket histograms, rendered in the text exposition format.
+
+    Write paths are lock-free — counters and histograms accumulate into
+    per-domain shards (one [Atomic] per shard) that are merged only when
+    {!render} runs, so a registry nobody scrapes costs one atomic
+    read-modify-write per event.  Callback instruments
+    ({!register_callback}) are evaluated exclusively at scrape time and
+    cost nothing between scrapes — the natural fit for values something
+    else already counts (cache hit totals, queue depths, disk usage).
+
+    Registration validates metric and label names against the exposition
+    grammar and raises [Invalid_argument] on violations, including a
+    duplicate (name, label set).  Instruments sharing a name form one
+    family: a single [# HELP]/[# TYPE] block with one sample line per
+    label set.  Families render sorted by name, so two scrapes of
+    unchanged values are byte-identical. *)
+
+type registry
+
+val create : unit -> registry
+
+val default : registry
+(** The process-wide registry every constructor uses when [?registry]
+    is omitted. *)
+
+module Counter : sig
+  type t
+
+  val v : ?registry:registry -> ?labels:(string * string) list -> help:string -> string -> t
+  (** [v ~help name] registers a counter instrument.
+      @raise Invalid_argument on an invalid or duplicate name/label set. *)
+
+  val inc : ?by:int -> t -> unit
+  val inc_float : t -> float -> unit
+  (** @raise Invalid_argument on a negative increment — counters are
+      monotone by contract. *)
+
+  val value : t -> float
+  (** Current merged value (sums the shards). *)
+end
+
+module Gauge : sig
+  type t
+
+  val v : ?registry:registry -> ?labels:(string * string) list -> help:string -> string -> t
+  val set : t -> float -> unit
+  val add : t -> float -> unit
+  (** [add t x] atomically adds [x] (negative to decrement). *)
+
+  val value : t -> float
+end
+
+module Histogram : sig
+  type t
+
+  val default_buckets : float array
+  (** Request-latency-shaped: 1 ms to 30 s. *)
+
+  val v :
+    ?registry:registry ->
+    ?labels:(string * string) list ->
+    ?buckets:float array ->
+    help:string ->
+    string ->
+    t
+  (** [buckets] are the finite upper bounds (strictly increasing; the
+      [+Inf] bucket is implicit).
+      @raise Invalid_argument on empty, non-finite or non-increasing
+      buckets, or if [labels] uses the reserved name ["le"]. *)
+
+  val observe : t -> float -> unit
+  val count : t -> float
+  val sum : t -> float
+end
+
+val register_callback :
+  ?registry:registry ->
+  ?labels:(string * string) list ->
+  kind:[ `Counter | `Gauge ] ->
+  help:string ->
+  string ->
+  (unit -> float) ->
+  unit
+(** Register a sample evaluated at scrape time.  Re-registering the same
+    (name, labels) replaces the previous callback — callbacks follow the
+    lifetime of the object they read (a new worker pool, a new store). *)
+
+val render : ?registry:registry -> unit -> string
+(** The Prometheus text exposition of every family, sorted by name.
+    Values that are mathematically integral render bare; all other
+    doubles render via [%.17g] so the scraper recovers the exact value;
+    histogram bucket bounds render as the shortest round-tripping
+    decimal, with the implicit [le="+Inf"] bucket last. *)
+
+val validate_metric_name : string -> bool
+val validate_label_name : string -> bool
+
+val float_str : float -> string
+(** The sample-value formatting {!render} uses (exposed for tests). *)

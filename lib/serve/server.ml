@@ -35,6 +35,7 @@ module Pool = struct
     c : Condition.t;
     mutable closed : bool;
     mutable domains : unit Domain.t array;
+    busy : int Atomic.t;  (* workers currently inside handle_line *)
   }
 
   let rec worker t service =
@@ -49,6 +50,7 @@ module Pool = struct
     | Job (line, ivar) ->
         (* handle_line never raises, but a hung reply cell would wedge a
            connection thread forever — so belt and braces. *)
+        Atomic.incr t.busy;
         let reply =
           try Service.handle_line service line
           with e ->
@@ -60,16 +62,25 @@ module Pool = struct
                    ]),
               `Continue )
         in
+        Atomic.decr t.busy;
         Ivar.fill ivar reply;
         worker t service
 
   let create ~workers service =
     let t =
       { q = Queue.create (); m = Mutex.create (); c = Condition.create (); closed = false;
-        domains = [||] }
+        domains = [||]; busy = Atomic.make 0 }
     in
     t.domains <- Array.init workers (fun _ -> Domain.spawn (fun () -> worker t service));
     t
+
+  let busy t = Atomic.get t.busy
+
+  let queue_depth t =
+    Mutex.lock t.m;
+    let n = Queue.length t.q in
+    Mutex.unlock t.m;
+    n
 
   let submit t line =
     Mutex.lock t.m;
@@ -134,6 +145,7 @@ let serve_conn t fd =
   | Wire.Framing msg ->
       (* the stream cannot be resynchronized after a framing violation,
          so answer once and drop the connection *)
+      F90d_obs.Log.warn "framing_error" [ ("reason", F90d_obs.Log.S msg) ];
       (try Wire.write_frame fd (frame_error ("framing error: " ^ msg)) with _ -> ())
   | _ -> ());
   Mutex.lock t.conns_m;
@@ -197,6 +209,9 @@ let start ?workers ~service ~sock_path () =
       accept_t = None;
     }
   in
+  Service.set_pool service ~workers
+    ~queue_depth:(fun () -> Pool.queue_depth t.pool)
+    ~busy:(fun () -> Pool.busy t.pool);
   t.accept_t <- Some (Thread.create (fun () -> accept_loop t) ());
   t
 

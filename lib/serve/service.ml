@@ -3,35 +3,32 @@ exception Bad_request of string
 
 let bad fmt = Printf.ksprintf (fun m -> raise (Bad_request m)) fmt
 
+module Log = F90d_obs.Log
+
 type t = {
   cache : Cache.t;
   store : Store.t option;
   timeout : float;  (* default per-request limit in seconds; 0. = unlimited *)
+  slow : float;  (* requests slower than this log a warn record; 0. = never *)
   workers : int;
   started : float;
-  n_requests : int Atomic.t;
-  n_errors : int Atomic.t;
-  n_timeouts : int Atomic.t;
-  by_op : (string * int Atomic.t) list;
+  tel : Telemetry.t;
 }
 
-let ops = [ "compile"; "run"; "trace"; "explain"; "profile"; "stats"; "shutdown" ]
+let ops = [ "compile"; "run"; "trace"; "explain"; "profile"; "stats"; "metrics"; "shutdown" ]
 
-let create ?cache ?store ?(timeout = 0.) ?(workers = 1) () =
-  {
-    cache = (match cache with Some c -> c | None -> Cache.create ());
-    store;
-    timeout;
-    workers;
-    started = Unix.gettimeofday ();
-    n_requests = Atomic.make 0;
-    n_errors = Atomic.make 0;
-    n_timeouts = Atomic.make 0;
-    by_op = List.map (fun op -> (op, Atomic.make 0)) ops;
-  }
+let create ?cache ?store ?registry ?(timeout = 0.) ?(slow = 10.) ?(workers = 1) () =
+  let cache = match cache with Some c -> c | None -> Cache.create () in
+  let started = Unix.gettimeofday () in
+  let tel = Telemetry.create ?registry ~cache ?store ~started ~ops () in
+  { cache; store; timeout; slow; workers; started; tel }
 
 let store t = t.store
 let cache t = t.cache
+let telemetry t = t.tel
+
+let set_pool t ~workers ~queue_depth ~busy =
+  Telemetry.set_pool t.tel ~workers ~queue_depth ~busy
 
 (* ------------------------------------------------------------------ *)
 (* Request field access                                                *)
@@ -303,6 +300,7 @@ let run_like t req ~op =
   let host_ms = (Unix.gettimeofday () -. t0) *. 1000. in
   sio.sio_commit ();
   let stats = result.F90d.Driver.stats in
+  Telemetry.observe_run t.tel ~elapsed:result.F90d.Driver.elapsed stats;
   let head = compile_head ~op ~source ~flags ~use ~l1 ~l2 ~l3:(Some sio.sio_temp) () in
   let body =
     [
@@ -367,65 +365,115 @@ let stats_op t =
       ("cache_version", Json.Int F90d_base.Util.cache_version);
       ("uptime_s", Json.Float (Unix.gettimeofday () -. t.started));
       ("workers", Json.Int t.workers);
-      ("requests", Json.Int (Atomic.get t.n_requests));
-      ("errors", Json.Int (Atomic.get t.n_errors));
-      ("timeouts", Json.Int (Atomic.get t.n_timeouts));
+      (* thin integer views over the metrics registry — the [metrics] op
+         exposes the same counters in exposition format *)
+      ("requests", Json.Int (Telemetry.requests_total t.tel));
+      ("errors", Json.Int (Telemetry.errors_total t.tel));
+      ("timeouts", Json.Int (Telemetry.timeouts_total t.tel));
+      ("in_flight", Json.Int (Telemetry.in_flight t.tel));
       ( "by_op",
-        Json.Obj (List.map (fun (op, c) -> (op, Json.Int (Atomic.get c))) t.by_op) );
+        Json.Obj
+          (List.map (fun (op, n) -> (op, Json.Int n)) (Telemetry.requests_by_op t.tel)) );
       ("cache", Json.Obj cache_fields);
+    ]
+
+let metrics_op t =
+  Json.Obj
+    [
+      ("ok", Json.Bool true);
+      ("op", Json.Str "metrics");
+      ("format", Json.Str "prometheus-text-0.0.4");
+      ("body", Json.Str (Telemetry.render t.tel));
     ]
 
 (* ------------------------------------------------------------------ *)
 (* Dispatch                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let handle t req =
-  Atomic.incr t.n_requests;
-  let op =
-    match Json.mem req "op" with
-    | Some v -> Option.value (Json.str v) ~default:""
-    | None -> ""
-  in
-  (match List.assoc_opt op t.by_op with Some c -> Atomic.incr c | None -> ());
+let dispatch t req ~op =
   try
     match op with
     | "compile" -> compile_op t req
     | "run" | "trace" | "profile" -> run_like t req ~op
     | "explain" -> explain_op t req
     | "stats" -> stats_op t
+    | "metrics" -> metrics_op t
     | "shutdown" ->
         Json.Obj
           [ ("ok", Json.Bool true); ("op", Json.Str "shutdown"); ("stopping", Json.Bool true) ]
     | "" ->
-        Atomic.incr t.n_errors;
+        Telemetry.count_error t.tel;
         err op "request needs a string \"op\" field"
     | other ->
-        Atomic.incr t.n_errors;
+        Telemetry.count_error t.tel;
         err op "unknown op %S (expected one of %s)" other (String.concat ", " ops)
   with
   | Timed_out limit ->
-      Atomic.incr t.n_errors;
-      Atomic.incr t.n_timeouts;
+      Telemetry.count_error t.tel;
+      Telemetry.count_timeout t.tel;
       err op "request exceeded its %gs wall-clock limit" limit
         ~extra:[ ("timeout", Json.Bool true); ("timeout_s", Json.Float limit) ]
   | Bad_request msg ->
-      Atomic.incr t.n_errors;
+      Telemetry.count_error t.tel;
       err op "%s" msg
   | F90d_base.Diag.Error (loc, msg) ->
-      Atomic.incr t.n_errors;
+      Telemetry.count_error t.tel;
       err op "%s" (Format.asprintf "%a: %s" F90d_base.Loc.pp loc msg)
   | Invalid_argument msg ->
-      Atomic.incr t.n_errors;
+      Telemetry.count_error t.tel;
       err op "%s" msg
   | e ->
-      Atomic.incr t.n_errors;
+      Telemetry.count_error t.tel;
       err op "internal error: %s" (Printexc.to_string e)
+
+let response_ok = function
+  | Json.Obj fields -> (
+      match List.assoc_opt "ok" fields with Some (Json.Bool b) -> b | _ -> false)
+  | _ -> false
+
+let handle t req =
+  let op =
+    match Json.mem req "op" with
+    | Some v -> Option.value (Json.str v) ~default:""
+    | None -> ""
+  in
+  let label = if List.mem op ops then op else "other" in
+  Telemetry.count_request t.tel op;
+  Telemetry.in_flight_add t.tel 1.;
+  let rid = Log.next_request_id () in
+  Log.debug "request" [ ("id", Log.S rid); ("op", Log.S op) ];
+  let t0 = Unix.gettimeofday () in
+  let resp =
+    Fun.protect
+      ~finally:(fun () ->
+        Telemetry.in_flight_add t.tel (-1.);
+        Telemetry.observe_duration t.tel label (Unix.gettimeofday () -. t0))
+      (fun () -> dispatch t req ~op)
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  if t.slow > 0. && dt >= t.slow then
+    Log.warn "slow_request"
+      [
+        ("id", Log.S rid);
+        ("op", Log.S op);
+        ("elapsed_s", Log.F dt);
+        ("threshold_s", Log.F t.slow);
+      ];
+  Log.info "request_done"
+    [
+      ("id", Log.S rid);
+      ("op", Log.S op);
+      ("ok", Log.B (response_ok resp));
+      ("elapsed_s", Log.F dt);
+    ];
+  resp
 
 let handle_line t line =
   match Json.parse line with
   | exception Json.Parse_error msg ->
-      Atomic.incr t.n_requests;
-      Atomic.incr t.n_errors;
+      Telemetry.count_request t.tel "";
+      Telemetry.count_error t.tel;
+      Log.warn "bad_frame" [ ("reason", Log.S msg) ];
       (Json.to_string (err "" "malformed request: %s" msg), `Continue)
   | req ->
       let resp = handle t req in

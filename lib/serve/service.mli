@@ -8,7 +8,7 @@
     property.
 
     Supported [op] values: [compile], [run], [trace], [explain],
-    [profile], [stats], [shutdown].  Every response carries
+    [profile], [stats], [metrics], [shutdown].  Every response carries
     ["ok": true/false]; failures ([Diag.Error] diagnostics, malformed
     requests, timeouts) are error responses, never exceptions — a bad
     request can not take the service down.
@@ -38,12 +38,35 @@ exception Timed_out of float
     its deadline; {!handle} turns it into an error response with
     ["timeout": true]. *)
 
-val create : ?cache:Cache.t -> ?store:Store.t -> ?timeout:float -> ?workers:int -> unit -> t
+val create :
+  ?cache:Cache.t ->
+  ?store:Store.t ->
+  ?registry:F90d_obs.Metrics.registry ->
+  ?timeout:float ->
+  ?slow:float ->
+  ?workers:int ->
+  unit ->
+  t
 (** [timeout] is the default per-request wall-clock limit in seconds
-    (0 or absent = unlimited); [workers] is reported by [stats]. *)
+    (0 or absent = unlimited); [workers] is reported by [stats];
+    [registry] receives every metric family (default: a fresh registry,
+    so two services in one process never conflate counters); requests
+    slower than [slow] seconds (default 10, 0 = never) log a warn-level
+    [slow_request] record. *)
+
+val ops : string list
+(** The known operation vocabulary, in dispatch order. *)
 
 val store : t -> Store.t option
 val cache : t -> Cache.t
+
+val telemetry : t -> Telemetry.t
+(** The service's metric families — [Telemetry.render] is what the
+    [metrics] op returns in its ["body"]. *)
+
+val set_pool :
+  t -> workers:int -> queue_depth:(unit -> int) -> busy:(unit -> int) -> unit
+(** Wire the worker-pool gauges (called by {!Server.start}). *)
 
 val handle : t -> Json.t -> Json.t
 (** Serve one request.  Never raises. *)

@@ -40,8 +40,25 @@ let corrupt t = Atomic.get t.n_corrupt
 
 let path_of t key = Filename.concat t.dir ("sched-" ^ key ^ ".bin")
 
-let log_warning fmt =
-  Printf.ksprintf (fun msg -> Printf.eprintf "f90d-serve: store: %s\n%!" msg) fmt
+let is_artifact name =
+  String.length name > String.length "sched-.bin"
+  && String.sub name 0 6 = "sched-"
+  && Filename.check_suffix name ".bin"
+
+(* (bytes, artifacts) currently on disk — scanned on demand, so the
+   scrape pays for the readdir, not the save path. *)
+let disk_usage t =
+  match Sys.readdir t.dir with
+  | exception Sys_error _ -> (0, 0)
+  | names ->
+      Array.fold_left
+        (fun (bytes, n) name ->
+          if is_artifact name then
+            match Unix.stat (Filename.concat t.dir name) with
+            | st -> (bytes + st.Unix.st_size, n + 1)
+            | exception Unix.Unix_error _ -> (bytes, n)
+          else (bytes, n))
+        (0, 0) names
 
 (* ------------------------------------------------------------------ *)
 (* Body encoding: per-rank (key, blob) lists in the same little-endian  *)
@@ -151,7 +168,8 @@ let load t ~key =
         (* Corruption is detected, logged, and the artifact removed so
            the next save rebuilds it; the caller just sees a miss. *)
         let why = match e with Bad m -> m | e -> Printexc.to_string e in
-        log_warning "dropping corrupt artifact %s (%s)" path why;
+        F90d_obs.Log.warn "store_corrupt"
+          [ ("path", F90d_obs.Log.S path); ("reason", F90d_obs.Log.S why) ];
         (try Sys.remove path with Sys_error _ -> ());
         Atomic.incr t.n_corrupt;
         Atomic.incr t.n_misses;
@@ -174,5 +192,6 @@ let save t ~key ranks =
   with
   | () -> ()
   | exception e ->
-      log_warning "failed to persist %s (%s)" path (Printexc.to_string e);
+      F90d_obs.Log.warn "store_write_failed"
+        [ ("path", F90d_obs.Log.S path); ("reason", F90d_obs.Log.S (Printexc.to_string e)) ];
       (try Sys.remove tmp with Sys_error _ -> ())

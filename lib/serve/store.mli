@@ -43,3 +43,7 @@ val misses : t -> int
 
 val corrupt : t -> int
 (** Artifacts rejected (and deleted) by the header or digest check. *)
+
+val disk_usage : t -> int * int
+(** Current [(bytes, artifacts)] held on disk — a directory scan, run at
+    metrics-scrape time, never on the save path. *)

@@ -1,0 +1,64 @@
+(** The serving path's metric families over {!F90d_obs.Metrics}.
+
+    One [create] registers every family the fleet scrapes —
+    [f90d_requests_total{op}], [f90d_request_duration_seconds{op}],
+    error/timeout counters, the in-flight gauge, per-run engine counters
+    (accumulated from {!F90d_machine.Stats.metric_families}), and
+    scrape-time callbacks over the cache levels, the schedule store and
+    the worker pool — so the daemon, the in-process bench replay and the
+    one-shot CLI ([f90dc --metrics-out]) expose the identical family
+    set.  Families whose backing object is absent (no store, no pool)
+    register as constant zero rather than disappearing. *)
+
+type t
+
+val create :
+  ?registry:F90d_obs.Metrics.registry ->
+  ?cache:Cache.t ->
+  ?store:Store.t ->
+  started:float ->
+  ops:string list ->
+  unit ->
+  t
+(** Register all families in [registry] (default: a fresh one).  [ops]
+    is the known-operation vocabulary; an extra ["other"] label value
+    absorbs unknown and malformed requests so the [f90d_requests_total]
+    sum covers every request received. *)
+
+val registry : t -> F90d_obs.Metrics.registry
+
+val set_pool :
+  t -> workers:int -> queue_depth:(unit -> int) -> busy:(unit -> int) -> unit
+(** Point the pool gauges ([f90d_pool_workers], [f90d_pool_queue_depth],
+    [f90d_pool_busy_workers]) at a live pool; callable again after a
+    restart. *)
+
+(** {2 Request lifecycle} *)
+
+val count_request : t -> string -> unit
+(** Count one received request under its op label (unknown ops under
+    ["other"]). *)
+
+val count_error : t -> unit
+val count_timeout : t -> unit
+
+val in_flight_add : t -> float -> unit
+(** [+1.] on entry, [-1.] on exit. *)
+
+val observe_duration : t -> string -> float -> unit
+(** Record a request's wall-clock seconds in its op's histogram. *)
+
+val observe_run : t -> elapsed:float -> F90d_machine.Stats.t -> unit
+(** Fold a finished run's engine totals into the counters (one call per
+    run/trace/profile request). *)
+
+(** {2 Thin integer views for the JSON [stats] op} *)
+
+val requests_total : t -> int
+val requests_by_op : t -> (string * int) list
+val errors_total : t -> int
+val timeouts_total : t -> int
+val in_flight : t -> int
+
+val render : t -> string
+(** The registry's Prometheus text exposition. *)

@@ -1,0 +1,349 @@
+(* The observability layer (lib/obs): exposition-format correctness of
+   the metrics registry (name/label validation, float formatting, the
+   implicit +Inf bucket, cumulative monotonicity), exact merging of
+   concurrent per-domain increments, callback replacement, and the
+   structured JSON-lines logger (every record parses as one JSON object,
+   levels filter, request ids are unique). *)
+
+module M = F90d_obs.Metrics
+module L = F90d_obs.Log
+
+(* ------------------------------------------------------------------ *)
+(* Exposition-text helpers                                             *)
+(* ------------------------------------------------------------------ *)
+
+let sample_lines text =
+  String.split_on_char '\n' text
+  |> List.filter (fun l -> String.length l > 0 && l.[0] <> '#')
+
+(* value of the sample whose "name{labels}" part is exactly [key] *)
+let sample text key =
+  sample_lines text
+  |> List.find_map (fun line ->
+         match String.rindex_opt line ' ' with
+         | Some sp when String.sub line 0 sp = key ->
+             Some (String.sub line (sp + 1) (String.length line - sp - 1))
+         | _ -> None)
+
+let sample_exn text key =
+  match sample text key with
+  | Some v -> v
+  | None -> Alcotest.fail ("no sample for " ^ key)
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_name_validation () =
+  List.iter
+    (fun n -> Alcotest.(check bool) ("metric ok: " ^ n) true (M.validate_metric_name n))
+    [ "f90d_requests_total"; "up"; "_x"; "a:b:c"; "A9_" ];
+  List.iter
+    (fun n -> Alcotest.(check bool) ("metric bad: " ^ n) false (M.validate_metric_name n))
+    [ ""; "9abc"; "a-b"; "a b"; "caf\xc3\xa9"; "a{b}" ];
+  List.iter
+    (fun n -> Alcotest.(check bool) ("label ok: " ^ n) true (M.validate_label_name n))
+    [ "op"; "level"; "_x"; "a_9" ];
+  List.iter
+    (fun n -> Alcotest.(check bool) ("label bad: " ^ n) false (M.validate_label_name n))
+    [ ""; "__reserved"; "9x"; "a:b"; "a-b" ]
+
+let raises name f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail (name ^ ": expected Invalid_argument")
+
+let test_registration_rejects () =
+  let r = M.create () in
+  raises "bad metric name" (fun () -> M.Counter.v ~registry:r ~help:"h" "9bad");
+  raises "bad label name" (fun () ->
+      M.Counter.v ~registry:r ~labels:[ ("9x", "v") ] ~help:"h" "c1");
+  raises "duplicate label names" (fun () ->
+      M.Counter.v ~registry:r ~labels:[ ("a", "1"); ("a", "2") ] ~help:"h" "c2");
+  let _ = M.Counter.v ~registry:r ~labels:[ ("op", "run") ] ~help:"h" "c3" in
+  raises "duplicate (name, labels)" (fun () ->
+      M.Counter.v ~registry:r ~labels:[ ("op", "run") ] ~help:"h" "c3");
+  (* same family, distinct labels: fine *)
+  let _ = M.Counter.v ~registry:r ~labels:[ ("op", "compile") ] ~help:"h" "c3" in
+  raises "kind mismatch" (fun () -> M.Gauge.v ~registry:r ~help:"h" "c3");
+  raises "reserved le" (fun () ->
+      M.Histogram.v ~registry:r ~labels:[ ("le", "1") ] ~help:"h" "h1");
+  raises "empty buckets" (fun () -> M.Histogram.v ~registry:r ~buckets:[||] ~help:"h" "h2");
+  raises "non-increasing buckets" (fun () ->
+      M.Histogram.v ~registry:r ~buckets:[| 1.; 1. |] ~help:"h" "h3");
+  raises "non-finite bucket" (fun () ->
+      M.Histogram.v ~registry:r ~buckets:[| 1.; Float.infinity |] ~help:"h" "h4");
+  let c = M.Counter.v ~registry:r ~help:"h" "c4" in
+  raises "negative increment" (fun () -> M.Counter.inc_float c (-1.))
+
+(* ------------------------------------------------------------------ *)
+(* Float formatting                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_float_formatting () =
+  Alcotest.(check string) "integral renders bare" "42" (M.float_str 42.);
+  Alcotest.(check string) "zero" "0" (M.float_str 0.);
+  Alcotest.(check string) "negative integral" "-7" (M.float_str (-7.));
+  Alcotest.(check string) "+Inf" "+Inf" (M.float_str Float.infinity);
+  Alcotest.(check string) "-Inf" "-Inf" (M.float_str Float.neg_infinity);
+  Alcotest.(check string) "NaN" "NaN" (M.float_str Float.nan);
+  (* %.17g round-trips every non-integral double exactly *)
+  List.iter
+    (fun x ->
+      Alcotest.(check bool)
+        (Printf.sprintf "round-trip %h" x)
+        true
+        (Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float (float_of_string (M.float_str x)))))
+    [ 0.1; 1. /. 3.; 0.30000000000000004; 1e-300; 1.7976931348623157e308; 2.5 ]
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_render () =
+  let r = M.create () in
+  let a = M.Counter.v ~registry:r ~labels:[ ("op", "run") ] ~help:"requests" "t_requests" in
+  let b = M.Counter.v ~registry:r ~labels:[ ("op", "compile") ] ~help:"requests" "t_requests" in
+  let g = M.Gauge.v ~registry:r ~help:"a gauge" "a_gauge" in
+  M.Counter.inc a;
+  M.Counter.inc ~by:4 b;
+  M.Gauge.set g 2.5;
+  let text = M.render ~registry:r () in
+  Alcotest.(check string) "labelled sample" "1" (sample_exn text {|t_requests{op="run"}|});
+  Alcotest.(check string) "second label set" "4" (sample_exn text {|t_requests{op="compile"}|});
+  Alcotest.(check string) "gauge %.17g" "2.5" (sample_exn text "a_gauge");
+  (* one HELP/TYPE block per family, and families sorted by name *)
+  let help_lines =
+    String.split_on_char '\n' text
+    |> List.filter (fun l -> String.length l > 6 && String.sub l 0 6 = "# HELP")
+  in
+  Alcotest.(check int) "one HELP per family" 2 (List.length help_lines);
+  Alcotest.(check bool) "families sorted" true
+    (help_lines = List.sort compare help_lines);
+  (* rendering twice without writes is byte-identical *)
+  Alcotest.(check string) "deterministic render" text (M.render ~registry:r ())
+
+let test_histogram_render () =
+  let r = M.create () in
+  let h = M.Histogram.v ~registry:r ~buckets:[| 0.01; 0.1; 1. |] ~help:"lat" "t_lat" in
+  List.iter (M.Histogram.observe h) [ 0.005; 0.05; 0.5; 5. ];
+  let text = M.render ~registry:r () in
+  Alcotest.(check string) "first bucket" "1" (sample_exn text {|t_lat_bucket{le="0.01"}|});
+  Alcotest.(check string) "cumulative" "2" (sample_exn text {|t_lat_bucket{le="0.1"}|});
+  Alcotest.(check string) "third" "3" (sample_exn text {|t_lat_bucket{le="1"}|});
+  Alcotest.(check string) "+Inf bucket" "4" (sample_exn text {|t_lat_bucket{le="+Inf"}|});
+  Alcotest.(check string) "count = +Inf bucket" "4" (sample_exn text "t_lat_count");
+  Alcotest.(check bool) "sum"
+    true
+    (Float.abs (float_of_string (sample_exn text "t_lat_sum") -. 5.555) < 1e-12);
+  (* bucket boundaries use the shortest round-tripping decimal *)
+  Alcotest.(check bool) "no verbose le" true (sample text {|t_lat_bucket{le="0.010000000000000000208"}|} = None);
+  (* cumulative monotonicity across the full default bucket set *)
+  let h2 = M.Histogram.v ~registry:r ~help:"lat2" "t_lat2" in
+  List.iter (M.Histogram.observe h2) [ 0.0005; 0.003; 0.07; 0.4; 2.; 60. ];
+  let text = M.render ~registry:r () in
+  let cum =
+    sample_lines text
+    |> List.filter_map (fun l ->
+           match String.rindex_opt l ' ' with
+           | Some sp
+             when String.length l > 14 && String.sub l 0 14 = "t_lat2_bucket{" ->
+               Some (float_of_string (String.sub l (sp + 1) (String.length l - sp - 1)))
+           | _ -> None)
+  in
+  Alcotest.(check int) "bucket count = bounds + Inf" (Array.length M.Histogram.default_buckets + 1)
+    (List.length cum);
+  Alcotest.(check bool) "monotone" true (List.sort compare cum = cum);
+  Alcotest.(check bool) "last is total" true (List.nth cum (List.length cum - 1) = 6.)
+
+let test_label_escaping () =
+  let r = M.create () in
+  let _ =
+    M.Counter.v ~registry:r ~labels:[ ("path", "a\\b\"c\nd") ] ~help:"h" "t_esc"
+  in
+  let text = M.render ~registry:r () in
+  Alcotest.(check string) "escaped label value" "0"
+    (sample_exn text {|t_esc{path="a\\b\"c\nd"}|})
+
+let test_callback_replace () =
+  let r = M.create () in
+  let v = ref 1. in
+  M.register_callback ~registry:r ~kind:`Gauge ~help:"h" "t_cb" (fun () -> !v);
+  Alcotest.(check string) "callback read at scrape" "1" (sample_exn (M.render ~registry:r ()) "t_cb");
+  v := 7.;
+  Alcotest.(check string) "scrape sees new value" "7" (sample_exn (M.render ~registry:r ()) "t_cb");
+  (* re-registration replaces, never duplicates *)
+  M.register_callback ~registry:r ~kind:`Gauge ~help:"h" "t_cb" (fun () -> 99.);
+  let text = M.render ~registry:r () in
+  Alcotest.(check string) "replaced" "99" (sample_exn text "t_cb");
+  Alcotest.(check int) "single sample" 1
+    (List.length (List.filter (fun l -> String.length l >= 5 && String.sub l 0 5 = "t_cb ")
+                    (sample_lines text)));
+  (* a raising callback renders NaN rather than killing the scrape *)
+  M.register_callback ~registry:r ~kind:`Gauge ~help:"h" "t_cb" (fun () -> failwith "boom");
+  Alcotest.(check string) "raising callback -> NaN" "NaN"
+    (sample_exn (M.render ~registry:r ()) "t_cb")
+
+(* ------------------------------------------------------------------ *)
+(* Concurrency: merged shards must sum exactly                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_concurrent_counter () =
+  let r = M.create () in
+  let c = M.Counter.v ~registry:r ~help:"h" "t_conc" in
+  let per_domain = 25_000 and n_domains = 4 in
+  let domains =
+    Array.init n_domains (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              M.Counter.inc c
+            done))
+  in
+  Array.iter Domain.join domains;
+  Alcotest.(check bool) "exact sum across domains" true
+    (M.Counter.value c = float_of_int (per_domain * n_domains));
+  Alcotest.(check string) "render agrees"
+    (string_of_int (per_domain * n_domains))
+    (sample_exn (M.render ~registry:r ()) "t_conc")
+
+let test_concurrent_histogram () =
+  let r = M.create () in
+  let h = M.Histogram.v ~registry:r ~buckets:[| 0.5 |] ~help:"h" "t_conch" in
+  let per_domain = 10_000 and n_domains = 4 in
+  let domains =
+    Array.init n_domains (fun i ->
+        Domain.spawn (fun () ->
+            for k = 1 to per_domain do
+              (* half below the bound, half above, deterministically *)
+              M.Histogram.observe h (if (k + i) mod 2 = 0 then 0.25 else 0.75)
+            done))
+  in
+  Array.iter Domain.join domains;
+  let total = float_of_int (per_domain * n_domains) in
+  Alcotest.(check bool) "count exact" true (M.Histogram.count h = total);
+  let text = M.render ~registry:r () in
+  Alcotest.(check string) "low bucket holds half"
+    (M.float_str (total /. 2.))
+    (sample_exn text {|t_conch_bucket{le="0.5"}|})
+
+(* ------------------------------------------------------------------ *)
+(* Structured logging                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let with_log_file f =
+  let path = Filename.temp_file "f90d-test-obs" ".log" in
+  L.set_file path;
+  Fun.protect
+    ~finally:(fun () ->
+      L.set_channel stderr;
+      L.set_level L.Warn;
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let read_records path =
+  In_channel.with_open_text path In_channel.input_all
+  |> String.split_on_char '\n'
+  |> List.filter (fun l -> l <> "")
+  |> List.map F90d_serve.Json.parse
+
+let field rec_ name = F90d_serve.Json.mem rec_ name
+
+let test_log_records () =
+  with_log_file (fun path ->
+      L.set_level L.Debug;
+      L.info "request"
+        [
+          ("id", L.S "r1-0");
+          ("n", L.I 42);
+          ("elapsed_s", L.F 0.1);
+          ("ok", L.B true);
+          ("msg", L.S "a \"quoted\"\nline");
+        ];
+      L.error "boom" [];
+      match read_records path with
+      | [ a; b ] ->
+          let str v = Option.bind v F90d_serve.Json.str in
+          Alcotest.(check (option string)) "level" (Some "info") (str (field a "level"));
+          Alcotest.(check (option string)) "event" (Some "request") (str (field a "event"));
+          Alcotest.(check (option string)) "string field" (Some "r1-0") (str (field a "id"));
+          Alcotest.(check (option int)) "int field" (Some 42)
+            (Option.bind (field a "n") F90d_serve.Json.int);
+          Alcotest.(check (option string)) "escaped string" (Some "a \"quoted\"\nline")
+            (str (field a "msg"));
+          Alcotest.(check bool) "float field round-trips" true
+            (Option.bind (field a "elapsed_s") F90d_serve.Json.float = Some 0.1);
+          Alcotest.(check bool) "bool field" true
+            (field a "ok" = Some (F90d_serve.Json.Bool true));
+          (* ISO-8601 UTC timestamp with millisecond precision *)
+          (match str (field a "ts") with
+          | Some ts ->
+              Alcotest.(check bool) ("ts shape: " ^ ts) true
+                (String.length ts = 24 && ts.[4] = '-' && ts.[10] = 'T' && ts.[23] = 'Z')
+          | None -> Alcotest.fail "no ts");
+          Alcotest.(check (option string)) "second record level" (Some "error")
+            (str (field b "level"))
+      | records -> Alcotest.fail (Printf.sprintf "expected 2 records, got %d" (List.length records)))
+
+let test_log_level_filter () =
+  with_log_file (fun path ->
+      L.set_level L.Warn;
+      L.debug "hidden" [];
+      L.info "hidden" [];
+      L.warn "kept" [];
+      L.error "kept" [];
+      Alcotest.(check int) "only warn and error pass" 2 (List.length (read_records path));
+      L.set_level L.Error;
+      L.warn "hidden" [];
+      Alcotest.(check int) "raised threshold" 2 (List.length (read_records path)))
+
+let test_log_level_parse () =
+  List.iter
+    (fun (s, want) ->
+      match L.level_of_string s with
+      | Ok l -> Alcotest.(check string) s want (L.level_name l)
+      | Error m -> Alcotest.fail m)
+    [ ("debug", "debug"); ("INFO", "info"); ("Warning", "warn"); (" error ", "error") ];
+  Alcotest.(check bool) "unknown rejected" true
+    (match L.level_of_string "loud" with Error _ -> true | Ok _ -> false)
+
+let test_request_ids () =
+  let n = 1000 in
+  let ids = List.init n (fun _ -> L.next_request_id ()) in
+  Alcotest.(check int) "unique" n (List.length (List.sort_uniq compare ids));
+  let prefix = Printf.sprintf "r%d-" (Unix.getpid ()) in
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) ("prefix of " ^ id) true
+        (String.length id > String.length prefix
+        && String.sub id 0 (String.length prefix) = prefix))
+    ids
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "name and label validation" `Quick test_name_validation;
+          Alcotest.test_case "registration rejects invalid instruments" `Quick
+            test_registration_rejects;
+          Alcotest.test_case "float formatting (%.17g round-trip)" `Quick test_float_formatting;
+          Alcotest.test_case "counter/gauge exposition" `Quick test_counter_render;
+          Alcotest.test_case "histogram buckets cumulative with +Inf" `Quick
+            test_histogram_render;
+          Alcotest.test_case "label value escaping" `Quick test_label_escaping;
+          Alcotest.test_case "callbacks: scrape-time, replaceable, NaN on raise" `Quick
+            test_callback_replace;
+          Alcotest.test_case "concurrent counter merges exactly" `Quick test_concurrent_counter;
+          Alcotest.test_case "concurrent histogram merges exactly" `Quick
+            test_concurrent_histogram;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "records are parseable JSON lines" `Quick test_log_records;
+          Alcotest.test_case "level filtering" `Quick test_log_level_filter;
+          Alcotest.test_case "level parsing" `Quick test_log_level_parse;
+          Alcotest.test_case "request ids unique" `Quick test_request_ids;
+        ] );
+    ]

@@ -298,6 +298,88 @@ let test_service_store_corruption_rebuild () =
   Alcotest.(check string) "warm again" "hit" (cache_temp warm "l3");
   Alcotest.(check int) "no schedule builds" 0 (geti warm "sched_builds")
 
+(* value of the exposition sample whose "name{labels}" part is [key] *)
+let msample text key =
+  String.split_on_char '\n' text
+  |> List.find_map (fun line ->
+         match String.rindex_opt line ' ' with
+         | Some sp when String.sub line 0 sp = key ->
+             Some (float_of_string (String.sub line (sp + 1) (String.length line - sp - 1)))
+         | _ -> None)
+
+let msample_exn text key =
+  match msample text key with
+  | Some v -> v
+  | None -> Alcotest.fail ("no metric sample for " ^ key)
+
+(* The metrics op: required families present, and across a cold->warm
+   pass sched_builds stays flat while the l3 hit counter increases —
+   the cache is what makes the warm pass cheap, and the scrape proves
+   it. *)
+let test_service_metrics () =
+  let svc = Service.create ~store:(Store.create ~dir:(tmp_dir ())) () in
+  let scrape () =
+    let resp = Service.handle svc (Json.Obj [ ("op", Json.Str "metrics") ]) in
+    Alcotest.(check bool) "metrics ok" true (ok resp);
+    Alcotest.(check string) "format" "prometheus-text-0.0.4" (gets resp "format");
+    gets resp "body"
+  in
+  ignore (Service.handle svc (run_req "irregular" 128));
+  let cold = scrape () in
+  List.iter
+    (fun key ->
+      Alcotest.(check bool) ("family present: " ^ key) true (msample cold key <> None))
+    [
+      {|f90d_requests_total{op="run"}|};
+      {|f90d_requests_total{op="metrics"}|};
+      {|f90d_request_duration_seconds_bucket{op="run",le="+Inf"}|};
+      "f90d_request_duration_seconds_sum{op=\"run\"}";
+      "f90d_request_errors_total";
+      "f90d_request_timeouts_total";
+      "f90d_requests_in_flight";
+      "f90d_runs_total";
+      {|f90d_cache_hits_total{level="l1"}|};
+      {|f90d_cache_misses_total{level="l3"}|};
+      {|f90d_cache_entries{level="l1"}|};
+      "f90d_store_corrupt_total";
+      "f90d_store_size_bytes";
+      "f90d_store_artifacts";
+      "f90d_pool_workers";
+      "f90d_pool_queue_depth";
+      "f90d_uptime_seconds";
+      "f90d_sim_messages_total";
+      "f90d_sim_bytes_total";
+      "f90d_sched_builds_total";
+      "f90d_sched_hits_total";
+      "f90d_sim_elapsed_seconds_total";
+    ];
+  Alcotest.(check bool) "cold built schedules" true (msample_exn cold "f90d_sched_builds_total" > 0.);
+  Alcotest.(check bool) "cold l3 miss" true
+    (msample_exn cold {|f90d_cache_misses_total{level="l3"}|} >= 1.);
+  Alcotest.(check bool) "no corruption" true (msample_exn cold "f90d_store_corrupt_total" = 0.);
+  Alcotest.(check bool) "run counted" true (msample_exn cold {|f90d_requests_total{op="run"}|} = 1.);
+  Alcotest.(check bool) "build_info" true
+    (msample cold
+       (Printf.sprintf {|f90d_build_info{version="%s",cache_version="%d"}|}
+          F90d_base.Util.package_version F90d_base.Util.cache_version)
+    = Some 1.);
+  ignore (Service.handle svc (run_req "irregular" 128));
+  let warm = scrape () in
+  Alcotest.(check bool) "sched_builds flat across warm pass" true
+    (msample_exn warm "f90d_sched_builds_total" = msample_exn cold "f90d_sched_builds_total");
+  Alcotest.(check bool) "l3 hits increased" true
+    (msample_exn warm {|f90d_cache_hits_total{level="l3"}|}
+    > msample_exn cold {|f90d_cache_hits_total{level="l3"}|});
+  Alcotest.(check bool) "runs_total tracks" true (msample_exn warm "f90d_runs_total" = 2.);
+  (* unknown and malformed requests land in op="other", keeping the
+     requests_total sum complete *)
+  ignore (Service.handle svc (Json.Obj [ ("op", Json.Str "frobnicate") ]));
+  ignore (Service.handle_line svc "{\"op\": ");
+  let after = scrape () in
+  Alcotest.(check bool) "unknown ops counted as other" true
+    (msample_exn after {|f90d_requests_total{op="other"}|} = 2.);
+  Alcotest.(check bool) "errors counted" true (msample_exn after "f90d_request_errors_total" = 2.)
+
 (* ------------------------------------------------------------------ *)
 (* Daemon over a real socket                                           *)
 (* ------------------------------------------------------------------ *)
@@ -341,6 +423,40 @@ let test_daemon_basic () =
           let resp = Client.request c (Json.Obj [ ("op", Json.Str "stats") ]) in
           Alcotest.(check bool) "stats after malformed" true (ok resp);
           Alcotest.(check bool) "stats counts errors" true (geti resp "errors" >= 1)))
+
+(* The stats op is a thin view over the same registry: request counts
+   match by_op exactly, and in_flight reads 1 while the stats request
+   itself is being served.  Over the socket, the pool gauges report the
+   real worker count. *)
+let test_daemon_stats_metrics () =
+  with_daemon ~workers:3 (fun sock ->
+      Client.with_conn sock (fun c ->
+          ignore (Client.request c (run_req "jacobi" 32));
+          let stats = Client.request c (Json.Obj [ ("op", Json.Str "stats") ]) in
+          Alcotest.(check bool) "stats ok" true (ok stats);
+          Alcotest.(check int) "in_flight is this request" 1 (geti stats "in_flight");
+          Alcotest.(check bool) "uptime present" true
+            (Option.bind (Json.mem stats "uptime_s") Json.float <> None);
+          Alcotest.(check int) "workers" 3 (geti stats "workers");
+          (match Json.mem stats "by_op" with
+          | Some (Json.Obj kv) ->
+              let sum =
+                List.fold_left (fun acc (_, v) -> acc + Option.value ~default:0 (Json.int v)) 0 kv
+              in
+              Alcotest.(check int) "requests = sum of by_op" (geti stats "requests") sum;
+              Alcotest.(check (option int)) "run counted" (Some 1)
+                (Option.bind (List.assoc_opt "run" kv) Json.int)
+          | _ -> Alcotest.fail "stats has no by_op object");
+          let m = Client.request c (Json.Obj [ ("op", Json.Str "metrics") ]) in
+          Alcotest.(check bool) "metrics ok" true (ok m);
+          let body = gets m "body" in
+          Alcotest.(check (option (float 0.))) "pool workers gauge" (Some 3.)
+            (msample body "f90d_pool_workers");
+          Alcotest.(check bool) "stats op counted" true
+            (msample_exn body {|f90d_requests_total{op="stats"}|} = 1.);
+          (* thin views and exposition agree *)
+          Alcotest.(check bool) "views agree on run count" true
+            (msample_exn body {|f90d_requests_total{op="run"}|} = 1.)))
 
 (* Satellite: concurrent-run isolation.  N clients fire the same warm
    request simultaneously from separate threads; every response must be
@@ -470,12 +586,16 @@ let () =
           Alcotest.test_case "malformed requests rejected, service lives" `Quick
             test_service_rejects;
           Alcotest.test_case "request timeout" `Quick test_service_timeout;
+          Alcotest.test_case "metrics op: families, warm-pass deltas" `Quick
+            test_service_metrics;
           Alcotest.test_case "store corruption mid-service" `Quick
             test_service_store_corruption_rebuild;
         ] );
       ( "daemon",
         [
           Alcotest.test_case "cold/warm over the socket" `Quick test_daemon_basic;
+          Alcotest.test_case "stats thin views and pool gauges" `Quick
+            test_daemon_stats_metrics;
           Alcotest.test_case "concurrent warm runs bit-identical" `Quick
             test_daemon_concurrent_isolation;
           Alcotest.test_case "concurrent distinct programs" `Quick
