@@ -4,12 +4,12 @@
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe -- fig5    -- one experiment:
        fig3 | fig5 | table4 | fig6 | table1 | table2 | table3
-       ablation | dist | portability | serve | micro
+       ablation | dist | portability | serve | scale | micro
 
    Flags (after the experiment name):
      --json [PATH]   write machine-readable results to PATH (default
-                     BENCH_<experiment>.json); supported for table4, fig5
-                     and serve
+                     BENCH_<experiment>.json); supported for table4, fig5,
+                     serve and scale
      --jobs N        verify and time the domain-parallel engine with N
                      worker domains (default: the F90D_JOBS environment
                      variable, else sequential only)
@@ -933,6 +933,162 @@ let serve_table res =
     (if res.sr_identical_warm then "bit-identical" else "DIFFERS!")
 
 (* ------------------------------------------------------------------ *)
+(* Scale: the simulated machine at up to 4096 ranks                    *)
+(*                                                                     *)
+(* Sweeps P over powers of two on a fixed problem size, so the sweep   *)
+(* isolates the engine's own scaling (scheduler, mailboxes, routing)   *)
+(* rather than the application's.  Two communication shapes: gauss     *)
+(* (machine-wide broadcast cascades every iteration) and the jacobi2d  *)
+(* stencil (nearest-neighbour shifts on a sqrt(P) x sqrt(P) grid).     *)
+(* ------------------------------------------------------------------ *)
+
+let scale_n =
+  match Sys.getenv_opt "F90D_SCALE_N" with Some s -> int_of_string s | None -> 256
+
+(* CI caps the sweep (F90D_SCALE_MAX_P=1024) to stay inside its wall
+   budget; the committed baseline is generated with the full sweep. *)
+let scale_max_p =
+  match Sys.getenv_opt "F90D_SCALE_MAX_P" with Some s -> int_of_string s | None -> 4096
+
+let scale_ps = List.filter (fun p -> p <= scale_max_p) [ 16; 64; 256; 1024; 4096 ]
+
+(* Host memory, from /proc/self/status (0 where the kernel interface is
+   absent): VmRSS is the resident set now, VmHWM its high-water mark. *)
+let proc_status_kb key =
+  match open_in "/proc/self/status" with
+  | exception _ -> 0
+  | ic ->
+      let rec scan () =
+        match input_line ic with
+        | exception End_of_file -> 0
+        | line ->
+            if String.length line > String.length key && String.sub line 0 (String.length key) = key
+            then
+              Scanf.sscanf (String.sub line (String.length key) (String.length line - String.length key))
+                " %d" (fun kb -> kb)
+            else scan ()
+      in
+      let kb = scan () in
+      close_in ic;
+      kb
+
+type scale_row = {
+  sc_program : string;
+  sc_p : int;
+  sc_elapsed : float;  (* simulated seconds *)
+  sc_messages : int;
+  sc_bytes : int;
+  sc_wall_seq : float;  (* host seconds, sequential engine *)
+  sc_wall_par : float option;  (* host seconds, run_parallel (with --jobs) *)
+  sc_par_identical : bool;
+  sc_rss_kb : int;  (* resident set right after the sequential run *)
+  sc_hwm_kb : int;  (* process high-water mark so far *)
+  sc_heap_mb : float;  (* OCaml major-heap words after the run, in MB *)
+}
+
+(* One row of the collective micro-benchmark: a machine-wide binomial
+   broadcast's critical path, in units of one message time.  The depth
+   column must read log2 P — that is the O(log P) cascade made visible. *)
+type depth_row = { dr_p : int; dr_elapsed : float; dr_depth : float }
+
+let run_scale_depth () =
+  let m = Model.ipsc860 in
+  let t_msg = m.Model.alpha +. (8. *. m.Model.beta) in
+  List.map
+    (fun p ->
+      let cfg = Engine.config ~model:m p in
+      let r =
+        Engine.run cfg (fun ctx ->
+            let rctx = F90d_runtime.Rctx.make ctx (F90d_dist.Grid.make [| p |]) in
+            let team = F90d_runtime.Collectives.team_all rctx in
+            ignore
+              (F90d_runtime.Collectives.broadcast rctx team ~root:0
+                 (Message.Scalar (F90d_base.Scalar.Real 1.0))))
+      in
+      { dr_p = p; dr_elapsed = r.Engine.elapsed; dr_depth = r.Engine.elapsed /. t_msg })
+    scale_ps
+
+let run_scale ~jobs () =
+  let gauss = lazy (Driver.compile (Programs.gauss ~n:scale_n)) in
+  let programs p =
+    let side = int_of_float (sqrt (float_of_int p) +. 0.5) in
+    [
+      ("gauss", Lazy.force gauss);
+      ("jacobi2d", Driver.compile (Programs.jacobi2d ~n:scale_n ~iters:4 ~p:side ~q:side));
+    ]
+  in
+  List.concat_map
+    (fun p ->
+      List.map
+        (fun (name, compiled) ->
+          let run ~jobs =
+            Driver.run ~collect_finals:false ~model:Model.ipsc860 ~topology:Topology.Hypercube
+              ~jobs ~nprocs:p compiled
+          in
+          let t0 = Unix.gettimeofday () in
+          let r = run ~jobs:1 in
+          let wall_seq = Unix.gettimeofday () -. t0 in
+          let rss = proc_status_kb "VmRSS:" and hwm = proc_status_kb "VmHWM:" in
+          let heap_mb = float_of_int (Gc.quick_stat ()).Gc.heap_words *. 8. /. 1048576. in
+          let wall_par, identical =
+            if jobs > 1 then begin
+              let t0 = Unix.gettimeofday () in
+              let rp = run ~jobs in
+              let wall = Unix.gettimeofday () -. t0 in
+              ( Some wall,
+                rp.Driver.elapsed = r.Driver.elapsed
+                && rp.Driver.clocks = r.Driver.clocks
+                && Stats.per_tag rp.Driver.stats = Stats.per_tag r.Driver.stats )
+            end
+            else (None, true)
+          in
+          Printf.printf "  %-9s P=%-5d %10.3f sim-s  %9d msgs  %8.2f host-s%s\n%!" name p
+            r.Driver.elapsed r.Driver.stats.Stats.messages wall_seq
+            (match wall_par with
+            | Some w -> Printf.sprintf "  (par %.2f, %s)" w (if identical then "identical" else "DIFFERS!")
+            | None -> "");
+          {
+            sc_program = name;
+            sc_p = p;
+            sc_elapsed = r.Driver.elapsed;
+            sc_messages = r.Driver.stats.Stats.messages;
+            sc_bytes = r.Driver.stats.Stats.bytes;
+            sc_wall_seq = wall_seq;
+            sc_wall_par = wall_par;
+            sc_par_identical = identical;
+            sc_rss_kb = rss;
+            sc_hwm_kb = hwm;
+            sc_heap_mb = heap_mb;
+          })
+        (programs p))
+    scale_ps
+
+let scale_table rows depths =
+  section
+    (Printf.sprintf
+       "Scale: fixed problem size (N=%d), machine size up to %d ranks\n\
+        (event-driven scheduler: host cost tracks messages, not P^2)" scale_n scale_max_p);
+  Printf.printf "%-9s %6s  %12s  %10s  %10s  %9s  %9s  %s\n" "program" "PEs" "simulated(s)"
+    "messages" "host(s)" "RSS(MB)" "HWM(MB)" "par identical";
+  List.iter
+    (fun r ->
+      Printf.printf "%-9s %6d  %12.3f  %10d  %10.2f  %9.1f  %9.1f  %s\n" r.sc_program r.sc_p
+        r.sc_elapsed r.sc_messages r.sc_wall_seq
+        (float_of_int r.sc_rss_kb /. 1024.)
+        (float_of_int r.sc_hwm_kb /. 1024.)
+        (match r.sc_wall_par with
+        | Some w -> Printf.sprintf "%.2fs %s" w (if r.sc_par_identical then "yes" else "NO!")
+        | None -> "-"))
+    rows;
+  Printf.printf "\nbroadcast cascade depth (critical path / one message time):\n";
+  Printf.printf "%6s  %10s  %8s  %8s\n" "PEs" "elapsed(s)" "depth" "log2 P";
+  List.iter
+    (fun d ->
+      Printf.printf "%6d  %10.6f  %8.2f  %8d\n" d.dr_p d.dr_elapsed d.dr_depth
+        (F90d_base.Util.ilog2 d.dr_p))
+    depths
+
+(* ------------------------------------------------------------------ *)
 (* JSON emitters                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -1083,6 +1239,54 @@ let json_fig5 ~host_wall rows =
              rows) );
     ])
 
+let json_scale ~jobs ~host_wall rows depths =
+  Json.Obj
+    (("experiment", Json.Str "scale") :: version_fields
+    @ [
+        ("problem_size", Json.Int scale_n);
+        ("max_p", Json.Int scale_max_p);
+        ("model", Json.Str Model.ipsc860.Model.name);
+        ("topology", Json.Str (Topology.name Topology.Hypercube));
+        ("jobs", Json.Int jobs);
+        ("host_cores", Json.Int (Domain.recommended_domain_count ()));
+        ("host_wall_total_s", Json.Float host_wall);
+        ( "rows",
+          Json.List
+            (List.map
+               (fun r ->
+                 Json.Obj
+                   ([
+                      ("program", Json.Str r.sc_program);
+                      ("nprocs", Json.Int r.sc_p);
+                      ("elapsed_s", Json.Float r.sc_elapsed);
+                      ("messages", Json.Int r.sc_messages);
+                      ("bytes", Json.Int r.sc_bytes);
+                      ("host_wall_seq_s", Json.Float r.sc_wall_seq);
+                    ]
+                   @ (match r.sc_wall_par with
+                     | Some w -> [ ("host_wall_par_s", Json.Float w) ]
+                     | None -> [])
+                   @ [
+                       ("parallel_identical", Json.Bool r.sc_par_identical);
+                       ("rss_kb", Json.Int r.sc_rss_kb);
+                       ("hwm_kb", Json.Int r.sc_hwm_kb);
+                       ("heap_mb", Json.Float r.sc_heap_mb);
+                     ]))
+               rows) );
+        ( "broadcast_depth",
+          Json.List
+            (List.map
+               (fun d ->
+                 Json.Obj
+                   [
+                     ("nprocs", Json.Int d.dr_p);
+                     ("elapsed_s", Json.Float d.dr_elapsed);
+                     ("depth", Json.Float d.dr_depth);
+                     ("log2_p", Json.Int (F90d_base.Util.ilog2 d.dr_p));
+                   ])
+               depths) );
+      ])
+
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -1137,7 +1341,7 @@ let () =
     match !json_path with
     | Some _ ->
         Printf.eprintf
-          "warning: --json is only supported for table4, fig5 and serve; ignoring\n"
+          "warning: --json is only supported for table4, fig5, serve and scale; ignoring\n"
     | None -> ()
   in
   let warn_trace () =
@@ -1186,6 +1390,16 @@ let () =
       Option.iter
         (fun p -> Json.write p (json_serve ~host_wall:(Unix.gettimeofday () -. t0) res))
         !json_path
+  | "scale" ->
+      warn_trace ();
+      warn_profile ();
+      let rows = run_scale ~jobs () in
+      let depths = run_scale_depth () in
+      scale_table rows depths;
+      Option.iter
+        (fun p ->
+          Json.write p (json_scale ~jobs ~host_wall:(Unix.gettimeofday () -. t0) rows depths))
+        !json_path
   | "fig6" ->
       warn_json ();
       warn_trace ();
@@ -1218,7 +1432,7 @@ let () =
       micro ()
   | other ->
       Printf.eprintf
-        "unknown experiment '%s' (fig5 | table4 | fig6 | table1 | table2 | table3 | fig3 | micro | ablation | dist | portability | serve | all)\n"
+        "unknown experiment '%s' (fig5 | table4 | fig6 | table1 | table2 | table3 | fig3 | micro | ablation | dist | portability | serve | scale | all)\n"
         other;
       exit 1);
   Printf.printf "\n[bench completed in %.1f s of host time]\n" (Unix.gettimeofday () -. t0)

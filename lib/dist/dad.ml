@@ -16,6 +16,11 @@ type t = {
   grid : Grid.t;
   dims : dim array;
   cache : (int * int, Layout.t) Hashtbl.t;  (* (dim, coord) -> layout *)
+  (* one-entry memo of a whole rank's layouts, one per dimension: almost
+     every query is for the fiber's own rank, and element accesses make
+     one per subscript — the tuple-keyed table above is too slow there *)
+  mutable lr_rank : int;
+  mutable lr_layouts : Layout.t array;
 }
 
 let make ~name ~kind ~grid dims =
@@ -31,7 +36,7 @@ let make ~name ~kind ~grid dims =
             Diag.bug "dad %s: two dimensions distributed over grid dim %d" name p;
           Hashtbl.add seen p ())
     dims;
-  { name; kind; grid; dims; cache = Hashtbl.create 16 }
+  { name; kind; grid; dims; cache = Hashtbl.create 16; lr_rank = -1; lr_layouts = [||] }
 
 let replicated_dim ~flb ~extent =
   {
@@ -85,7 +90,18 @@ let coord_of ~t ~rank dim_idx =
   | None -> 0
   | Some p -> (Grid.coords_of_rank t.grid rank).(p)
 
-let layout_at t ~dim ~rank = layout t ~dim ~coord:(coord_of ~t ~rank dim)
+let layouts_at t ~rank =
+  if t.lr_rank = rank then t.lr_layouts
+  else begin
+    let ls =
+      Array.init (Array.length t.dims) (fun dim -> layout t ~dim ~coord:(coord_of ~t ~rank dim))
+    in
+    t.lr_rank <- rank;
+    t.lr_layouts <- ls;
+    ls
+  end
+
+let layout_at t ~dim ~rank = (layouts_at t ~rank).(dim)
 
 let local_counts t ~rank =
   Array.mapi (fun i _ -> Layout.count (layout_at t ~dim:i ~rank)) t.dims

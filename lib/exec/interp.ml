@@ -40,10 +40,17 @@ type pending_comm =
       pc_bp : Collectives.bcast_pending;
     }
 
+(* What a reference's base name denotes, resolved once per unit: element
+   references are the innermost loop of every compiled program, and
+   re-deciding array-vs-intrinsic per access means string comparisons
+   against the whole intrinsic table on the hottest path. *)
+type ref_class = Rarray | Relemental | Rtransformational
+
 type ustate = {
   ctx : Rctx.t;
   prog : Ir.program_ir;
   u : Ir.unit_ir;
+  ref_classes : (string, ref_class) Hashtbl.t;
   dads : (string, Dad.t) Hashtbl.t;
   scalars : (string, Scalar.t ref) Hashtbl.t;
   arrays : (string, Darray.t) Hashtbl.t;
@@ -280,21 +287,29 @@ and eval_ref st mode loc (r : Ast.ref_) =
         | Ast.Range _ -> Diag.error ~loc "unexpected array section")
       r.Ast.args
   in
-  if Intrinsic_names.is_elemental r.Ast.base && Sema.array_spec st.u.Ir.u_env r.Ast.base = None
-  then apply_elemental r.Ast.base loc (List.map (eval st mode) (elem_args ()))
-  else if Intrinsic_names.is_transformational r.Ast.base
-          && Sema.array_spec st.u.Ir.u_env r.Ast.base = None
-  then eval_transformational st mode loc r
-  else begin
-    match Sema.array_spec st.u.Ir.u_env r.Ast.base with
-    | None -> Diag.error ~loc "unknown function or array '%s'" r.Ast.base
-    | Some _ -> (
-        let subs = List.map (fun e -> Scalar.to_int (eval st mode e)) (elem_args ()) in
-        let g = Array.of_list subs in
-        match mode with
-        | Mscalar -> read_element_scalar st r.Ast.base g
-        | Mloop f -> read_element_loop st f loc r g)
-  end
+  let cls =
+    match Hashtbl.find_opt st.ref_classes r.Ast.base with
+    | Some c -> c
+    | None ->
+        (* a declared array shadows any intrinsic of the same name *)
+        let c =
+          if Sema.array_spec st.u.Ir.u_env r.Ast.base <> None then Rarray
+          else if Intrinsic_names.is_elemental r.Ast.base then Relemental
+          else if Intrinsic_names.is_transformational r.Ast.base then Rtransformational
+          else Diag.error ~loc "unknown function or array '%s'" r.Ast.base
+        in
+        Hashtbl.replace st.ref_classes r.Ast.base c;
+        c
+  in
+  match cls with
+  | Relemental -> apply_elemental r.Ast.base loc (List.map (eval st mode) (elem_args ()))
+  | Rtransformational -> eval_transformational st mode loc r
+  | Rarray -> (
+      let subs = List.map (fun e -> Scalar.to_int (eval st mode e)) (elem_args ()) in
+      let g = Array.of_list subs in
+      match mode with
+      | Mscalar -> read_element_scalar st r.Ast.base g
+      | Mloop f -> read_element_loop st f loc r g)
 
 and read_element_scalar st name g =
   let darr = darray_of st name in
@@ -434,8 +449,11 @@ let iteration_values st (f : Ir.forall) ~ranges ~guard_vals ~rank =
                    | None -> [||]
                    | Some { Bounds.llb; lub; lst } ->
                        let n = if lub < llb then 0 else ((lub - llb) / lst) + 1 in
+                       (* resolve the layout once, not per index *)
+                       let layout = Dad.layout_at dad ~dim ~rank in
+                       let flb = (Dad.dims dad).(dim).Dad.flb in
                        Array.init n (fun k ->
-                           Bounds.global_of_local_index dad ~dim ~rank (llb + (k * lst)))))
+                           Layout.global_of_local layout (llb + (k * lst)) + flb)))
              var_dims ranges)
   | Ir.It_even ->
       let p = Rctx.nprocs st.ctx in
@@ -1038,6 +1056,7 @@ let fresh_ustate st (u : Ir.unit_ir) =
   {
     st with
     u;
+    ref_classes = Hashtbl.create 16;
     dads;
     scalars;
     arrays;
@@ -1281,6 +1300,7 @@ let node_main ?(collect_finals = true) ?(coalesce = false) (prog : Ir.program_ir
       ctx;
       prog;
       u;
+      ref_classes = Hashtbl.create 1;
       dads = Hashtbl.create 1;
       scalars = Hashtbl.create 1;
       arrays = Hashtbl.create 1;

@@ -15,11 +15,18 @@ let movers = [ "CSHIFT"; "EOSHIFT"; "SPREAD"; "TRANSPOSE"; "RESHAPE"; "PACK"; "U
 
 let queries = [ "SIZE"; "LBOUND"; "UBOUND" ]
 
-let is_elemental n = List.mem n elemental
-let is_reduction n = List.mem n reductions
-let is_location n = List.mem n locations
-let is_mover n = List.mem n movers
-let is_query n = List.mem n queries
+(* membership is queried per element reference on the interpreter's hot
+   path; a hash set makes each query O(1) instead of a list scan *)
+let set names =
+  let h = Hashtbl.create (2 * List.length names) in
+  List.iter (fun n -> Hashtbl.replace h n ()) names;
+  fun n -> Hashtbl.mem h n
+
+let is_elemental = set elemental
+let is_reduction = set reductions
+let is_location = set locations
+let is_mover = set movers
+let is_query = set queries
 
 let is_transformational n = is_reduction n || is_location n || is_mover n || is_query n
 let is_intrinsic n = is_elemental n || is_transformational n

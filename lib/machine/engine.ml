@@ -14,6 +14,9 @@ type config = {
 
 let config ?(model = Model.ideal) ?(topology = Topology.Full) ?(tracing = false) ?poll nprocs =
   if nprocs < 1 then Diag.bug "engine: nprocs %d < 1" nprocs;
+  (match Topology.validate topology ~nprocs with
+  | Some msg -> Diag.error "engine: %s" msg
+  | None -> ());
   { nprocs; model; topology; tracing; poll }
 
 exception Deadlock of string
@@ -24,14 +27,29 @@ exception Deadlock of string
    (src, tag) channel; they are mutated exclusively by the (sequential)
    scheduler when it drains outboxes and pops messages for delivery, so
    the same state supports both the sequential and the domain-parallel
-   engine without locks on the data path. *)
+   engine without locks on the data path.
+
+   Mailbox memory is O(active channels), not O(channels ever used): a
+   channel's queue is detached from the table the moment its last
+   buffered message is consumed and parked on a free list for the next
+   channel to reuse, so a 4096-rank broadcast leaves no per-rank residue
+   once delivered. *)
 type shared = {
   cfg : config;
+  geom : Topology.geom;
+  (* topology geometry resolved once per machine; [hops] on the send
+     path must not redo an O(sqrt P) side search per message *)
   clocks : float array;
   mail : (int * int, Message.t Queue.t) Hashtbl.t array;
   (* mail.(dest): (src, tag) -> FIFO of undelivered messages *)
   outboxes : (int * Message.t) Queue.t array;
   (* outboxes.(src): (dest, msg) sends not yet moved into a mailbox *)
+  mutable free_queues : Message.t Queue.t list;
+  (* drained channel queues, recycled by [channel]; touched only by the
+     scheduler/coordinator, like the mailboxes themselves *)
+  touched_scratch : bool array;
+  (* per-destination dedup flags for [drain_outbox]; scheduler-private,
+     always all-false between calls *)
   rank_stats : Stats.rank array;
   traces : Trace.handle array;
   (* traces.(me): rank-private event recorder (all Trace.disabled when
@@ -73,6 +91,7 @@ let model ctx = ctx.sh.cfg.model
 let time ctx = ctx.sh.clocks.(ctx.me)
 let rank_stats ctx = ctx.sh.rank_stats.(ctx.me)
 let trace ctx = ctx.sh.traces.(ctx.me)
+let live_channels ctx = Hashtbl.length ctx.sh.mail.(ctx.me)
 
 let set_stmt ctx ~sid ~loc =
   ctx.sh.cur_sid.(ctx.me) <- sid;
@@ -95,7 +114,13 @@ let channel sh ~dest key =
   match Hashtbl.find_opt box key with
   | Some q -> q
   | None ->
-      let q = Queue.create () in
+      let q =
+        match sh.free_queues with
+        | q :: rest ->
+            sh.free_queues <- rest;
+            q
+        | [] -> Queue.create ()
+      in
       Hashtbl.add box key q;
       q
 
@@ -109,7 +134,7 @@ let send ?parts ctx ~dest ~tag payload =
      computation) *)
   let t0 = time ctx in
   sh.clocks.(ctx.me) <- t0 +. m.Model.alpha +. (float_of_int bytes *. m.Model.beta);
-  let hops = Topology.hops sh.cfg.topology ~nprocs:sh.cfg.nprocs ctx.me dest in
+  let hops = Topology.geom_hops sh.geom ctx.me dest in
   let arrival = time ctx +. (float_of_int (max 0 (hops - 1)) *. m.Model.hop) in
   Stats.record_send ~tag sh.rank_stats.(ctx.me) ~bytes;
   Trace.send ?parts sh.traces.(ctx.me) ~t0 ~t1:(time ctx) ~dest ~tag ~bytes ~arrival;
@@ -131,7 +156,7 @@ let relay ctx ~from_t ~dest ~tag payload =
   let bytes = Message.payload_bytes payload in
   let m = sh.cfg.model in
   let t1 = from_t +. m.Model.alpha +. (float_of_int bytes *. m.Model.beta) in
-  let hops = Topology.hops sh.cfg.topology ~nprocs:sh.cfg.nprocs ctx.me dest in
+  let hops = Topology.geom_hops sh.geom ctx.me dest in
   let arrival = t1 +. (float_of_int (max 0 (hops - 1)) *. m.Model.hop) in
   Stats.record_send ~tag sh.rank_stats.(ctx.me) ~bytes;
   Trace.send ~relay:true sh.traces.(ctx.me) ~t0:from_t ~t1 ~dest ~tag ~bytes ~arrival;
@@ -217,9 +242,12 @@ type 'a fiber_state =
 let make_shared cfg =
   {
     cfg;
+    geom = Topology.geom cfg.topology ~nprocs:cfg.nprocs;
     clocks = Array.make cfg.nprocs 0.;
-    mail = Array.init cfg.nprocs (fun _ -> Hashtbl.create 16);
+    mail = Array.init cfg.nprocs (fun _ -> Hashtbl.create 8);
     outboxes = Array.init cfg.nprocs (fun _ -> Queue.create ());
+    free_queues = [];
+    touched_scratch = Array.make cfg.nprocs false;
     rank_stats = Array.init cfg.nprocs (fun _ -> Stats.rank_create ());
     traces =
       (if cfg.tracing then Array.init cfg.nprocs (fun me -> Trace.rank_create ~me)
@@ -232,20 +260,36 @@ let make_shared cfg =
 (* Move rank [me]'s pending sends into the destination mailboxes, in send
    order (each channel has a single producer, so per-channel FIFO order is
    preserved no matter how slices interleave).  Returns the destination
-   ranks that received mail. *)
+   ranks that received mail, deduplicated in O(fan-out) with the shared
+   scratch flags (a broadcast root drains thousands of sends in one
+   call; a List.mem dedup would make that quadratic). *)
 let drain_outbox sh me =
   let ob = sh.outboxes.(me) in
   let touched = ref [] in
   while not (Queue.is_empty ob) do
     let dest, msg = Queue.pop ob in
     Queue.add msg (channel sh ~dest (msg.Message.src, msg.Message.tag));
-    if not (List.mem dest !touched) then touched := dest :: !touched
+    if not sh.touched_scratch.(dest) then begin
+      sh.touched_scratch.(dest) <- true;
+      touched := dest :: !touched
+    end
   done;
+  List.iter (fun dest -> sh.touched_scratch.(dest) <- false) !touched;
   !touched
 
 let take sh (dest, src, tag) =
-  match Hashtbl.find_opt sh.mail.(dest) (src, tag) with
-  | Some q when not (Queue.is_empty q) -> Some (Queue.pop q)
+  let box = sh.mail.(dest) in
+  let key = (src, tag) in
+  match Hashtbl.find_opt box key with
+  | Some q when not (Queue.is_empty q) ->
+      let msg = Queue.pop q in
+      if Queue.is_empty q then begin
+        (* drop the drained channel so mailbox memory tracks the number
+           of channels with data in flight, and park the queue for reuse *)
+        Hashtbl.remove box key;
+        sh.free_queues <- q :: sh.free_queues
+      end;
+      Some msg
   | _ -> None
 
 (* Run one slice of rank [me]: from [thunk] until the fiber blocks on
@@ -261,6 +305,13 @@ let handler states me =
             Some (fun (k : (a, unit) continuation) -> states.(me) <- Blocked (key, k))
         | _ -> None);
   }
+
+(* At 4096 ranks an exhaustive deadlock report would enumerate thousands
+   of blocked ranks (and a root's mailbox can hold thousands of pending
+   channels); cap both lists and say how much was elided.  Small machines
+   still get the full detail. *)
+let deadlock_max_ranks = 8
+let deadlock_max_channels = 8
 
 let finish (sh : shared) states =
   (* Propagate the first failure, if any. *)
@@ -278,14 +329,24 @@ let finish (sh : shared) states =
        channel, show what actually IS pending in the blocked rank's
        mailbox, so tag or source mismatches are visible in the message. *)
     let pending_of me =
-      Hashtbl.fold
-        (fun (src, tag) q acc ->
-          if Queue.is_empty q then acc else (src, tag, Queue.length q) :: acc)
-        sh.mail.(me) []
-      |> List.sort compare
-      |> List.map (fun (src, tag, n) ->
-             if n = 1 then Printf.sprintf "(src=%d,tag=%d)" src tag
-             else Printf.sprintf "(src=%d,tag=%d)x%d" src tag n)
+      let all =
+        Hashtbl.fold
+          (fun (src, tag) q acc ->
+            if Queue.is_empty q then acc else (src, tag, Queue.length q) :: acc)
+          sh.mail.(me) []
+        |> List.sort compare
+      in
+      let shown, elided =
+        if List.length all <= deadlock_max_channels then (all, 0)
+        else (List.filteri (fun i _ -> i < deadlock_max_channels) all,
+              List.length all - deadlock_max_channels)
+      in
+      List.map
+        (fun (src, tag, n) ->
+          if n = 1 then Printf.sprintf "(src=%d,tag=%d)" src tag
+          else Printf.sprintf "(src=%d,tag=%d)x%d" src tag n)
+        shown
+      @ (if elided > 0 then [ Printf.sprintf "... +%d more channels" elided ] else [])
     in
     let stmt_of me =
       (* Name the statement the rank is stuck inside when provenance is
@@ -309,19 +370,28 @@ let finish (sh : shared) states =
           |> String.concat " "
           |> Printf.sprintf ", issued-unwaited %s"
     in
-    let blocked =
+    let blocked_keys =
       Array.to_seq states
-      |> Seq.filter_map (function
-           | Blocked ((me, src, tag), _) ->
-               Some
-                 (Printf.sprintf "p%d waiting on (src=%d,tag=%d)%s, mailbox has %s%s" me src
-                    tag (stmt_of me)
-                    (match pending_of me with
-                    | [] -> "nothing"
-                    | l -> String.concat " " l)
-                    (issued_of me))
-           | _ -> None)
+      |> Seq.filter_map (function Blocked (key, _) -> Some key | _ -> None)
       |> List.of_seq
+    in
+    let total = List.length blocked_keys in
+    let detailed =
+      if total <= deadlock_max_ranks then blocked_keys
+      else List.filteri (fun i _ -> i < deadlock_max_ranks) blocked_keys
+    in
+    let blocked =
+      List.map
+        (fun (me, src, tag) ->
+          Printf.sprintf "p%d waiting on (src=%d,tag=%d)%s, mailbox has %s%s" me src tag
+            (stmt_of me)
+            (match pending_of me with [] -> "nothing" | l -> String.concat " " l)
+            (issued_of me))
+        detailed
+      @
+      if total > deadlock_max_ranks then
+        [ Printf.sprintf "... and %d more blocked ranks" (total - deadlock_max_ranks) ]
+      else []
     in
     raise (Deadlock (String.concat "; " blocked))
   end;
@@ -338,31 +408,63 @@ let finish (sh : shared) states =
   in
   { results; elapsed; clocks = Array.copy sh.clocks; stats = Stats.merge sh.rank_stats; trace }
 
+(* Ready-queue scheduler: only runnable fibers are ever visited.  A rank
+   is enqueued when it has not started, or when it is blocked on a
+   channel that just received mail; after each slice the scheduler
+   drains the rank's outbox and re-examines exactly the touched
+   destinations (plus the rank itself, whose awaited message may already
+   be sitting in its mailbox from an earlier drain).  Total scheduling
+   work is O(starts + messages), independent of how many of the P fibers
+   are finished or idle — the old full-array round-robin re-scan was
+   O(P) per delivery and O(P^2) per simulated step at scale.
+
+   Scheduling order differs from the round-robin engine, but reports
+   cannot: each channel is a single-producer single-consumer exact-match
+   FIFO, so which message a receive consumes — and therefore every
+   clock, stat and result, all rank-private — is a function of the node
+   programs alone, not of visit order. *)
 let run cfg main =
   let sh = make_shared cfg in
   let states = Array.make cfg.nprocs Not_started in
-  let progress = ref true in
-  let all_done () =
-    Array.for_all (function Finished _ | Failed _ -> true | _ -> false) states
+  let queued = Array.make cfg.nprocs false in
+  let ready = Queue.create () in
+  let push me =
+    if not queued.(me) then begin
+      queued.(me) <- true;
+      Queue.add me ready
+    end
   in
-  while (not (all_done ())) && !progress do
-    progress := false;
-    for me = 0 to cfg.nprocs - 1 do
-      (match states.(me) with
-      | Not_started ->
-          progress := true;
-          let ctx = { me; sh } in
-          match_with (fun () -> main ctx) () (handler states me)
-      | Blocked (key, k) -> (
-          match take sh key with
-          | Some msg ->
-              progress := true;
-              (* the fiber's original deep handler updates [states.(me)] *)
-              continue k msg
-          | None -> ())
-      | Finished _ | Failed _ -> ());
-      ignore (drain_outbox sh me)
-    done
+  (* A blocked rank becomes ready when its awaited channel has mail. *)
+  let consider me =
+    match states.(me) with
+    | Blocked ((dest, src, tag), _) -> (
+        match Hashtbl.find_opt sh.mail.(dest) (src, tag) with
+        | Some q when not (Queue.is_empty q) -> push me
+        | _ -> ())
+    | Not_started | Finished _ | Failed _ -> ()
+  in
+  for me = 0 to cfg.nprocs - 1 do
+    push me
+  done;
+  while not (Queue.is_empty ready) do
+    let me = Queue.pop ready in
+    queued.(me) <- false;
+    (match states.(me) with
+    | Not_started ->
+        let ctx = { me; sh } in
+        match_with (fun () -> main ctx) () (handler states me)
+    | Blocked (key, k) -> (
+        match take sh key with
+        | Some msg ->
+            (* the fiber's original deep handler updates [states.(me)] *)
+            continue k msg
+        | None -> ())
+    | Finished _ | Failed _ -> ());
+    let touched = drain_outbox sh me in
+    List.iter consider touched;
+    (* not redundant with [touched]: the message this rank now awaits may
+       have been delivered while it was still running its slice *)
+    consider me
   done;
   finish sh states
 
@@ -401,10 +503,12 @@ type job = Slice of (unit -> unit) | Stop
    points node programs are independent, so each slice — resume until the
    fiber blocks on a receive or finishes — runs on a pool of worker
    domains.  The coordinator alone moves messages from outboxes into the
-   sharded mailboxes and decides which blocked fiber a message unblocks.
-   Channels are exact-match (src, tag) FIFOs with a single producer and a
-   single consumer, so every receive consumes the same message as under
-   the sequential engine regardless of slice interleaving; clocks and
+   sharded mailboxes and decides which blocked fiber a message unblocks;
+   like the sequential scheduler it is event-driven, re-examining only
+   the completed rank and the destinations its drain touched.  Channels
+   are exact-match (src, tag) FIFOs with a single producer and a single
+   consumer, so every receive consumes the same message as under the
+   sequential engine regardless of slice interleaving; clocks and
    statistics are rank-private; hence reports are bit-identical. *)
 let run_parallel ?jobs cfg main =
   let jobs =

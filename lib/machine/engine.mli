@@ -31,7 +31,13 @@ val config :
     With [~tracing:true] every send, receive, collective span and compute
     charge is recorded into per-rank {!F90d_trace.Trace} buffers and the
     merged trace is returned in the report; with tracing off every
-    recording call is a no-op and the run is unchanged. *)
+    recording call is a no-op and the run is unchanged.
+
+    The (topology, nprocs) pair is validated here ({!Topology.validate})
+    — a hypercube whose nprocs is not a power of two raises
+    [F90d_base.Diag.Error] instead of silently simulating wrong hop
+    counts — and the topology geometry is resolved once, so per-message
+    routing does no size-dependent work. *)
 
 type ctx
 (** A processor's view of the machine, passed to node programs. *)
@@ -43,7 +49,13 @@ exception Deadlock of string
     {!set_stmt}), the channels actually pending in its mailbox {e and}
     any issued-but-unwaited split-phase handles (channel plus issuing
     statement id) — enough to diagnose tag/source mismatches and lost
-    waits from the message alone. *)
+    waits from the message alone.
+
+    At scale the report is bounded rather than exhaustive: at most 8
+    blocked ranks are detailed (suffixed ["... and N more blocked
+    ranks"]) and at most 8 pending channels are shown per mailbox
+    (suffixed ["... +N more channels"]); small machines still get the
+    full detail. *)
 
 (** {2 Node-program API} *)
 
@@ -101,6 +113,15 @@ val rank_stats : ctx -> Stats.rank
 (** This processor's private statistics collector (the run-time system
     records schedule-cache builds/hits through it). *)
 
+val live_channels : ctx -> int
+(** Number of (src, tag) channels currently holding undelivered messages
+    in this processor's mailbox.  Drained channels are dropped from the
+    table eagerly, so this is the sparse-mailbox invariant made
+    observable: after a completed broadcast it returns to 0 no matter
+    how many ranks took part.  A debugging/test probe — meaningful from
+    inside a node program only under the sequential engine (the
+    parallel coordinator may be mid-drain elsewhere). *)
+
 val trace : ctx -> F90d_trace.Trace.handle
 (** This processor's private trace recorder ({!F90d_trace.Trace.disabled}
     when the config has tracing off).  The run-time system and the
@@ -135,7 +156,16 @@ type 'a report = {
 val run : config -> (ctx -> 'a) -> 'a report
 (** Runs the SPMD program to completion.  Any exception raised by a node
     program is re-raised after the machine stops; unsatisfiable receives
-    raise {!Deadlock}. *)
+    raise {!Deadlock}.
+
+    Scheduling is event-driven: a ready queue holds exactly the fibers
+    that can make progress (not yet started, or blocked on a channel
+    that has mail), so scheduler work is O(slices + messages) and
+    independent of how many of the P fibers are finished or idle.
+    Visit order differs from a round-robin scan, but every channel is a
+    single-producer single-consumer exact-match FIFO and all clocks and
+    statistics are rank-private, so the report is a function of the
+    node programs alone. *)
 
 val run_parallel : ?jobs:int -> config -> (ctx -> 'a) -> 'a report
 (** Like {!run}, but executes fiber slices — from resume until the fiber

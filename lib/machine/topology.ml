@@ -5,19 +5,58 @@ type t = Hypercube | Mesh | Full
 let name = function Hypercube -> "hypercube" | Mesh -> "mesh" | Full -> "full"
 
 (* Mesh: nodes arranged in a near-square 2D grid, row-major. *)
-let mesh_side nprocs =
+let mesh_side_uncached nprocs =
   let rec find s = if s * s >= nprocs then s else find (s + 1) in
   find 1
 
-let hops t ~nprocs a b =
+(* One-entry memo: the side search is O(sqrt nprocs), and callers that
+   bypass {!geom} (tests, ad-hoc probes) ask about the same machine size
+   over and over.  Reads and writes of an immutable pair are atomic, so
+   concurrent domains at worst recompute. *)
+let mesh_side_cache = ref (0, 0)
+
+let mesh_side nprocs =
+  let n, side = !mesh_side_cache in
+  if n = nprocs then side
+  else begin
+    let side = mesh_side_uncached nprocs in
+    mesh_side_cache := (nprocs, side);
+    side
+  end
+
+(* Pre-resolved geometry: everything [hops] needs that depends only on
+   (topology, nprocs), computed once per machine instead of per message. *)
+type geom = { g_topo : t; g_side : int }
+
+let geom t ~nprocs =
+  { g_topo = t; g_side = (match t with Mesh -> mesh_side nprocs | Hypercube | Full -> 0) }
+
+let geom_hops g a b =
   if a = b then 0
   else
-    match t with
+    match g.g_topo with
     | Full -> 1
     | Hypercube -> Util.popcount (a lxor b)
     | Mesh ->
-        let side = mesh_side nprocs in
+        let side = g.g_side in
         abs ((a mod side) - (b mod side)) + abs ((a / side) - (b / side))
+
+let hops t ~nprocs a b = geom_hops (geom t ~nprocs) a b
+
+(* Hypercube distances are XOR popcounts, which only measure the real
+   machine when every node id is a corner of the cube — i.e. nprocs is a
+   power of two.  On 12 "nodes" the formula silently yields distances of
+   a 16-node cube with 4 missing corners. *)
+let validate t ~nprocs =
+  match t with
+  | Hypercube when not (Util.is_pow2 nprocs) ->
+      Some
+        (Printf.sprintf
+           "a %d-node hypercube does not exist (nprocs must be a power of two; nearest are %d and %d)"
+           nprocs
+           (1 lsl (Util.ilog2 nprocs))
+           (1 lsl (Util.ilog2 nprocs + 1)))
+  | Hypercube | Mesh | Full -> None
 
 (* Per-dimension Gray coding: coordinate c_d of log2(dims d) bits becomes
    gray(c_d); bit fields are concatenated in dimension order.  Adjacent

@@ -7,9 +7,26 @@
 
 type t = Hypercube | Mesh | Full
 
+type geom
+(** Geometry pre-resolved for one (topology, nprocs) pair: the mesh side
+    search and any other size-derived quantity run once, at
+    {!F90d_machine.Engine.config} time, instead of per message. *)
+
+val geom : t -> nprocs:int -> geom
+
+val geom_hops : geom -> int -> int -> int
+(** Network distance between two physical node ids under a pre-resolved
+    geometry — the per-message hot path. *)
+
 val hops : t -> nprocs:int -> int -> int -> int
 (** Network distance between two physical node ids (>= 1 for distinct
-    nodes, 0 for self). *)
+    nodes, 0 for self).  Convenience form of {!geom_hops}; the mesh side
+    is memoized per machine size, so casual callers stay O(1) too. *)
+
+val validate : t -> nprocs:int -> string option
+(** [Some msg] when the machine cannot exist — today only a hypercube
+    whose nprocs is not a power of two, where the XOR-popcount metric
+    would silently report distances of a larger cube. *)
 
 val grid_embedding : t -> nprocs:int -> int array -> int array option
 (** [grid_embedding topo ~nprocs dims] is the [phys_of_rank] permutation

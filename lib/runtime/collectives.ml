@@ -4,8 +4,29 @@ open F90d_machine
 
 type team = int array
 
-let team_all ctx = Array.init (Rctx.nprocs ctx) Fun.id
-let team_along ctx ~dim = Grid.ranks_along (Rctx.grid ctx) ~rank:(Rctx.me ctx) ~dim
+(* Teams are a pure function of the (fixed) grid and the calling rank, so
+   they are memoized in the per-rank context: without the cache every
+   collective call allocated and recomputed an O(P) rank array, which at
+   4096 ranks dominated the broadcast it was setting up. *)
+type Rctx.cache_entry += Cached_team of team
+
+let team_all ctx =
+  let key = "team:all" in
+  match Rctx.cache_find ctx key with
+  | Some (Cached_team t) -> t
+  | _ ->
+      let t = Array.init (Rctx.nprocs ctx) Fun.id in
+      Rctx.cache_store ctx key (Cached_team t);
+      t
+
+let team_along ctx ~dim =
+  let key = "team:dim:" ^ string_of_int dim in
+  match Rctx.cache_find ctx key with
+  | Some (Cached_team t) -> t
+  | _ ->
+      let t = Grid.ranks_along (Rctx.grid ctx) ~rank:(Rctx.me ctx) ~dim in
+      Rctx.cache_store ctx key (Cached_team t);
+      t
 
 (* Wrap a primitive in a named trace span: [t0] at entry, [t1] when the
    last local send/receive of the tree completes.  [bytes_of] is only
@@ -23,12 +44,17 @@ let spanned ctx name ~bytes_of f =
 let payload_bytes_opt = function Some p -> Message.payload_bytes p | None -> 0
 
 let index_in team rank =
-  let rec go i =
-    if i >= Array.length team then Diag.bug "collectives: rank %d not in team" rank
-    else if team.(i) = rank then i
-    else go (i + 1)
-  in
-  go 0
+  (* Identity fast path: [team_all] and the teams of a 1-D grid are the
+     identity permutation, where a linear scan would cost O(rank) on
+     every collective call — O(P^2) machine-wide per broadcast. *)
+  if rank >= 0 && rank < Array.length team && team.(rank) = rank then rank
+  else
+    let rec go i =
+      if i >= Array.length team then Diag.bug "collectives: rank %d not in team" rank
+      else if team.(i) = rank then i
+      else go (i + 1)
+    in
+    go 0
 
 let my_index ctx team = index_in team (Rctx.me ctx)
 

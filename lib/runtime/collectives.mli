@@ -17,10 +17,14 @@ type team = int array
 
 val team_all : Rctx.t -> team
 val team_along : Rctx.t -> dim:int -> team
-(** The grid row/column through this processor along grid dimension [dim]. *)
+(** The grid row/column through this processor along grid dimension
+    [dim].  Both teams are memoized per rank context (the grid is fixed
+    for a run), so repeated collectives do not reallocate O(P) arrays;
+    callers must treat the returned array as read-only. *)
 
 val index_in : team -> int -> int
-(** Position of a grid rank in a team; fails if absent. *)
+(** Position of a grid rank in a team; fails if absent.  O(1) on
+    identity teams ({!team_all}, any 1-D grid row). *)
 
 val transfer : Rctx.t -> team -> src:int -> dest:int -> Message.payload option -> Message.payload option
 (** Single source to single destination (team indices).  The source passes

@@ -28,6 +28,24 @@ let test_mesh_hops () =
   check "diagonal" 2 (Topology.hops Mesh ~nprocs:16 0 5);
   check "full" 1 (Topology.hops Full ~nprocs:16 0 5)
 
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_hypercube_validation () =
+  (* a 12-node "hypercube" has no geometry: XOR popcounts would report
+     the distances of a 16-node cube with corners missing *)
+  checkb "validate flags non-pow2" true (Topology.validate Hypercube ~nprocs:12 <> None);
+  checkb "validate accepts pow2" true (Topology.validate Hypercube ~nprocs:16 = None);
+  checkb "mesh any size" true (Topology.validate Mesh ~nprocs:12 = None);
+  checkb "full any size" true (Topology.validate Full ~nprocs:12 = None);
+  (match Engine.config ~topology:Hypercube 12 with
+  | _ -> Alcotest.fail "expected Diag.Error for a 12-node hypercube"
+  | exception F90d_base.Diag.Error (_, msg) ->
+      checkb "names the size" true (contains_sub msg "12-node hypercube"));
+  ignore (Engine.config ~topology:Hypercube 16)
+
 let test_embedding_identity_cases () =
   checkb "non-pow2 grid" true (Topology.grid_embedding Hypercube ~nprocs:12 [| 3; 4 |] = None);
   checkb "full" true (Topology.grid_embedding Full ~nprocs:16 [| 4; 4 |] = None);
@@ -273,8 +291,10 @@ let test_parallel_jobs_one_is_sequential () =
 
 let prop_parallel_matches_sequential =
   QCheck.Test.make ~name:"run_parallel: report bit-identical to run" ~count:40
-    QCheck.(triple (int_range 1 8) (int_range 0 30) (int_range 2 4))
-    (fun (p, work, jobs) ->
+    (* log2 of the machine size: hypercubes only exist at powers of two *)
+    QCheck.(triple (int_range 0 3) (int_range 0 30) (int_range 2 4))
+    (fun (logp, work, jobs) ->
+      let p = 1 lsl logp in
       let program ctx =
         let me = Engine.rank ctx in
         Engine.charge_flops ctx (work * (1 + me));
@@ -300,8 +320,9 @@ let prop_parallel_matches_sequential =
 
 let prop_arrival_monotone =
   QCheck.Test.make ~name:"elapsed >= each processor clock >= 0" ~count:100
-    QCheck.(pair (int_range 1 8) (int_range 0 50))
-    (fun (p, work) ->
+    QCheck.(pair (int_range 0 3) (int_range 0 50))
+    (fun (logp, work) ->
+      let p = 1 lsl logp in
       let cfg = Engine.config ~model:Model.ipsc860 ~topology:Topology.Hypercube p in
       let report =
         Engine.run cfg (fun ctx ->
@@ -315,6 +336,108 @@ let prop_arrival_monotone =
       in
       Array.for_all (fun c -> c >= 0. && c <= report.Engine.elapsed) report.Engine.clocks)
 
+(* ------------------------------------------------------------------ *)
+(* Scale: ready-queue scheduler, sparse mailboxes, log-depth cascades  *)
+(* ------------------------------------------------------------------ *)
+
+module Rt = F90d_runtime
+
+let payload_int = function
+  | Message.Scalar sc -> Scalar.to_int sc
+  | _ -> Alcotest.fail "expected scalar payload"
+
+(* the communication shape of gauss's pivot exchange: a broadcast down a
+   binomial tree and an allreduce back, with rank-skewed local compute *)
+let collective_program p ctx =
+  let rctx = Rt.Rctx.make ctx (F90d_dist.Grid.make [| p |]) in
+  let team = Rt.Collectives.team_all rctx in
+  let me = Engine.rank ctx in
+  Engine.charge_flops ctx (7 * (me mod 13));
+  let v = payload_int (Rt.Collectives.broadcast rctx team ~root:0 (Message.Scalar (Scalar.Int 4242))) in
+  let s =
+    payload_int
+      (Rt.Collectives.allreduce rctx team
+         ~combine:(Rt.Redop.payload Rt.Redop.Sum)
+         (Message.Scalar (Scalar.Int (me + 1))))
+  in
+  (v, s)
+
+let test_large_p_bit_identity () =
+  (* the scheduler rewrite changes fiber visit order; at P=1024 the
+     sequential and 4-worker reports must still agree bit for bit *)
+  let p = 1024 in
+  let cfg () = Engine.config ~model:Model.ipsc860 ~topology:Hypercube p in
+  let seq = Engine.run (cfg ()) (collective_program p) in
+  let par = Engine.run_parallel ~jobs:4 (cfg ()) (collective_program p) in
+  let expect = (4242, p * (p + 1) / 2) in
+  Array.iter (fun r -> checkb "values" true (r = expect)) seq.Engine.results;
+  checkb "results" true (seq.Engine.results = par.Engine.results);
+  checkb "clocks" true (seq.Engine.clocks = par.Engine.clocks);
+  checkf "elapsed" seq.Engine.elapsed par.Engine.elapsed;
+  check "messages" seq.Engine.stats.Stats.messages par.Engine.stats.Stats.messages;
+  checkb "per-tag" true (Stats.per_tag seq.Engine.stats = Stats.per_tag par.Engine.stats)
+
+let test_mailbox_sparse_after_broadcast () =
+  (* drained channels must leave the mailbox table entirely: after the
+     cascades complete, every rank's live-channel count is back to 0 *)
+  let p = 256 in
+  let cfg = Engine.config ~model:Model.ipsc860 ~topology:Hypercube p in
+  let report =
+    Engine.run cfg (fun ctx ->
+        ignore (collective_program p ctx);
+        Engine.live_channels ctx)
+  in
+  Array.iteri (fun r live -> check (Printf.sprintf "rank %d live channels" r) 0 live) report.Engine.results
+
+let test_broadcast_log_depth () =
+  (* a binomial broadcast's critical path is exactly log2 P back-to-back
+     message times: parent and child always differ in one address bit, so
+     on Full (and on a hypercube) every tree edge is one hop *)
+  let m = Model.ipsc860 in
+  let t_msg = m.Model.alpha +. (8. *. m.Model.beta) in
+  List.iter
+    (fun p ->
+      let cfg = Engine.config ~model:Model.ipsc860 p in
+      let report =
+        Engine.run cfg (fun ctx ->
+            let rctx = Rt.Rctx.make ctx (F90d_dist.Grid.make [| p |]) in
+            let team = Rt.Collectives.team_all rctx in
+            ignore
+              (Rt.Collectives.broadcast rctx team ~root:0 (Message.Scalar (Scalar.Real 1.0))))
+      in
+      let depth = Util.ilog2 p in
+      checkf (Printf.sprintf "depth at P=%d" p)
+        (float_of_int depth *. t_msg)
+        report.Engine.elapsed;
+      check (Printf.sprintf "messages at P=%d" p) (p - 1) report.Engine.stats.Stats.messages)
+    [ 16; 256; 4096 ]
+
+let test_deadlock_truncated () =
+  (* at P=64 the report must stay readable: 8 ranks detailed, the other
+     56 summarized in one suffix line *)
+  let count_sub hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i acc =
+      if i + nn > nh then acc
+      else go (i + 1) (if String.sub hay i nn = needle then acc + 1 else acc)
+    in
+    go 0 0
+  in
+  let p = 64 in
+  let cfg = Engine.config p in
+  (match Engine.run cfg (fun ctx -> ignore (Engine.recv ctx ~src:(Engine.rank ctx) ~tag:9)) with
+  | _ -> Alcotest.fail "expected deadlock"
+  | exception Engine.Deadlock msg ->
+      check "detailed ranks" 8 (count_sub msg "waiting on");
+      checkb "elision suffix" true (contains_sub msg "and 56 more blocked ranks"));
+  (* small machines keep the full detail *)
+  let cfg4 = Engine.config 4 in
+  match Engine.run cfg4 (fun ctx -> ignore (Engine.recv ctx ~src:(Engine.rank ctx) ~tag:9)) with
+  | _ -> Alcotest.fail "expected deadlock"
+  | exception Engine.Deadlock msg ->
+      check "all ranks detailed" 4 (count_sub msg "waiting on");
+      checkb "no elision" true (not (contains_sub msg "more blocked ranks"))
+
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
     [ prop_arrival_monotone; prop_parallel_matches_sequential ]
@@ -327,6 +450,7 @@ let () =
           Alcotest.test_case "transfer_time" `Quick test_transfer_time;
           Alcotest.test_case "hypercube hops" `Quick test_hypercube_hops;
           Alcotest.test_case "mesh/full hops" `Quick test_mesh_hops;
+          Alcotest.test_case "hypercube size validation" `Quick test_hypercube_validation;
           Alcotest.test_case "embeddings" `Quick test_embedding_identity_cases;
         ] );
       ( "engine",
@@ -349,6 +473,13 @@ let () =
           Alcotest.test_case "deadlock detection" `Quick test_parallel_deadlock;
           Alcotest.test_case "exception propagation" `Quick test_parallel_exception;
           Alcotest.test_case "jobs=1 falls back" `Quick test_parallel_jobs_one_is_sequential;
+        ] );
+      ( "scale",
+        [
+          Alcotest.test_case "bit-identical at P=1024" `Quick test_large_p_bit_identity;
+          Alcotest.test_case "mailboxes drain to empty" `Quick test_mailbox_sparse_after_broadcast;
+          Alcotest.test_case "broadcast depth is log2 P" `Quick test_broadcast_log_depth;
+          Alcotest.test_case "deadlock report truncation" `Quick test_deadlock_truncated;
         ] );
       ("properties", qsuite);
     ]
