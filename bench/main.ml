@@ -194,6 +194,76 @@ let run_table4 ~jobs () =
       })
     [ 1; 2; 4; 8; 16 ]
 
+(* Blocked-kernel gate at the Table 4 16-PE point: the same program with
+   the node-kernel layer on and off.  The layer is a host-side execution
+   strategy, so the two runs must agree bit-for-bit on the simulated
+   report (elapsed, clocks, per-tag messages) and on the gathered final
+   arrays, while the host wall drops. *)
+type kern_gate = {
+  kg_wall_on : float;
+  kg_wall_off : float;
+  kg_runs : int;  (* kernel nests executed, kernels on *)
+  kg_fallbacks : int;
+  kg_blocked : int;
+  kg_identical : bool;
+}
+
+let run_kernel_gate () =
+  let src = Programs.gauss ~n:table4_n in
+  let run flags =
+    let compiled = Driver.compile ~flags src in
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Driver.run ~collect_finals:true ~model:Model.ipsc860 ~topology:Topology.Hypercube
+        ~jobs:1 ~nprocs:16 compiled
+    in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let r_on, w_on = run F90d_opt.Passes.all_on in
+  let r_off, w_off =
+    run { F90d_opt.Passes.all_on with F90d_opt.Passes.blocked_kernels = false }
+  in
+  let finals r = r.Driver.outcome.F90d_exec.Interp.finals in
+  let identical =
+    r_on.Driver.elapsed = r_off.Driver.elapsed
+    && r_on.Driver.clocks = r_off.Driver.clocks
+    && Stats.per_tag r_on.Driver.stats = Stats.per_tag r_off.Driver.stats
+    && List.length (finals r_on) = List.length (finals r_off)
+    && List.for_all2
+         (fun (na, a) (nb, b) -> na = nb && F90d_base.Ndarray.equal a b)
+         (finals r_on) (finals r_off)
+  in
+  {
+    kg_wall_on = w_on;
+    kg_wall_off = w_off;
+    kg_runs = r_on.Driver.stats.Stats.kernel_runs;
+    kg_fallbacks = r_on.Driver.stats.Stats.kernel_fallbacks;
+    kg_blocked = r_on.Driver.stats.Stats.kernel_blocked;
+    kg_identical = identical;
+  }
+
+let kernel_gate_table kg =
+  Printf.printf
+    "\nblocked node kernels (16 PEs): on %.2f host-s, off %.2f host-s (%.2fx), %d runs, %d \
+     fallbacks, %d blocked, results %s\n"
+    kg.kg_wall_on kg.kg_wall_off
+    (kg.kg_wall_off /. kg.kg_wall_on)
+    kg.kg_runs kg.kg_fallbacks kg.kg_blocked
+    (if kg.kg_identical then "identical" else "DIFFER!")
+
+let json_kernel_gate kg =
+  Json.Obj
+    [
+      ("nprocs", Json.Int 16);
+      ("host_wall_on_s", Json.Float kg.kg_wall_on);
+      ("host_wall_off_s", Json.Float kg.kg_wall_off);
+      ("speedup", Json.Float (kg.kg_wall_off /. kg.kg_wall_on));
+      ("kernel_runs", Json.Int kg.kg_runs);
+      ("kernel_fallbacks", Json.Int kg.kg_fallbacks);
+      ("kernel_blocked", Json.Int kg.kg_blocked);
+      ("identical", Json.Bool kg.kg_identical);
+    ]
+
 let table4 rows4 =
   let rows = List.map (fun r -> (r.t4_p, r.t4_hand, r.t4_f90d)) rows4 in
   section
@@ -655,6 +725,7 @@ type ab_row = {
   ab_elapsed : float;
   ab_wait : float;
   ab_hidden : float;
+  ab_wall : float;  (* host seconds for the run *)
 }
 
 let json_pass_flags (f : F90d_opt.Passes.flags) =
@@ -667,6 +738,7 @@ let json_pass_flags (f : F90d_opt.Passes.flags) =
       ("coalesce", Json.Bool f.F90d_opt.Passes.coalesce);
       ("split_comm", Json.Bool f.F90d_opt.Passes.split_comm);
       ("lookahead", Json.Bool f.F90d_opt.Passes.lookahead);
+      ("blocked_kernels", Json.Bool f.F90d_opt.Passes.blocked_kernels);
     ]
 
 (* Each pass alone on top of all_off, bracketed by all_off and all_on, so
@@ -676,6 +748,7 @@ let run_ablate () =
   let open F90d_opt in
   let src = Programs.gauss ~n:table4_n in
   let run name flags =
+    let t0 = Unix.gettimeofday () in
     let r =
       Driver.run ~collect_finals:false ~model:Model.ipsc860 ~topology:Topology.Hypercube
         ~nprocs:16
@@ -689,6 +762,7 @@ let run_ablate () =
       ab_elapsed = r.Driver.elapsed;
       ab_wait = r.Driver.stats.Stats.recv_wait;
       ab_hidden = r.Driver.stats.Stats.recv_wait_hidden;
+      ab_wall = Unix.gettimeofday () -. t0;
     }
   in
   run "all_off" Passes.all_off
@@ -705,6 +779,9 @@ let run_ablate () =
          ("split_comm", { Passes.all_off with Passes.split_comm = true });
          ( "split+lookahead",
            { Passes.all_off with Passes.split_comm = true; Passes.lookahead = true } );
+         (* execution-strategy axis: identical simulated columns, the
+            host-wall column shows the node-kernel layer's contribution *)
+         ("no_blocked_kernels", { Passes.all_on with Passes.blocked_kernels = false });
        ]
   @ [ run "all_on" Passes.all_on ]
 
@@ -713,12 +790,12 @@ let ablate_table rows =
     (Printf.sprintf
        "Ablation on gauss (%dx%d, 16 PEs, iPSC/860): each pass alone vs all off" table4_n
        (table4_n + 1));
-  Printf.printf "%-16s %10s %12s %12s %12s %10s\n" "passes" "msgs" "bytes" "elapsed(s)"
-    "recv_wait(s)" "hidden(s)";
+  Printf.printf "%-18s %10s %12s %12s %12s %10s %9s\n" "passes" "msgs" "bytes" "elapsed(s)"
+    "recv_wait(s)" "hidden(s)" "host(s)";
   List.iter
     (fun r ->
-      Printf.printf "%-16s %10d %12d %12.4f %12.4f %10.4f\n" r.ab_name r.ab_msgs r.ab_bytes
-        r.ab_elapsed r.ab_wait r.ab_hidden)
+      Printf.printf "%-18s %10d %12d %12.4f %12.4f %10.4f %9.2f\n" r.ab_name r.ab_msgs
+        r.ab_bytes r.ab_elapsed r.ab_wait r.ab_hidden r.ab_wall)
     rows
 
 let json_ablation rows =
@@ -734,6 +811,7 @@ let json_ablation rows =
              ("f90d_elapsed_s", Json.Float r.ab_elapsed);
              ("recv_wait_s", Json.Float r.ab_wait);
              ("recv_wait_hidden_s", Json.Float r.ab_hidden);
+             ("host_wall_s", Json.Float r.ab_wall);
            ])
        rows)
 
@@ -984,6 +1062,8 @@ type scale_row = {
   sc_rss_kb : int;  (* resident set right after the sequential run *)
   sc_hwm_kb : int;  (* process high-water mark so far *)
   sc_heap_mb : float;  (* OCaml major-heap words after the run, in MB *)
+  sc_kruns : int;  (* FORALL nests taken by the kernel layer *)
+  sc_kfalls : int;  (* nests handed back to the interpreter *)
 }
 
 (* One row of the collective micro-benchmark: a machine-wide binomial
@@ -1059,6 +1139,8 @@ let run_scale ~jobs () =
             sc_rss_kb = rss;
             sc_hwm_kb = hwm;
             sc_heap_mb = heap_mb;
+            sc_kruns = r.Driver.stats.Stats.kernel_runs;
+            sc_kfalls = r.Driver.stats.Stats.kernel_fallbacks;
           })
         (programs p))
     scale_ps
@@ -1176,7 +1258,7 @@ let json_serve ~host_wall res =
         ("host_wall_total_s", Json.Float host_wall);
       ])
 
-let json_table4 ?ablation ~jobs ~host_wall rows4 =
+let json_table4 ?ablation ?kernel ~jobs ~host_wall rows4 =
   Json.Obj
     (("experiment", Json.Str "table4") :: version_fields
     @ [
@@ -1211,10 +1293,14 @@ let json_table4 ?ablation ~jobs ~host_wall rows4 =
                    ("recv_wait_hidden_s", Json.Float r.t4_stats.Stats.recv_wait_hidden);
                    ("sched_builds", Json.Int r.t4_stats.Stats.sched_builds);
                    ("sched_hits", Json.Int r.t4_stats.Stats.sched_hits);
+                   ("kernel_runs", Json.Int r.t4_stats.Stats.kernel_runs);
+                   ("kernel_fallbacks", Json.Int r.t4_stats.Stats.kernel_fallbacks);
+                   ("kernel_blocked", Json.Int r.t4_stats.Stats.kernel_blocked);
                  ]))
              rows4) );
        ("hot_statements_16pe", json_hot_statements ());
      ]
+    @ (match kernel with Some kg -> [ ("kernel", json_kernel_gate kg) ] | None -> [])
     @ match ablation with Some rows -> [ ("ablation", json_ablation rows) ] | None -> [])
 
 let json_fig5 ~host_wall rows =
@@ -1271,6 +1357,8 @@ let json_scale ~jobs ~host_wall rows depths =
                        ("rss_kb", Json.Int r.sc_rss_kb);
                        ("hwm_kb", Json.Int r.sc_hwm_kb);
                        ("heap_mb", Json.Float r.sc_heap_mb);
+                       ("kernel_runs", Json.Int r.sc_kruns);
+                       ("kernel_fallbacks", Json.Int r.sc_kfalls);
                      ]))
                rows) );
         ( "broadcast_depth",
@@ -1367,6 +1455,8 @@ let () =
   | "table4" ->
       let rows = run_table4 ~jobs () in
       table4 rows;
+      let kernel = run_kernel_gate () in
+      kernel_gate_table kernel;
       let ablation =
         if !ablate then begin
           let ab = run_ablate () in
@@ -1378,7 +1468,7 @@ let () =
       Option.iter
         (fun p ->
           Json.write p
-            (json_table4 ?ablation ~jobs ~host_wall:(Unix.gettimeofday () -. t0) rows))
+            (json_table4 ?ablation ~kernel ~jobs ~host_wall:(Unix.gettimeofday () -. t0) rows))
         !json_path;
       Option.iter (fun p -> table4_trace ~path:p ()) !trace_path;
       Option.iter (fun p -> table4_profile_json ~path:p ()) !profile_path
@@ -1424,6 +1514,7 @@ let () =
       fig5 (run_fig5 ());
       let rows = run_table4 ~jobs () in
       table4 rows;
+      kernel_gate_table (run_kernel_gate ());
       fig6 rows;
       ablation ();
       dist_choice ();

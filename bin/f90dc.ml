@@ -326,7 +326,7 @@ let no_passes =
       value & flag
       & info [ "fno-" ^ name ] ~doc:(Printf.sprintf "Disable the %s optimization pass." doc))
   in
-  let combine su fm sr hc co sp la =
+  let combine su fm sr hc co sp la bk =
     List.concat
       [
         (if su then [ "shift-union" ] else []);
@@ -336,6 +336,7 @@ let no_passes =
         (if co then [ "coalesce" ] else []);
         (if sp then [ "split-comm" ] else []);
         (if la then [ "lookahead" ] else []);
+        (if bk then [ "blocked-kernels" ] else []);
       ]
   in
   Term.(
@@ -346,7 +347,8 @@ let no_passes =
     $ pass "hoist-comm" "loop-invariant communication hoisting"
     $ pass "coalesce" "cross-statement message coalescing (and its replica cache)"
     $ pass "split-comm" "split-phase communication (issue/wait overlap)"
-    $ pass "lookahead" "loop-carried multicast lookahead pipelining")
+    $ pass "lookahead" "loop-carried multicast lookahead pipelining"
+    $ pass "blocked-kernels" "blocked node-kernel execution layer (plan cache, fused updates)")
 
 let show_finals =
   let doc = "Print the final contents of every array of the main program." in

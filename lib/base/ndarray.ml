@@ -215,6 +215,38 @@ let slice_flat t ~pos ~len =
   in
   { lb = [| 1 |]; extents = [| len |]; data }
 
+(* Kind-matched unboxed index-list copies: the executor's pack/unpack and
+   the kernel layer move whole segments through these, so no Scalar boxes
+   are allocated per element. *)
+let gather_flat src positions =
+  let n = Array.length positions in
+  let data =
+    match src.data with
+    | Reals a -> Reals (Array.init n (fun i -> a.(positions.(i))))
+    | Ints a -> Ints (Array.init n (fun i -> a.(positions.(i))))
+    | Logs a -> Logs (Array.init n (fun i -> a.(positions.(i))))
+  in
+  { lb = [| 1 |]; extents = [| n |]; data }
+
+let scatter_flat dst positions values =
+  match (dst.data, values.data) with
+  | Reals d, Reals v -> Array.iteri (fun i p -> d.(p) <- v.(i)) positions
+  | Ints d, Ints v -> Array.iteri (fun i p -> d.(p) <- v.(i)) positions
+  | Logs d, Logs v -> Array.iteri (fun i p -> d.(p) <- v.(i)) positions
+  | _ -> Diag.bug "ndarray: scatter between different kinds"
+
+let copy_flat ~src ~src_positions ~dst ~dst_positions =
+  if Array.length src_positions <> Array.length dst_positions then
+    Diag.bug "ndarray: copy_flat length mismatch";
+  match (src.data, dst.data) with
+  | Reals s, Reals d ->
+      Array.iteri (fun i p -> d.(dst_positions.(i)) <- s.(p)) src_positions
+  | Ints s, Ints d ->
+      Array.iteri (fun i p -> d.(dst_positions.(i)) <- s.(p)) src_positions
+  | Logs s, Logs d ->
+      Array.iteri (fun i p -> d.(dst_positions.(i)) <- s.(p)) src_positions
+  | _ -> Diag.bug "ndarray: copy_flat between different kinds"
+
 let blit_flat ~src ~src_pos ~dst ~dst_pos ~len =
   match (src.data, dst.data) with
   | Reals a, Reals b -> Array.blit a src_pos b dst_pos len

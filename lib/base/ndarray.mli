@@ -78,3 +78,16 @@ val slice_flat : t -> pos:int -> len:int -> t
 
 val blit_flat : src:t -> src_pos:int -> dst:t -> dst_pos:int -> len:int -> unit
 (** Flat blit between arrays of the same kind. *)
+
+val gather_flat : t -> int array -> t
+(** [gather_flat src positions] is the rank-1 array whose element [i] is
+    [src]'s flat element [positions.(i)] — the executor's message-pack
+    primitive, copying without per-element {!Scalar} boxing. *)
+
+val scatter_flat : t -> int array -> t -> unit
+(** [scatter_flat dst positions values] writes rank-1 [values] element
+    [i] to [dst]'s flat position [positions.(i)] (kinds must match). *)
+
+val copy_flat : src:t -> src_positions:int array -> dst:t -> dst_positions:int array -> unit
+(** Pairwise flat copy [dst.(dst_positions.(i)) <- src.(src_positions.(i))]
+    between same-kind arrays — the self-segment of an exchange. *)

@@ -64,8 +64,11 @@ let run ?(collect_finals = true) ?(model = Model.ideal) ?(topology = Topology.Fu
   let phys_of_rank = Topology.grid_embedding topology ~nprocs dims in
   let grid = Grid.make ?phys_of_rank dims in
   let cfg = Engine.config ~model ~topology ~tracing:trace ?poll nprocs in
+  let kcfg =
+    { Rctx.default_kcfg with Rctx.kc_blocked = compiled.c_flags.F90d_opt.Passes.blocked_kernels }
+  in
   let node eng =
-    let rctx = Rctx.make eng grid in
+    let rctx = Rctx.make ~kcfg eng grid in
     (* Seed the rank's schedule cache from the persistent store (serve
        mode).  Preloading is all-or-nothing across ranks — the store
        layer guarantees it by keeping every rank's schedules in one

@@ -60,6 +60,10 @@ type ustate = {
           (loop pre-headers, cross-statement batches); frames fall back
           here when their own table misses *)
   replicas : (string, replica) Hashtbl.t;
+  kplans : (int, Kernel.plan) Hashtbl.t;
+      (** kernel plans keyed by statement id: the structure-only half of
+          FORALL specialization survives across executions (plans capture
+          no array storage, so the movers' rebinds cannot stale them) *)
   coalesce : bool;  (** runtime half of the coalesce pass (replica cache) *)
   pending : (int, pending_comm) Hashtbl.t;
       (** split-phase comms issued but not yet waited, keyed by the
@@ -793,6 +797,56 @@ let exec_comm st (f : Ir.forall) ~ranges ~guard_vals ~frame_access ftemps (c : I
 (* FORALL execution                                                    *)
 (* ------------------------------------------------------------------ *)
 
+(* Hand the whole local nest to the kernel layer.  [--fno-blocked-kernels]
+   disables the layer outright — every FORALL interprets element by
+   element, which is both the honest ablation baseline and the reference
+   the fuzz differential compares bit-for-bit against.  Counts a run or
+   a fallback in this rank's collector — empty slabs never reach here,
+   so gauss's non-owning ranks count as neither. *)
+let run_kernel st ftemps (f : Ir.forall) vv =
+  let kcfg = Rctx.kernel_cfg st.ctx in
+  if not kcfg.Rctx.kc_blocked then false
+  else begin
+    let scalar_lookup v =
+      match Hashtbl.find_opt st.scalars v with
+      | Some r -> Some !r
+      | None -> List.assoc_opt v st.u.Ir.u_env.Sema.uparams
+    in
+    let temp_of t =
+      let tv =
+        match Hashtbl.find_opt ftemps t with
+        | Some _ as v -> v
+        | None -> Hashtbl.find_opt st.ptemps t
+      in
+      match tv with
+      | Some (Tbox nd) -> Some (Kernel.Tbox nd)
+      | Some (Tflat nd) -> Some (Kernel.Tflat nd)
+      | Some (Tglobal nd) -> Some (Kernel.Tglobal nd)
+      | None -> None
+    in
+    let pl =
+      let sid, _ = Rctx.current_stmt st.ctx in
+      match Hashtbl.find_opt st.kplans sid with
+      | Some p -> p
+      | None ->
+          let p = Kernel.plan ~env:st.u.Ir.u_env ~scalar_lookup ~f in
+          Hashtbl.replace st.kplans sid p;
+          p
+    in
+    let rs = Engine.rank_stats (Rctx.engine st.ctx) in
+    match
+      Kernel.execute pl ~me:(me st) ~scalar_lookup ~darr_of:(darray_of st) ~temp_of ~values:vv
+        ~blocked:true
+    with
+    | Some o ->
+        Stats.record_kernel_run rs;
+        if o.Kernel.blocked_loops > 0 then Stats.record_kernel_blocked rs o.Kernel.blocked_loops;
+        true
+    | None ->
+        Stats.record_kernel_fallback rs;
+        false
+  end
+
 let exec_forall_body st (f : Ir.forall) =
   let ranges =
     List.map
@@ -836,24 +890,7 @@ let exec_forall_body st (f : Ir.forall) =
   | Some vv when
       canonical_store && f.Ir.f_mask = None && f.Ir.f_post = None && not f.Ir.f_snapshot
       && List.for_all (fun a -> Array.length a > 0) vv
-      && Kernel.try_run ~env:st.u.Ir.u_env ~me:(me st)
-           ~scalar_lookup:(fun v ->
-             match Hashtbl.find_opt st.scalars v with
-             | Some r -> Some !r
-             | None -> List.assoc_opt v st.u.Ir.u_env.Sema.uparams)
-           ~darr_of:(darray_of st)
-           ~temp_of:(fun t ->
-             let tv =
-               match Hashtbl.find_opt ftemps t with
-               | Some _ as v -> v
-               | None -> Hashtbl.find_opt st.ptemps t
-             in
-             match tv with
-             | Some (Tbox nd) -> Some (Kernel.Tbox nd)
-             | Some (Tflat nd) -> Some (Kernel.Tflat nd)
-             | Some (Tglobal nd) -> Some (Kernel.Tglobal nd)
-             | None -> None)
-           ~values:vv ~f ->
+      && run_kernel st ftemps f vv ->
       (* specialised kernel ran the whole nest *)
       iters := List.fold_left (fun acc a -> acc * Array.length a) 1 vv
   | Some vv ->
@@ -1062,6 +1099,7 @@ let fresh_ustate st (u : Ir.unit_ir) =
     arrays;
     ptemps = Hashtbl.create 8;
     replicas = Hashtbl.create 4;
+    kplans = Hashtbl.create 16;
     pending = Hashtbl.create 4;
   }
 
@@ -1307,6 +1345,7 @@ let node_main ?(collect_finals = true) ?(coalesce = false) (prog : Ir.program_ir
       out = Buffer.create 256;
       ptemps = Hashtbl.create 1;
       replicas = Hashtbl.create 1;
+      kplans = Hashtbl.create 1;
       coalesce;
       pending = Hashtbl.create 1;
     }

@@ -1,16 +1,25 @@
-(** Elementwise kernel specializer — the stand-in for the node Fortran
+(** Blocked node-kernel specializer — the stand-in for the node Fortran
     compiler's scalar optimizer/vectorizer that §7 delegates to.
 
     A FORALL whose iteration sets are arithmetic progressions, whose
     references all resolve to flat offsets affine in the loop counters,
-    and whose body is real arithmetic, is compiled once per execution into
-    a closure-tree over raw [float array]s and run as a tight loop nest —
-    two to three orders of magnitude faster than generic interpretation,
-    which is what makes the paper's 1023x1024 Table 4 matrix tractable.
+    and whose body is real arithmetic, is specialized in two halves:
 
-    Anything else (masks, integer bodies, indirection, write-back phases)
-    returns [None] and falls back to the general interpreter; results are
-    bit-identical either way (same operations, same order). *)
+    - {!plan} decides everything value-independent once per statement —
+      eligibility, the operator tree, which references feed which leaves,
+      integer-vs-real division — and is cached by the interpreter, so
+      re-executions under a DO loop skip AST analysis entirely;
+    - {!execute} re-derives the affine offsets against the current
+      layouts, scalars and iteration sets, then runs the whole local
+      nest: through strided row strips and fused multiply-update loops
+      when blocked execution is legal (injective store map, self-reads
+      identity or disjoint — gauss's rank-1 update qualifies), otherwise
+      through the canonical-order tree walk.
+
+    Anything else (masks, integer stores, indirection, write-back
+    phases) reports failure and falls back to the general interpreter;
+    results are bit-identical on every path (same per-element operations
+    in the same per-element order). *)
 
 open F90d_frontend
 
@@ -26,15 +35,32 @@ val runs : unit -> int
 
 val reset_runs : unit -> unit
 
-val try_run :
-  env:Sema.unit_env ->
+type plan
+(** The structure-only half of specialization for one FORALL: safe to
+    cache per statement across executions (it captures no array storage
+    and no scalar values), including across the interpreter's array
+    movers.  An ineligible plan is also cacheable — structural rejection
+    is value-independent. *)
+
+val plan :
+  env:Sema.unit_env -> scalar_lookup:(string -> F90d_base.Scalar.t option) -> f:F90d_ir.Ir.forall -> plan
+(** Analyze a FORALL.  [scalar_lookup] is used only for declaration-stable
+    kind decisions (integer vs. real division), never for values. *)
+
+val eligible : plan -> bool
+
+type outcome = { blocked_loops : int  (** 1 if the nest ran blocked/fused, else 0 *) }
+
+val execute :
+  plan ->
   me:int ->
   scalar_lookup:(string -> F90d_base.Scalar.t option) ->
   darr_of:(string -> F90d_runtime.Darray.t) ->
   temp_of:(int -> temp_nd option) ->
   values:int array list ->
-  f:F90d_ir.Ir.forall ->
-  bool
-(** Runs the whole local loop nest if specialization applies; [false]
+  blocked:bool ->
+  outcome option
+(** Runs the whole local loop nest if specialization applies; [None]
     means the caller must interpret.  [values] are this processor's
-    per-variable global index values in nest order. *)
+    per-variable global index values in nest order; [blocked] gates the
+    strip/fused executor (off reproduces the plain tree walk). *)

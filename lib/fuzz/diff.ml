@@ -37,6 +37,7 @@ let named_flag_sets =
     ("lookahead", { all_off with split_comm = true; lookahead = true });
     ("no-split", { all_on with split_comm = false; lookahead = false });
     ("no-lookahead", { all_on with lookahead = false });
+    ("no-kernels", { all_on with blocked_kernels = false });
   ]
 
 let flag_set name =

@@ -11,6 +11,9 @@ type rank = {
   r_by_tag : (int, int * int) Hashtbl.t;
   mutable r_sched_builds : int;
   mutable r_sched_hits : int;
+  mutable r_kernel_runs : int;
+  mutable r_kernel_fallbacks : int;
+  mutable r_kernel_blocked : int;
 }
 
 type t = {
@@ -26,6 +29,9 @@ type t = {
   by_tag : (int, int * int) Hashtbl.t;
   sched_builds : int;
   sched_hits : int;
+  kernel_runs : int;
+  kernel_fallbacks : int;
+  kernel_blocked : int;
 }
 
 let rank_create () =
@@ -37,6 +43,9 @@ let rank_create () =
     r_by_tag = Hashtbl.create 16;
     r_sched_builds = 0;
     r_sched_hits = 0;
+    r_kernel_runs = 0;
+    r_kernel_fallbacks = 0;
+    r_kernel_blocked = 0;
   }
 
 let record_send ?(tag = 0) r ~bytes =
@@ -49,12 +58,16 @@ let record_wait r dt = r.r_recv_wait <- r.r_recv_wait +. dt
 let record_wait_hidden r dt = r.r_recv_wait_hidden <- r.r_recv_wait_hidden +. dt
 let record_sched_build r = r.r_sched_builds <- r.r_sched_builds + 1
 let record_sched_hit r = r.r_sched_hits <- r.r_sched_hits + 1
+let record_kernel_run r = r.r_kernel_runs <- r.r_kernel_runs + 1
+let record_kernel_fallback r = r.r_kernel_fallbacks <- r.r_kernel_fallbacks + 1
+let record_kernel_blocked r n = r.r_kernel_blocked <- r.r_kernel_blocked + n
 
 let merge ranks =
   let by_tag = Hashtbl.create 16 in
   let messages = ref 0 and bytes = ref 0 and recv_wait = ref 0. in
   let hidden = ref 0. in
   let builds = ref 0 and hits = ref 0 in
+  let kruns = ref 0 and kfalls = ref 0 and kblocked = ref 0 in
   Array.iter
     (fun r ->
       messages := !messages + r.r_messages;
@@ -63,6 +76,9 @@ let merge ranks =
       hidden := !hidden +. r.r_recv_wait_hidden;
       builds := !builds + r.r_sched_builds;
       hits := !hits + r.r_sched_hits;
+      kruns := !kruns + r.r_kernel_runs;
+      kfalls := !kfalls + r.r_kernel_fallbacks;
+      kblocked := !kblocked + r.r_kernel_blocked;
       Hashtbl.iter
         (fun tag (m, b) ->
           let m0, b0 = Option.value (Hashtbl.find_opt by_tag tag) ~default:(0, 0) in
@@ -79,6 +95,9 @@ let merge ranks =
     by_tag;
     sched_builds = !builds;
     sched_hits = !hits;
+    kernel_runs = !kruns;
+    kernel_fallbacks = !kfalls;
+    kernel_blocked = !kblocked;
   }
 
 let per_tag t =
@@ -117,6 +136,13 @@ let metric_families t =
       t.recv_wait_hidden );
     ("f90d_sched_builds_total", "PARTI inspector schedules built", float_of_int t.sched_builds);
     ("f90d_sched_hits_total", "PARTI schedule-cache hits", float_of_int t.sched_hits);
+    ("f90d_kernel_runs_total", "FORALL nests executed by the node kernel layer", float_of_int t.kernel_runs);
+    ( "f90d_kernel_fallbacks_total",
+      "FORALL nests that fell back to the tree interpreter",
+      float_of_int t.kernel_fallbacks );
+    ( "f90d_kernel_blocked_loops_total",
+      "kernel nests executed through the blocked/fused fast path",
+      float_of_int t.kernel_blocked );
   ]
 
 let empty = merge [||]

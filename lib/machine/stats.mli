@@ -28,6 +28,9 @@ type t = {
   by_tag : (int, int * int) Hashtbl.t;  (** tag -> (messages, bytes) *)
   sched_builds : int;  (** inspector schedules built (see {!F90d_runtime.Schedule}) *)
   sched_hits : int;  (** schedule-cache hits *)
+  kernel_runs : int;  (** FORALL nests executed by the node kernel layer *)
+  kernel_fallbacks : int;  (** nests the kernel layer handed back to the interpreter *)
+  kernel_blocked : int;  (** nests that went through the blocked/fused fast path *)
 }
 
 val rank_create : unit -> rank
@@ -36,6 +39,13 @@ val record_wait : rank -> float -> unit
 val record_wait_hidden : rank -> float -> unit
 val record_sched_build : rank -> unit
 val record_sched_hit : rank -> unit
+val record_kernel_run : rank -> unit
+val record_kernel_fallback : rank -> unit
+
+val record_kernel_blocked : rank -> int -> unit
+(** Count [n] blocked/fused loop nests (a single kernel run may execute
+    several tiles but counts once, with the nest granularity chosen by
+    the caller). *)
 
 val merge : rank array -> t
 (** Fold per-processor collectors (indexed by physical rank) into the

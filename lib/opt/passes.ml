@@ -9,6 +9,9 @@ type flags = {
   coalesce : bool;
   split_comm : bool;
   lookahead : bool;  (* only effective when split_comm is on *)
+  blocked_kernels : bool;
+      (* execution strategy, not an IR pass: [apply] ignores it, the
+         runtime reads it to enable the blocked node-kernel layer *)
 }
 
 let all_on =
@@ -20,6 +23,7 @@ let all_on =
     coalesce = true;
     split_comm = true;
     lookahead = true;
+    blocked_kernels = true;
   }
 
 let all_off =
@@ -31,6 +35,10 @@ let all_off =
     coalesce = false;
     split_comm = false;
     lookahead = false;
+    (* [all_off] disables the communication passes; the kernel layer is a
+       node-local execution strategy with its own toggle, so ablations
+       over comm passes keep tractable wall time at bench problem sizes *)
+    blocked_kernels = true;
   }
 
 module S = Set.Make (String)

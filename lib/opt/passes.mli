@@ -43,6 +43,12 @@ type flags = {
   coalesce : bool;
   split_comm : bool;
   lookahead : bool;
+  blocked_kernels : bool;
+      (** enable the blocked node-kernel execution layer
+          ({!F90d_exec.Kernel}); not an IR transformation — [apply]
+          ignores it, the interpreter and intrinsics read it.  On in
+          both [all_on] and [all_off] (which toggle only the
+          communication passes); disable with [--fno-blocked-kernels]. *)
 }
 
 val all_on : flags

@@ -91,9 +91,25 @@ let is_contributor ctx (darr : Darray.t) =
 let local_fold ctx op (darr : Darray.t) =
   let me = Rctx.me ctx in
   let acc = ref (Redop.identity op (Darray.kind darr)) in
-  if is_contributor ctx darr then
-    Darray.iter_owned darr ~rank:me (fun _ flat ->
-        acc := Redop.scalar op !acc (Ndarray.get_flat darr.Darray.local flat));
+  (if is_contributor ctx darr then
+     match ((Rctx.kernel_cfg ctx).Rctx.kc_blocked, op, darr.Darray.local.Ndarray.data) with
+     | true, (Redop.Sum | Redop.Prod | Redop.Max | Redop.Min), Ndarray.Reals d ->
+         (* unboxed fold in iteration order; MAX/MIN use [compare] like
+            Scalar.max2/min2 (first operand wins ties), so the result is
+            bit-identical to the Redop.scalar chain *)
+         let f =
+           match op with
+           | Redop.Sum -> ( +. )
+           | Redop.Prod -> ( *. )
+           | Redop.Max -> fun (x : float) y -> if compare x y >= 0 then x else y
+           | _ -> fun (x : float) y -> if compare x y <= 0 then x else y
+         in
+         let r = ref (Scalar.to_real !acc) in
+         Darray.iter_owned darr ~rank:me (fun _ flat -> r := f !r (Array.unsafe_get d flat));
+         acc := Scalar.Real !r
+     | _ ->
+         Darray.iter_owned darr ~rank:me (fun _ flat ->
+             acc := Redop.scalar op !acc (Ndarray.get_flat darr.Darray.local flat)));
   Rctx.charge_flops ctx (Darray.owned_count darr ~rank:me);
   !acc
 
@@ -191,15 +207,30 @@ let same_layout (a : Darray.t) (b : Darray.t) =
          && Affine.equal x.Dad.align y.Dad.align)
        da db
 
+(* After alignment b shares a's layout; when the ghost halos also agree
+   the two locals are congruent and a's flat offsets index b directly. *)
+let congruent_locals (a : Darray.t) (b : Darray.t) =
+  let da = Dad.dims a.Darray.dad and db = Dad.dims b.Darray.dad in
+  Array.length da = Array.length db
+  && Array.for_all2
+       (fun (x : Dad.dim) (y : Dad.dim) ->
+         x.Dad.ghost_lo = y.Dad.ghost_lo && x.Dad.ghost_hi = y.Dad.ghost_hi)
+       da db
+
 let dotproduct ctx (a : Darray.t) (b : Darray.t) =
   let b = if same_layout a b then b else Redistribute.redistribute ctx b a.Darray.dad in
   let me = Rctx.me ctx in
   let acc = ref 0. in
-  if is_contributor ctx a then
-    Darray.iter_owned a ~rank:me (fun g flat ->
-        let x = Scalar.to_real (Ndarray.get_flat a.Darray.local flat) in
-        let y = Scalar.to_real (Option.get (Darray.get_local b ~rank:me g)) in
-        acc := !acc +. (x *. y));
+  (if is_contributor ctx a then
+     match ((Rctx.kernel_cfg ctx).Rctx.kc_blocked, a.Darray.local.Ndarray.data, b.Darray.local.Ndarray.data) with
+     | true, Ndarray.Reals ad, Ndarray.Reals bd when congruent_locals a b ->
+         Darray.iter_owned a ~rank:me (fun _ flat ->
+             acc := !acc +. (Array.unsafe_get ad flat *. Array.unsafe_get bd flat))
+     | _ ->
+         Darray.iter_owned a ~rank:me (fun g flat ->
+             let x = Scalar.to_real (Ndarray.get_flat a.Darray.local flat) in
+             let y = Scalar.to_real (Option.get (Darray.get_local b ~rank:me g)) in
+             acc := !acc +. (x *. y)));
   Rctx.charge_flops ctx (2 * Darray.owned_count a ~rank:me);
   let team = Collectives.team_all ctx in
   match
@@ -392,17 +423,34 @@ let matmul_summa ctx (a : Darray.t) (b : Darray.t) ~dad =
   let crows = (Dad.local_counts dad ~rank:me).(0)
   and ccols = (Dad.local_counts dad ~rank:me).(1) in
   let acc = Array.make (crows * ccols) 0. in
+  let kb = (Rctx.kernel_cfg ctx).Rctx.kc_blocked in
   for k0 = 0 to inner - 1 do
     let apanel = Structured.multicast ctx a ~dim:1 ~g:k0 in
     let bpanel = Structured.multicast ctx b ~dim:0 ~g:k0 in
-    for j = 0 to ccols - 1 do
-      let bkj = Scalar.to_real (Ndarray.get bpanel [| 1; j + 1 |]) in
-      for i = 0 to crows - 1 do
-        acc.((j * crows) + i) <-
-          acc.((j * crows) + i)
-          +. (Scalar.to_real (Ndarray.get apanel [| i + 1; 1 |]) *. bkj)
-      done
-    done
+    match (kb, apanel.Ndarray.data, bpanel.Ndarray.data) with
+    | true, Ndarray.Reals ad, Ndarray.Reals bd
+      when Ndarray.size apanel = crows && Ndarray.size bpanel = ccols
+           && apanel.Ndarray.lb = [| 1; 1 |] && bpanel.Ndarray.lb = [| 1; 1 |] ->
+        (* panels are dense slabs with one unit extent, so element (i,1)
+           (resp. (1,j)) sits at flat i-1 (j-1) under either stride order;
+           same j-outer/i-inner rank-1 update, minus the Scalar boxing *)
+        for j = 0 to ccols - 1 do
+          let bkj = Array.unsafe_get bd j in
+          let jo = j * crows in
+          for i = 0 to crows - 1 do
+            Array.unsafe_set acc (jo + i)
+              (Array.unsafe_get acc (jo + i) +. (Array.unsafe_get ad i *. bkj))
+          done
+        done
+    | _ ->
+        for j = 0 to ccols - 1 do
+          let bkj = Scalar.to_real (Ndarray.get bpanel [| 1; j + 1 |]) in
+          for i = 0 to crows - 1 do
+            acc.((j * crows) + i) <-
+              acc.((j * crows) + i)
+              +. (Scalar.to_real (Ndarray.get apanel [| i + 1; 1 |]) *. bkj)
+          done
+        done
   done;
   Rctx.charge_flops ctx (2 * inner * crows * ccols);
   let i = ref 0 in
@@ -421,15 +469,53 @@ let matmul_replicated ctx (a : Darray.t) (b : Darray.t) ~dad =
   let b0 = (Dad.dims b.Darray.dad).(0).Dad.flb in
   let dst = Darray.create ctx dad in
   let me = Rctx.me ctx in
-  Darray.iter_owned dst ~rank:me (fun g flat ->
-      let acc = ref 0. in
-      for k = 0 to inner - 1 do
-        acc :=
-          !acc
-          +. Scalar.to_real (Ndarray.get ga [| g.(0); a1 + k |])
-             *. Scalar.to_real (Ndarray.get gb [| b0 + k; g.(1) |])
+  let kcfg = Rctx.kernel_cfg ctx in
+  (match (kcfg.Rctx.kc_blocked, ga.Ndarray.data, gb.Ndarray.data) with
+  | true, Ndarray.Reals gad, Ndarray.Reals gbd ->
+      (* k-tiled DGEMM: the accumulator for every owned C(i,j) persists
+         across tiles and the k tiles run in ascending order, so each
+         element sees its contributions in exactly the scalar-loop order
+         — bit-identical, but A panels and B rows stay cache-resident
+         for a whole tile *)
+      let sa = Ndarray.strides ga and sb = Ndarray.strides gb in
+      let la = ga.Ndarray.lb and lb = gb.Ndarray.lb in
+      let rows = ref [] in
+      Darray.iter_owned dst ~rank:me (fun g flat -> rows := (g.(0), g.(1), flat) :: !rows);
+      let items = Array.of_list (List.rev !rows) in
+      let n = Array.length items in
+      let acc = Array.make (max 1 n) 0. in
+      let bs = max 1 kcfg.Rctx.kc_block in
+      let k0 = ref 0 in
+      while !k0 < inner do
+        let khi = min inner (!k0 + bs) in
+        for idx = 0 to n - 1 do
+          let g0, g1, _ = Array.unsafe_get items idx in
+          let abase = ((g0 - la.(0)) * sa.(0)) + ((a1 - la.(1)) * sa.(1)) in
+          let bbase = ((b0 - lb.(0)) * sb.(0)) + ((g1 - lb.(1)) * sb.(1)) in
+          let s = ref (Array.unsafe_get acc idx) in
+          for k = !k0 to khi - 1 do
+            s :=
+              !s
+              +. (Array.unsafe_get gad (abase + (k * sa.(1)))
+                 *. Array.unsafe_get gbd (bbase + (k * sb.(0))))
+          done;
+          Array.unsafe_set acc idx !s
+        done;
+        k0 := !k0 + bs
       done;
-      Ndarray.set_flat dst.Darray.local flat (Scalar.Real !acc));
+      Array.iteri
+        (fun idx (_, _, flat) -> Ndarray.set_flat dst.Darray.local flat (Scalar.Real acc.(idx)))
+        items
+  | _ ->
+      Darray.iter_owned dst ~rank:me (fun g flat ->
+          let acc = ref 0. in
+          for k = 0 to inner - 1 do
+            acc :=
+              !acc
+              +. Scalar.to_real (Ndarray.get ga [| g.(0); a1 + k |])
+                 *. Scalar.to_real (Ndarray.get gb [| b0 + k; g.(1) |])
+          done;
+          Ndarray.set_flat dst.Darray.local flat (Scalar.Real !acc)));
   Rctx.charge_flops ctx (2 * inner * Darray.owned_count dst ~rank:me);
   dst
 

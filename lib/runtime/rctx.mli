@@ -14,9 +14,19 @@ type cache_entry = ..
     ranks, and back-to-back runs with different programs or machine
     sizes, can never observe each other's entries. *)
 
-val make : F90d_machine.Engine.ctx -> F90d_dist.Grid.t -> t
+type kcfg = { kc_blocked : bool; kc_block : int }
+(** Node-kernel execution configuration: [kc_blocked] enables the
+    blocked kernel layer ({!F90d_exec.Kernel} plan cache and the tiled
+    intrinsics), [kc_block] is the DGEMM tile edge. *)
+
+val default_kcfg : kcfg
+(** Kernels on; block size from [F90D_BLOCK] (default 64). *)
+
+val make : ?kcfg:kcfg -> F90d_machine.Engine.ctx -> F90d_dist.Grid.t -> t
 (** The grid must exactly cover the machine ([Grid.size = nprocs]).  The
     context owns a fresh (empty) cache. *)
+
+val kernel_cfg : t -> kcfg
 
 val cache_find : t -> string -> cache_entry option
 val cache_store : t -> string -> cache_entry -> unit

@@ -145,13 +145,12 @@ let build_write_comm ctx ~writes =
   { out_segs; in_segs = segs_of_incoming incoming; self_src; self_dst; tmp_size = Array.length writes }
 
 let pack ctx src positions =
-  let out = Ndarray.create (Ndarray.kind src) [| Array.length positions |] in
-  Array.iteri (fun i p -> Ndarray.set_flat out i (Ndarray.get_flat src p)) positions;
+  let out = Ndarray.gather_flat src positions in
   Rctx.charge_copy_bytes ctx (Ndarray.bytes out);
   out
 
 let unpack ctx dst positions values =
-  Array.iteri (fun i p -> Ndarray.set_flat dst p (Ndarray.get_flat values i)) positions;
+  Ndarray.scatter_flat dst positions values;
   Rctx.charge_copy_bytes ctx (Ndarray.elem_bytes values * Array.length positions)
 
 let exchange ctx sched ~src ~dst =
@@ -161,9 +160,7 @@ let exchange ctx sched ~src ~dst =
   List.iter
     (fun s -> Rctx.send ctx ~dest:s.peer ~tag:Tags.exec_data (Message.Arr (pack ctx src s.positions)))
     sched.out_segs;
-  Array.iteri
-    (fun i p -> Ndarray.set_flat dst sched.self_dst.(i) (Ndarray.get_flat src p))
-    sched.self_src;
+  Ndarray.copy_flat ~src ~src_positions:sched.self_src ~dst ~dst_positions:sched.self_dst;
   Rctx.charge_copy_bytes ctx (Ndarray.elem_bytes src * Array.length sched.self_src);
   List.iter
     (fun s ->

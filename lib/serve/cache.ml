@@ -32,6 +32,7 @@ let flags_fp (f : F90d_opt.Passes.flags) =
       b "co" f.F90d_opt.Passes.coalesce;
       b "sp" f.F90d_opt.Passes.split_comm;
       b "la" f.F90d_opt.Passes.lookahead;
+      b "bk" f.F90d_opt.Passes.blocked_kernels;
     ]
 
 type temp = Hit | Miss

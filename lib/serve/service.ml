@@ -116,6 +116,7 @@ let flags_of_names ~no_opt names =
       | "coalesce" -> { f with F90d_opt.Passes.coalesce = false }
       | "split-comm" -> { f with F90d_opt.Passes.split_comm = false }
       | "lookahead" -> { f with F90d_opt.Passes.lookahead = false }
+      | "blocked-kernels" -> { f with F90d_opt.Passes.blocked_kernels = false }
       | other -> raise (Invalid_argument ("unknown optimization pass: " ^ other)))
     base names
 

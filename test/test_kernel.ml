@@ -1,0 +1,168 @@
+(* Bit-identity of the blocked node-kernel layer: every fast path —
+   cached plans, strip/fused FORALL execution, tiled MATMUL, flat
+   DOT_PRODUCT and reduction folds — must reproduce the plain
+   interpreter ([--fno-blocked-kernels]) bit for bit, across odd
+   extents, non-unit lower bounds, int/real mixes and worker counts. *)
+
+open F90d_base
+open F90d
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let on_flags = F90d_opt.Passes.all_on
+let off_flags = { F90d_opt.Passes.all_on with F90d_opt.Passes.blocked_kernels = false }
+
+let run ?(nprocs = 4) ?jobs flags src = Driver.run ~nprocs ?jobs (Driver.compile ~flags src)
+
+(* Exact (bitwise) agreement of two runs: program output, every final
+   array, every final scalar, and the simulated clock. *)
+let check_identical name (a : Driver.run_result) (b : Driver.run_result) =
+  let oa = a.Driver.outcome and ob = b.Driver.outcome in
+  Alcotest.(check string) (name ^ ": output") oa.F90d_exec.Interp.output ob.F90d_exec.Interp.output;
+  checki (name ^ ": final count")
+    (List.length oa.F90d_exec.Interp.finals)
+    (List.length ob.F90d_exec.Interp.finals);
+  List.iter
+    (fun (arr, nda) ->
+      let ndb = List.assoc arr ob.F90d_exec.Interp.finals in
+      checkb (name ^ ": array " ^ arr ^ " bit-identical") true (Ndarray.equal nda ndb))
+    oa.F90d_exec.Interp.finals;
+  List.iter
+    (fun (s, va) ->
+      let vb = List.assoc s ob.F90d_exec.Interp.final_scalars in
+      checkb (name ^ ": scalar " ^ s) true (Scalar.equal va vb))
+    oa.F90d_exec.Interp.final_scalars;
+  checkb (name ^ ": simulated time") true (a.Driver.elapsed = b.Driver.elapsed)
+
+let kernel_on_vs_off ?nprocs name src =
+  let r_on = run ?nprocs on_flags src and r_off = run ?nprocs off_flags src in
+  check_identical name r_on r_off;
+  r_on
+
+(* ------------------------------------------------------------------ *)
+
+let test_gauss_fused_update () =
+  (* the rank-1 update A(I,J) = A(I,J) - W(I)*A(K,J) is the fused-pass
+     poster child, and the MOD/MERGE initialisation exercises the
+     compiled relational mask.  Nothing may fall back, and the update
+     must actually take the blocked path. *)
+  let r = kernel_on_vs_off "gauss n=23" (Programs.gauss ~n:23) in
+  checki "gauss: zero kernel fallbacks" 0 r.Driver.stats.F90d_machine.Stats.kernel_fallbacks;
+  checkb "gauss: kernel ran" true (r.Driver.stats.F90d_machine.Stats.kernel_runs > 0);
+  checkb "gauss: blocked loops ran" true (r.Driver.stats.F90d_machine.Stats.kernel_blocked > 0)
+
+let test_gauss_cyclic () =
+  (* CYCLIC distribution: strided owned sections, non-unit storage steps *)
+  ignore (kernel_on_vs_off "gauss cyclic n=19" (Programs.gauss_dist ~dist:`Cyclic ~n:19))
+
+let test_matmul_odd_extents () =
+  (* replicated-path MATMUL with inner extent 70: the default 64-wide
+     k tile leaves a remainder tile, whose accumulation order must still
+     match the scalar triple loop exactly *)
+  ignore
+    (kernel_on_vs_off "matmul 3x70 * 70x4"
+       {|
+      PROGRAM MM1
+      REAL A(3, 70), B(70, 4), C(3, 4)
+C$    DISTRIBUTE A(BLOCK, *)
+C$    ALIGN B(I, J) WITH A(*, *)
+C$    ALIGN C(I, J) WITH A(*, *)
+      FORALL (I = 1:3, J = 1:70) A(I, J) = 1.0 / (I + J)
+      FORALL (I = 1:70, J = 1:4) B(I, J) = 1.0 / (3*I + J)
+      C = MATMUL(A, B)
+      END
+      |})
+
+let test_matmul_summa_grid () =
+  (* SUMMA-shaped: both operands on a 2-D grid; the flat panel update
+     must agree with the boxed one *)
+  ignore
+    (kernel_on_vs_off "matmul summa 5x7 * 7x3"
+       {|
+      PROGRAM MM2
+C$    PROCESSORS P(2, 2)
+      REAL A(5, 7), B(7, 3), C(5, 3)
+C$    TEMPLATE T(7, 7)
+C$    ALIGN A(I, J) WITH T(I, J)
+C$    ALIGN B(I, J) WITH T(I, J)
+C$    ALIGN C(I, J) WITH T(I, J)
+C$    DISTRIBUTE T(BLOCK, BLOCK)
+      FORALL (I = 1:5, J = 1:7) A(I, J) = I + 0.5*J
+      FORALL (I = 1:7, J = 1:3) B(I, J) = I*J + 0.25
+      C = MATMUL(A, B)
+      END
+      |})
+
+let test_dot_product_and_folds () =
+  (* flat multiply-accumulate and the compare-based MAX/MIN folds *)
+  ignore
+    (kernel_on_vs_off "dot product + reductions"
+       {|
+      PROGRAM DP1
+      REAL X(13), Y(13), S, MX, MN, SM
+C$    DISTRIBUTE X(BLOCK)
+C$    ALIGN Y(I) WITH X(I)
+      FORALL (I = 1:13) X(I) = 1.0 / I
+      FORALL (I = 1:13) Y(I) = 14 - I + 0.125
+      S = DOT_PRODUCT(X, Y)
+      MX = MAXVAL(Y)
+      MN = MINVAL(X)
+      SM = SUM(X)
+      END
+      |})
+
+let test_nonunit_lower_bounds () =
+  (* declared bounds A(0:12), offsets in both the subscripts and the
+     iteration sets *)
+  ignore
+    (kernel_on_vs_off "non-unit lower bounds"
+       {|
+      PROGRAM LB1
+      REAL A(0:12), B(0:12)
+C$    DISTRIBUTE A(BLOCK)
+C$    ALIGN B(I) WITH A(I)
+      FORALL (I = 0:12) B(I) = 2*I + 1
+      FORALL (I = 1:11) A(I) = B(I - 1) + 0.5*B(I + 1)
+      END
+      |})
+
+let test_int_real_mix () =
+  (* integer arrays feed real arithmetic through Nloadi widening; MOD
+     on integers must truncate exactly like the interpreter *)
+  ignore
+    (kernel_on_vs_off "int/real mix"
+       {|
+      PROGRAM IR1
+      INTEGER K(9)
+      REAL A(9)
+C$    DISTRIBUTE K(BLOCK)
+C$    ALIGN A(I) WITH K(I)
+      FORALL (I = 1:9) K(I) = MOD(7*I, 5) - 2
+      FORALL (I = 1:9) A(I) = K(I) / 4.0 + MERGE(1.0, 0.0, I == 5)
+      END
+      |})
+
+let test_jobs_byte_identity () =
+  (* the kernel layer must be deterministic under real parallelism:
+     sequential and --jobs 4 runs of the same program agree bitwise *)
+  let src = Programs.gauss ~n:23 in
+  let seq = run ~nprocs:4 ~jobs:1 on_flags src in
+  let par = run ~nprocs:4 ~jobs:4 on_flags src in
+  check_identical "gauss seq vs jobs=4" seq par
+
+let () =
+  Alcotest.run "kernel"
+    [
+      ( "blocked-kernel bit-identity",
+        [
+          Alcotest.test_case "gauss fused update" `Quick test_gauss_fused_update;
+          Alcotest.test_case "gauss cyclic" `Quick test_gauss_cyclic;
+          Alcotest.test_case "matmul odd extents / tile remainder" `Quick test_matmul_odd_extents;
+          Alcotest.test_case "matmul summa grid" `Quick test_matmul_summa_grid;
+          Alcotest.test_case "dot product and folds" `Quick test_dot_product_and_folds;
+          Alcotest.test_case "non-unit lower bounds" `Quick test_nonunit_lower_bounds;
+          Alcotest.test_case "int/real mix" `Quick test_int_real_mix;
+          Alcotest.test_case "seq vs jobs=4 byte identity" `Quick test_jobs_byte_identity;
+        ] );
+    ]
